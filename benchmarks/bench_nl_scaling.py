@@ -1,0 +1,74 @@
+"""E8 (Corollary 6.4): PGQext evaluation stays within NL — polynomial data
+complexity and logarithmic certificates.
+
+The scaling table reports evaluation time and operation counts for the
+reachability query on growing chains and random graphs, together with the
+fitted power-law exponent and the size of the NL workspace (current node +
+step counter) for the same instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.complexity import certificate_size_bits, guess_and_check, measure_query_scaling, reachable
+from repro.datasets import GRAPH_VIEW_SCHEMA, chain, erdos_renyi
+from repro.patterns.builder import edge, node, output, plus, seq
+from repro.pgq import PGQEvaluator, graph_pattern_on_relations, pg_view
+
+VIEW = GRAPH_VIEW_SCHEMA
+
+
+def reachability_query():
+    pattern = seq(node("x"), plus(seq(edge(), node())), node("y"))
+    return graph_pattern_on_relations(output(pattern, "x", "y"), VIEW)
+
+
+@pytest.mark.parametrize("size", [16, 32, 64])
+def test_chain_reachability_scaling(benchmark, size):
+    database = chain(size)
+    query = reachability_query()
+    relation = benchmark(lambda: PGQEvaluator(database).evaluate(query))
+    assert len(relation) == size * (size + 1) // 2
+
+
+@pytest.mark.parametrize("nodes", [15, 30])
+def test_random_graph_reachability(benchmark, nodes):
+    database = erdos_renyi(nodes, 0.1, seed=3)
+    query = reachability_query()
+    benchmark(lambda: PGQEvaluator(database).evaluate(query))
+
+
+def test_scaling_table_and_certificates(table_printer, benchmark):
+    curve = measure_query_scaling(
+        reachability_query, chain, [8, 16, 32, 64], label="chain reachability"
+    )
+    rows = [
+        [point.size, point.rows, f"{point.seconds * 1000:.2f} ms", point.operations,
+         point.result_rows]
+        for point in curve.points
+    ]
+    table_printer(
+        "E8: data-complexity scaling of PGQext reachability (fitted exponent "
+        f"{curve.exponent:.2f})" if curve.exponent else "E8: data-complexity scaling",
+        ["chain length", "db rows", "time", "operations", "result rows"],
+        rows,
+    )
+    # Polynomial, low degree: the observed exponent stays well below cubic.
+    assert curve.exponent is None or curve.exponent < 3.5
+
+    certificate_rows = []
+    for size in (8, 64, 512):
+        graph = pg_view(tuple(chain(size).relation(n) for n in VIEW))
+        result = guess_and_check(graph, "v0", f"v{size}", attempts=64, seed=1)
+        certificate_rows.append(
+            [size, certificate_size_bits(graph), result.found,
+             reachable(graph, "v0", f"v{size}")]
+        )
+    table_printer(
+        "E8: NL certificates — workspace bits grow logarithmically",
+        ["chain length", "workspace bits", "nondet. walk found", "BFS reachable"],
+        certificate_rows,
+    )
+    assert certificate_rows[-1][1] <= 2 * certificate_rows[0][1] + 8
+    benchmark(lambda: PGQEvaluator(chain(32)).evaluate(reachability_query()))

@@ -1,0 +1,50 @@
+"""E4 (Theorem 5.2): pair reachability needs composite identifiers (PGQext).
+
+The PGQ_2-style query is exact; the natural unary (PGQrw-style)
+component-wise approximation over-approximates.  The table reports the gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import pair_graph_database
+from repro.pgq import PGQEvaluator
+from repro.separations import (
+    approximation_gap,
+    componentwise_approximation,
+    pair_reachability_query,
+    pair_reachability_reference,
+)
+
+
+@pytest.mark.parametrize("nodes", [3, 4])
+def test_pgq_ext_pair_reachability(benchmark, nodes):
+    database = pair_graph_database(nodes, seed=5, edge_probability=0.15)
+    query = pair_reachability_query()
+    relation = benchmark(lambda: PGQEvaluator(database).evaluate(query))
+    assert set(relation.rows) == set(pair_reachability_reference(database))
+
+
+@pytest.mark.parametrize("nodes", [3, 4])
+def test_unary_approximation(benchmark, nodes):
+    database = pair_graph_database(nodes, seed=5, edge_probability=0.15)
+    benchmark(lambda: componentwise_approximation(database))
+
+
+def test_gap_table(table_printer, benchmark):
+    rows = []
+    for nodes, seed in ((3, 1), (4, 2), (4, 7), (5, 3)):
+        database = pair_graph_database(nodes, seed=seed, edge_probability=0.12)
+        truth = pair_reachability_reference(database)
+        approx = componentwise_approximation(database)
+        rows.append([f"{nodes} values, seed {seed}", len(truth), len(approx), len(approx - truth)])
+    table_printer(
+        "E4: pair reachability — exact (PGQext) vs component-wise unary approximation",
+        ["instance", "true pairs", "approx pairs", "false positives"],
+        rows,
+    )
+    # The unary strategy is wrong on at least one instance: the executable
+    # face of the FO[TC_1] < FO[TC_2] separation.
+    assert any(row[3] > 0 for row in rows)
+    benchmark(lambda: approximation_gap(pair_graph_database(4, seed=2, edge_probability=0.12)))

@@ -1,0 +1,63 @@
+"""E3 (Theorem 4.2): PGQrw detects only semilinear path-length sets.
+
+The table reports, per graph family, the observed path-length set, whether
+it is eventually periodic (= consistent with some PGQrw repetition query),
+and what the NL square-length query answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import chain, cycle, disjoint_chains
+from repro.separations import (
+    best_period,
+    is_eventually_periodic,
+    path_length_set,
+    rw_detectable_length_sets,
+    square_length_path_exists,
+    squares_not_rw_detectable,
+)
+
+BOUND = 40
+
+
+@pytest.mark.parametrize("size", [16, 64])
+def test_path_length_set_computation(benchmark, size):
+    database = chain(size)
+    lengths = benchmark(lambda: path_length_set(database, "v0", None, bound=size))
+    assert len(lengths) == size + 1
+
+
+@pytest.mark.parametrize("size", [12, 24])
+def test_square_length_query(benchmark, size):
+    database = cycle(size)
+    result = benchmark(
+        lambda: square_length_path_exists(database, "v0", "v0", bound=BOUND)
+    )
+    assert isinstance(result, bool)
+
+
+def test_semilinearity_table(table_printer, benchmark):
+    instances = {
+        "chain(10), v0 -> *": (chain(10), "v0", None),
+        "cycle(3), v0 -> v0": (cycle(3), "v0", "v0"),
+        "cycle(4), v0 -> v0": (cycle(4), "v0", "v0"),
+        "2 disjoint chains": (disjoint_chains(2, 6), None, None),
+    }
+    rows = []
+    for name, (database, source, target) in instances.items():
+        lengths = path_length_set(database, source, target, bound=BOUND)
+        periodic = is_eventually_periodic(lengths, bound=BOUND)
+        period = best_period(lengths, bound=BOUND)
+        square = square_length_path_exists(database, source, target, bound=BOUND)
+        rows.append([name, len(lengths), periodic, period[0] if period else "-", square])
+    table_printer(
+        "E3: path-length sets are eventually periodic (= PGQrw-detectable); "
+        "the square-length NL query is not",
+        ["instance", "#lengths", "eventually periodic", "period", "square-length path?"],
+        rows,
+    )
+    assert all(row[2] for row in rows)  # graph path-length sets are semilinear here
+    assert squares_not_rw_detectable(bound=BOUND)
+    benchmark(lambda: rw_detectable_length_sets(bound=BOUND))

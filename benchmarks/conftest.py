@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark module reproduces one experiment of EXPERIMENTS.md (the
+executable face of a theorem, example or corollary of the paper).  Besides
+the timing collected by pytest-benchmark, every module prints the
+qualitative series the experiment is about (who wins, where the crossover
+is), so running ``pytest benchmarks/ --benchmark-only -s`` regenerates the
+tables recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Print a small fixed-width table; used by the experiment summaries."""
+    print(f"\n# {title}")
+    widths = [max(len(str(h)), *(len(str(row[i])) for row in rows)) if rows else len(str(h))
+              for i, h in enumerate(header)]
+    print("  " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def table_printer():
+    return print_table

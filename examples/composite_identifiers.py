@@ -1,0 +1,71 @@
+"""Composite (n-ary) identifiers: Example 5.1 and Example 5.3 of the paper.
+
+Accounts identified by the triple ``(bank, branch, acct)`` are modelled as
+arity-3 node identifiers (the ``pgView_ext`` layer of Section 5).  The
+example builds the composite view, runs a reachability query whose output
+exposes the bank/branch components directly (no extra joins — the point of
+Example 5.1), and finishes with the increasing-amount construction of
+Example 5.3 on the unary schema.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import (
+    TransferWorkloadConfig,
+    composite_view_relations,
+    generate_composite_database,
+    generate_transfer_chain,
+)
+from repro.matching import EndpointEvaluator
+from repro.patterns.builder import edge, node, output, plus, seq
+from repro.pgq import PGQEvaluator, pg_view_ext
+from repro.separations import increasing_amount_pairs_query, increasing_amount_pairs_reference
+
+
+def composite_reachability() -> None:
+    print("== Example 5.1: composite (bank, branch, acct) identifiers ==")
+    database = generate_composite_database(
+        TransferWorkloadConfig(accounts=20, transfers=60, seed=13)
+    )
+    graph = pg_view_ext(composite_view_relations(database))
+    print(f"   view: {graph.node_count()} nodes (arity {graph.node_arity()}), "
+          f"{graph.edge_count()} edges (arity {graph.edge_arity()})")
+
+    # ((x) -t->^{1..inf} (y))_{x, y}: with composite identifiers the output
+    # already contains the bank and branch of both endpoints.
+    pattern = seq(node("x"), plus(seq(edge("t"), node())), node("y"))
+    rows = EndpointEvaluator(graph).evaluate_output(output(pattern, "x", "y"))
+    print(f"   {len(rows)} reachable account pairs; a sample row "
+          f"(src bank, branch, acct, tgt bank, branch, acct):")
+    print("   ", sorted(rows)[0])
+
+    # Post-filtering on the identifier components without extra joins:
+    cross_bank = {row for row in rows if row[0] != row[3]}
+    print(f"   {len(cross_bank)} of them cross banks (filtered on identifier components)\n")
+
+
+def increasing_amounts() -> None:
+    print("== Example 5.3: increasing-amount paths via node copies ==")
+    database = generate_transfer_chain(8, increasing=True)
+    query = increasing_amount_pairs_query()
+    relation = PGQEvaluator(database).evaluate(query)
+    reference = increasing_amount_pairs_reference(database)
+    print(f"   {len(relation)} account pairs connected by strictly increasing chains")
+    print("   matches the reference DFS implementation:",
+          set(relation.rows) == set(reference))
+    print("   end-to-end pair present:",
+          ("IBAN00000", "IBAN00008") in relation.rows)
+
+    shuffled = generate_transfer_chain(8, increasing=False, seed=2)
+    relation = PGQEvaluator(shuffled).evaluate(query)
+    print("   on a shuffled-amount chain the end-to-end pair is present:",
+          ("IBAN00000", "IBAN00008") in relation.rows)
+
+
+def main() -> None:
+    composite_reachability()
+    increasing_amounts()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Fraud-detection style workload: suspicious transfer chains.
+
+The paper motivates SQL/PGQ with fraud detection over transfer graphs.
+This example generates a synthetic transfer workload, defines the property
+graph view, and runs three analyst queries:
+
+1. accounts reachable by chains of large transfers (possible layering);
+2. round-trips: money that returns to the originating account;
+3. strictly increasing transfer chains (Example 5.3), found via the
+   composite-identifier view construction of ``PGQext``.
+"""
+
+from __future__ import annotations
+
+from repro import PGQSession
+from repro.datasets import TransferWorkloadConfig, generate_iban_database
+from repro.pgq import PGQEvaluator
+from repro.separations import increasing_amount_pairs_query, increasing_amount_pairs_reference
+
+
+def build_session(accounts: int = 30, transfers: int = 120) -> PGQSession:
+    database = generate_iban_database(
+        TransferWorkloadConfig(accounts=accounts, transfers=transfers, seed=17)
+    )
+    session = PGQSession()
+    session.register_database(
+        database,
+        {
+            "Account": ["iban"],
+            "Transfer": ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        },
+    )
+    session.execute(
+        """
+        CREATE PROPERTY GRAPH Transfers (
+          NODES TABLE Account KEY (iban) LABEL Account,
+          EDGES TABLE Transfer KEY (t_id)
+            SOURCE KEY src_iban REFERENCES Account
+            TARGET KEY tgt_iban REFERENCES Account
+            LABELS Transfer PROPERTIES (ts, amount))
+        """
+    )
+    return session
+
+
+def main() -> None:
+    session = build_session()
+
+    print("== 1. Layering: chains of transfers, each above 800 ==")
+    layering = session.execute(
+        """
+        SELECT * FROM GRAPH_TABLE ( Transfers
+          MATCH (src) -[t:Transfer]->+ (dst)
+          WHERE t.amount > 800
+          COLUMNS (src.iban, dst.iban) )
+        """
+    )
+    print(f"   {len(layering)} suspicious (source, destination) pairs")
+    for row in list(layering)[:5]:
+        print("   ", row)
+
+    print("\n== 2. Round trips: money returning to its origin in 2 hops ==")
+    round_trips = session.execute(
+        """
+        SELECT * FROM GRAPH_TABLE ( Transfers
+          MATCH (a) -[t1:Transfer]-> (b) -[t2:Transfer]-> (c)
+          WHERE a.iban = c.iban
+          COLUMNS (a.iban, b.iban) )
+        """
+    )
+    print(f"   {len(round_trips)} two-hop round trips")
+    for row in list(round_trips)[:5]:
+        print("   ", row)
+
+    print("\n== 3. Strictly increasing transfer chains (Example 5.3, PGQext) ==")
+    query = increasing_amount_pairs_query()
+    relation = PGQEvaluator(session.database).evaluate(query)
+    reference = increasing_amount_pairs_reference(session.database)
+    print(f"   {len(relation)} account pairs connected by increasing-amount paths")
+    print("   matches the direct reference implementation:",
+          set(relation.rows) == set(reference))
+
+
+if __name__ == "__main__":
+    main()

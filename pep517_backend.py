@@ -1,0 +1,121 @@
+"""Minimal, dependency-free PEP 517 / PEP 660 build backend.
+
+The reproduction environment has no network access and no ``wheel``
+package, so the stock ``setuptools.build_meta`` backend cannot produce the
+editable wheel that ``pip install -e .`` needs.  This backend implements
+just enough of PEP 517 (``build_wheel``, ``build_sdist``) and PEP 660
+(``build_editable``) for this project, using only the standard library.
+
+It is intentionally specific to this repository layout: a pure-Python
+package under ``src/`` with no extension modules, no entry points and no
+package data beyond ``*.py`` files.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tarfile
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+DIST = f"{NAME}-{VERSION}"
+WHEEL_NAME = f"{DIST}-py3-none-any.whl"
+ROOT = os.path.dirname(os.path.abspath(__file__))
+SRC = os.path.join(ROOT, "src")
+
+METADATA = f"""Metadata-Version: 2.1
+Name: {NAME}
+Version: {VERSION}
+Summary: Reproduction of 'On the Expressiveness of Languages for Querying Property Graphs in Relational Databases' (PODS 2025)
+Requires-Python: >=3.10
+License: MIT
+"""
+
+WHEEL_METADATA = """Wheel-Version: 1.0
+Generator: pep517_backend (repro)
+Root-Is-Purelib: true
+Tag: py3-none-any
+"""
+
+
+def _record_entry(arcname: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).decode().rstrip("=")
+    return f"{arcname},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_directory: str, payload: dict) -> str:
+    """Write a wheel whose contents are the given ``{arcname: bytes}`` map."""
+    records = []
+    path = os.path.join(wheel_directory, WHEEL_NAME)
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for arcname, data in payload.items():
+            archive.writestr(arcname, data)
+            records.append(_record_entry(arcname, data))
+        record_name = f"{DIST}.dist-info/RECORD"
+        records.append(f"{record_name},,")
+        archive.writestr(record_name, "\n".join(records) + "\n")
+    return WHEEL_NAME
+
+
+def _dist_info_payload() -> dict:
+    return {
+        f"{DIST}.dist-info/METADATA": METADATA.encode(),
+        f"{DIST}.dist-info/WHEEL": WHEEL_METADATA.encode(),
+    }
+
+
+def _package_payload() -> dict:
+    payload = {}
+    for directory, _subdirs, files in os.walk(os.path.join(SRC, NAME)):
+        for filename in sorted(files):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(directory, filename)
+            arcname = os.path.relpath(full, SRC).replace(os.sep, "/")
+            with open(full, "rb") as handle:
+                payload[arcname] = handle.read()
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# PEP 517 hooks
+# --------------------------------------------------------------------------- #
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    payload = _package_payload()
+    payload.update(_dist_info_payload())
+    return _write_wheel(wheel_directory, payload)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    sdist_name = f"{DIST}.tar.gz"
+    path = os.path.join(sdist_directory, sdist_name)
+    with tarfile.open(path, "w:gz") as archive:
+        for entry in ("pyproject.toml", "setup.py", "README.md", "pep517_backend.py", "src"):
+            full = os.path.join(ROOT, entry)
+            if os.path.exists(full):
+                archive.add(full, arcname=f"{DIST}/{entry}")
+    return sdist_name
+
+
+# --------------------------------------------------------------------------- #
+# PEP 660 hooks (editable installs)
+# --------------------------------------------------------------------------- #
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    payload = {f"__editable__.{NAME}.pth": (SRC + "\n").encode()}
+    payload.update(_dist_info_payload())
+    return _write_wheel(wheel_directory, payload)

@@ -1,0 +1,16 @@
+"""Setup shim for environments without network access.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` can fall back to the legacy editable install when the
+``wheel`` package (needed by PEP 660 editable builds) is unavailable.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,108 @@
+"""repro — executable reproduction of *On the Expressiveness of Languages for
+Querying Property Graphs in Relational Databases* (PODS 2025).
+
+The package implements, from scratch:
+
+* the property graph data model with n-ary identifiers (Def. 2.1, Sec. 5);
+* a relational substrate (relations, schemas, databases, relational algebra);
+* the pattern language and its endpoint / path semantics (Figs. 1, 2, 6);
+* the ``pgView`` family and the three PGQ fragments ``PGQro`` / ``PGQrw`` /
+  ``PGQext`` with their evaluator (Figs. 3, 4, Defs. 3.1-5.3);
+* first-order logic with transitive closure and its finite-model evaluators;
+* the constructive translations PGQext <-> FO[TC] (Thms. 6.1/6.2);
+* a SQL/PGQ surface parser, a session API, and a SQLite-backed engine;
+* the separating queries of Theorems 4.1, 4.2, 5.2 and Example 5.3;
+* workload generators and complexity instrumentation.
+
+Quickstart::
+
+    from repro import PGQSession
+
+    session = PGQSession()
+    session.register_table("Account", ["iban"], [("A1",), ("A2",)])
+    session.register_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [("T1", "A1", "A2", 1, 250)],
+    )
+    session.execute('''
+        CREATE PROPERTY GRAPH Transfers (
+          NODES TABLE Account KEY (iban) LABEL Account,
+          EDGES TABLE Transfer KEY (t_id)
+            SOURCE KEY src_iban REFERENCES Account
+            TARGET KEY tgt_iban REFERENCES Account
+            LABELS Transfer PROPERTIES (ts, amount))
+    ''')
+    result = session.execute('''
+        SELECT * FROM GRAPH_TABLE ( Transfers
+          MATCH (x) -[t:Transfer]->+ (y)
+          WHERE t.amount > 100
+          COLUMNS (x.iban, y.iban) )
+    ''')
+"""
+
+from repro.engine import PGQSession, QueryResult, SQLiteEngine
+from repro.errors import (
+    ArityError,
+    EngineError,
+    FragmentError,
+    GraphError,
+    LogicError,
+    ParseError,
+    PatternError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    TranslationError,
+    ViewError,
+)
+from repro.graph import PropertyGraph
+from repro.pgq import (
+    Fragment,
+    PGQEvaluator,
+    classify,
+    evaluate,
+    evaluate_boolean,
+    graph_pattern_on_relations,
+    pg_view,
+    pg_view_ext,
+    pg_view_n,
+)
+from repro.relational import Database, Relation, Schema
+from repro.translations import translate_formula, translate_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArityError",
+    "Database",
+    "EngineError",
+    "Fragment",
+    "FragmentError",
+    "GraphError",
+    "LogicError",
+    "PGQEvaluator",
+    "PGQSession",
+    "ParseError",
+    "PatternError",
+    "PropertyGraph",
+    "QueryError",
+    "QueryResult",
+    "Relation",
+    "ReproError",
+    "SQLiteEngine",
+    "Schema",
+    "SchemaError",
+    "TranslationError",
+    "ViewError",
+    "classify",
+    "evaluate",
+    "evaluate_boolean",
+    "graph_pattern_on_relations",
+    "pg_view",
+    "pg_view_ext",
+    "pg_view_n",
+    "translate_formula",
+    "translate_query",
+    "__version__",
+]

@@ -1,0 +1,118 @@
+"""Empirical data-complexity measurements (Section 2.4, Corollary 6.4).
+
+The data complexity of query evaluation is measured by fixing a query and
+growing the database.  These helpers run a query over a family of databases
+of increasing size, record operation counts and wall-clock times, and fit a
+power law ``cost ~ size^alpha`` so benchmarks can report the observed
+exponent next to the theoretical NL (polynomial, small-degree) bound.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.pgq.evaluator import PGQEvaluator
+from repro.pgq.queries import Query
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One measurement: database size vs. evaluation cost."""
+
+    size: int
+    rows: int
+    seconds: float
+    operations: int
+    result_rows: int
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A series of measurements plus the fitted power-law exponent."""
+
+    points: Tuple[ScalingPoint, ...]
+    exponent: Optional[float]
+    label: str = ""
+
+    def sizes(self) -> List[int]:
+        return [point.size for point in self.points]
+
+    def seconds(self) -> List[float]:
+        return [point.seconds for point in self.points]
+
+
+def measure_query_scaling(
+    query_factory: Callable[[], Query],
+    database_factory: Callable[[int], Database],
+    sizes: Sequence[int],
+    *,
+    label: str = "",
+    repeats: int = 1,
+) -> ScalingCurve:
+    """Evaluate ``query_factory()`` on databases of the given sizes.
+
+    ``database_factory(size)`` builds the instance; the reported cost is the
+    best of ``repeats`` runs (to damp scheduling noise) together with the
+    evaluator's operation counters.
+    """
+    points: List[ScalingPoint] = []
+    for size in sizes:
+        database = database_factory(size)
+        best_seconds = math.inf
+        operations = 0
+        result_rows = 0
+        for _ in range(max(repeats, 1)):
+            query = query_factory()
+            evaluator = PGQEvaluator(database, collect_statistics=True)
+            started = time.perf_counter()
+            result = evaluator.evaluate(query)
+            elapsed = time.perf_counter() - started
+            if elapsed < best_seconds:
+                best_seconds = elapsed
+                assert evaluator.statistics is not None
+                operations = evaluator.statistics.total_operations()
+                result_rows = len(result)
+        points.append(
+            ScalingPoint(size, database.total_rows(), best_seconds, operations, result_rows)
+        )
+    return ScalingCurve(tuple(points), fit_power_law(points), label)
+
+
+def fit_power_law(points: Sequence[ScalingPoint]) -> Optional[float]:
+    """Least-squares exponent of ``seconds ~ size^alpha`` in log-log space.
+
+    Returns ``None`` when there are fewer than two usable points (zero
+    times are skipped because their logarithm is undefined).
+    """
+    xs, ys = [], []
+    for point in points:
+        if point.size > 0 and point.seconds > 0:
+            xs.append(math.log(point.size))
+            ys.append(math.log(point.seconds))
+    if len(xs) < 2:
+        return None
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return None
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+
+
+def format_curve(curve: ScalingCurve) -> str:
+    """Human-readable table of a scaling curve, used by benchmark output."""
+    lines = [f"# {curve.label or 'scaling curve'}"]
+    lines.append(f"{'size':>8} {'rows':>8} {'seconds':>12} {'operations':>12} {'result':>8}")
+    for point in curve.points:
+        lines.append(
+            f"{point.size:>8} {point.rows:>8} {point.seconds:>12.6f} "
+            f"{point.operations:>12} {point.result_rows:>8}"
+        )
+    if curve.exponent is not None:
+        lines.append(f"fitted exponent: {curve.exponent:.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,165 @@
+"""Bank-account / transfer workloads (Examples 1.1, 2.1, 5.1, 5.3).
+
+Two schema variants are generated:
+
+* the *IBAN* variant of Example 1.1, where accounts are identified by a
+  single column and the relational schema is ``Account(iban)`` and
+  ``Transfer(t_id, src_iban, tgt_iban, ts, amount)``;
+* the *composite-key* variant of Example 5.1, where accounts are identified
+  by the triple ``(bank, branch, acct)``.
+
+Both come with helpers that produce the canonical six view relations, so
+examples and benchmarks can feed them straight into ``pgView`` /
+``pgView_ext``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class TransferWorkloadConfig:
+    """Parameters of a synthetic transfer workload."""
+
+    accounts: int = 50
+    transfers: int = 200
+    seed: int = 7
+    min_amount: int = 1
+    max_amount: int = 1000
+    start_timestamp: int = 1_700_000_000
+    timestamp_step: int = 60
+
+
+def _amounts(config: TransferWorkloadConfig, rng: random.Random, count: int) -> List[int]:
+    return [rng.randint(config.min_amount, config.max_amount) for _ in range(count)]
+
+
+def generate_iban_database(config: Optional[TransferWorkloadConfig] = None) -> Database:
+    """The Example 1.1 schema: ``Account(iban)`` and ``Transfer(...)``."""
+    config = config or TransferWorkloadConfig()
+    rng = random.Random(config.seed)
+    ibans = [f"IBAN{i:05d}" for i in range(config.accounts)]
+    amounts = _amounts(config, rng, config.transfers)
+    transfers = []
+    for index in range(config.transfers):
+        src, tgt = rng.sample(ibans, 2)
+        transfers.append(
+            (
+                f"T{index:06d}",
+                src,
+                tgt,
+                config.start_timestamp + index * config.timestamp_step,
+                amounts[index],
+            )
+        )
+    return Database.from_dict(
+        {
+            "Account": [(iban,) for iban in ibans],
+            "Transfer": transfers,
+        }
+    )
+
+
+def iban_view_relations(database: Database) -> Tuple[Relation, ...]:
+    """Derive the six canonical view relations from the Example 1.1 schema.
+
+    This mirrors the ``CREATE PROPERTY GRAPH Transfers`` statement of the
+    paper's introduction: accounts become nodes keyed by IBAN, transfers
+    become edges keyed by ``t_id`` with ``ts``/``amount`` properties and the
+    ``Transfer`` label.
+    """
+    accounts = database.relation("Account")
+    transfers = database.relation("Transfer")
+    nodes = accounts
+    edges = transfers.project((1,))
+    sources = transfers.project((1, 2))
+    targets = transfers.project((1, 3))
+    label_rows = [(row[0], "Transfer") for row in transfers.rows]
+    label_rows += [(row[0], "Account") for row in accounts.rows]
+    labels = Relation(2, label_rows)
+    property_rows = []
+    for row in transfers.rows:
+        property_rows.append((row[0], "ts", row[3]))
+        property_rows.append((row[0], "amount", row[4]))
+    for row in accounts.rows:
+        property_rows.append((row[0], "iban", row[0]))
+    properties = Relation(3, property_rows)
+    return (nodes, edges, sources, targets, labels, properties)
+
+
+def generate_composite_database(config: Optional[TransferWorkloadConfig] = None) -> Database:
+    """The Example 5.1 schema with composite ``(bank, branch, acct)`` keys."""
+    config = config or TransferWorkloadConfig()
+    rng = random.Random(config.seed)
+    accounts = []
+    for i in range(config.accounts):
+        bank = f"B{i % 5}"
+        branch = f"BR{i % 7}"
+        acct = f"A{i:05d}"
+        accounts.append((bank, branch, acct))
+    amounts = _amounts(config, rng, config.transfers)
+    transfers = []
+    for index in range(config.transfers):
+        src, tgt = rng.sample(accounts, 2)
+        transfers.append(
+            (
+                f"T{index:06d}",
+                *src,
+                *tgt,
+                config.start_timestamp + index * config.timestamp_step,
+                amounts[index],
+            )
+        )
+    return Database.from_dict(
+        {
+            "Account": accounts,
+            "Transfer": transfers,
+        }
+    )
+
+
+def composite_view_relations(database: Database) -> Tuple[Relation, ...]:
+    """The Example 5.1 view with composite 3-ary identifiers.
+
+    Edge identifiers are padded to arity 3 (``(t_id, t_id, t_id)``) so nodes
+    and edges share one identifier arity, the simplification adopted in
+    Remark 5.1 of the paper.
+    """
+    accounts = database.relation("Account")
+    transfers = database.relation("Transfer")
+    nodes = accounts
+    edges = transfers.project((1, 1, 1))
+    sources = transfers.project((1, 1, 1, 2, 3, 4))
+    targets = transfers.project((1, 1, 1, 5, 6, 7))
+    labels = Relation(4, [(row[0], row[0], row[0], "Transfer") for row in transfers.rows])
+    property_rows = []
+    for row in transfers.rows:
+        property_rows.append((row[0], row[0], row[0], "ts", row[7]))
+        property_rows.append((row[0], row[0], row[0], "amount", row[8]))
+    properties = Relation(5, property_rows)
+    return (nodes, edges, sources, targets, labels, properties)
+
+
+def generate_transfer_chain(length: int, *, increasing: bool = True, seed: int = 3) -> Database:
+    """A single chain of transfers ``a_0 -> a_1 -> ... -> a_length``.
+
+    Amounts along the chain are strictly increasing when ``increasing`` is
+    True and randomly shuffled otherwise; used by the Example 5.3 workload
+    (increasing-amount paths).
+    """
+    rng = random.Random(seed)
+    ibans = [f"IBAN{i:05d}" for i in range(length + 1)]
+    amounts = list(range(10, 10 * (length + 1), 10))
+    if not increasing:
+        rng.shuffle(amounts)
+    transfers = [
+        (f"T{i:06d}", ibans[i], ibans[i + 1], 1_700_000_000 + i, amounts[i])
+        for i in range(length)
+    ]
+    return Database.from_dict({"Account": [(i,) for i in ibans], "Transfer": transfers})

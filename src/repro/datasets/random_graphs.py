@@ -1,0 +1,154 @@
+"""Random and structured graph generators used across tests and benchmarks.
+
+All generators return a :class:`~repro.relational.database.Database` in the
+canonical six-relation layout (``N``, ``E``, ``S``, ``T``, ``L``, ``P``)
+so they can be queried directly with ``psi_Omega(N, E, S, T, L, P)``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+#: Canonical relation names used by the generated graph-view databases.
+GRAPH_VIEW_SCHEMA = ("N", "E", "S", "T", "L", "P")
+
+
+def _database(
+    nodes: Sequence[str],
+    edges: Sequence[Tuple[str, str, str]],
+    labels: Sequence[Tuple[str, str]] = (),
+    properties: Sequence[Tuple[str, str, object]] = (),
+) -> Database:
+    """Assemble a graph-view database from node/edge/label/property lists."""
+    return Database.from_dict(
+        {
+            "N": [(n,) for n in nodes],
+            "E": [(e,) for e, _s, _t in edges],
+            "S": [(e, s) for e, s, _t in edges],
+            "T": [(e, t) for e, _s, t in edges],
+            "L": list(labels),
+            "P": list(properties),
+        },
+        arities={"N": 1, "E": 1, "S": 2, "T": 2, "L": 2, "P": 3},
+    )
+
+
+def chain(length: int, *, label: Optional[str] = None) -> Database:
+    """A directed chain ``v0 -> v1 -> ... -> v_length``."""
+    nodes = [f"v{i}" for i in range(length + 1)]
+    edges = [(f"e{i}", f"v{i}", f"v{i + 1}") for i in range(length)]
+    labels = [(f"e{i}", label) for i in range(length)] if label else []
+    return _database(nodes, edges, labels)
+
+
+def cycle(length: int) -> Database:
+    """A directed cycle with ``length`` nodes (length >= 1)."""
+    nodes = [f"v{i}" for i in range(length)]
+    edges = [(f"e{i}", f"v{i}", f"v{(i + 1) % length}") for i in range(length)]
+    return _database(nodes, edges)
+
+
+def star_graph(leaves: int) -> Database:
+    """A star: edges from a central node ``c`` to each leaf."""
+    nodes = ["c"] + [f"l{i}" for i in range(leaves)]
+    edges = [(f"e{i}", "c", f"l{i}") for i in range(leaves)]
+    return _database(nodes, edges)
+
+
+def grid(rows: int, columns: int) -> Database:
+    """A directed grid with edges rightwards and downwards."""
+    nodes = [f"v{r}_{c}" for r in range(rows) for c in range(columns)]
+    edges = []
+    index = 0
+    for r in range(rows):
+        for c in range(columns):
+            if c + 1 < columns:
+                edges.append((f"e{index}", f"v{r}_{c}", f"v{r}_{c + 1}"))
+                index += 1
+            if r + 1 < rows:
+                edges.append((f"e{index}", f"v{r}_{c}", f"v{r + 1}_{c}"))
+                index += 1
+    return _database(nodes, edges)
+
+
+def erdos_renyi(node_count: int, edge_probability: float, *, seed: int = 13,
+                labels: Sequence[str] = (), property_key: Optional[str] = None,
+                property_range: Tuple[int, int] = (1, 100)) -> Database:
+    """A directed Erdos-Renyi style random graph.
+
+    Every ordered pair of distinct nodes gets an edge with the given
+    probability.  Optional node labels are assigned uniformly at random from
+    ``labels`` and an optional integer edge property is drawn uniformly from
+    ``property_range``.
+    """
+    rng = random.Random(seed)
+    nodes = [f"v{i}" for i in range(node_count)]
+    edges: List[Tuple[str, str, str]] = []
+    label_rows: List[Tuple[str, str]] = []
+    property_rows: List[Tuple[str, str, object]] = []
+    index = 0
+    for source in nodes:
+        for target in nodes:
+            if source != target and rng.random() < edge_probability:
+                edge = f"e{index}"
+                index += 1
+                edges.append((edge, source, target))
+                if property_key is not None:
+                    property_rows.append(
+                        (edge, property_key, rng.randint(*property_range))
+                    )
+    if labels:
+        for node in nodes:
+            label_rows.append((node, rng.choice(list(labels))))
+    return _database(nodes, edges, label_rows, property_rows)
+
+
+def disjoint_chains(chain_count: int, length: int) -> Database:
+    """Several disjoint chains, useful for locality-style arguments."""
+    nodes: List[str] = []
+    edges: List[Tuple[str, str, str]] = []
+    for c in range(chain_count):
+        for i in range(length + 1):
+            nodes.append(f"c{c}_v{i}")
+        for i in range(length):
+            edges.append((f"c{c}_e{i}", f"c{c}_v{i}", f"c{c}_v{i + 1}"))
+    return _database(nodes, edges)
+
+
+def layered_dag(layers: int, width: int, *, seed: int = 17, edge_probability: float = 0.5) -> Database:
+    """A layered DAG: edges only go from layer ``i`` to layer ``i + 1``."""
+    rng = random.Random(seed)
+    nodes = [f"v{layer}_{slot}" for layer in range(layers) for slot in range(width)]
+    edges: List[Tuple[str, str, str]] = []
+    index = 0
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                if rng.random() < edge_probability:
+                    edges.append((f"e{index}", f"v{layer}_{a}", f"v{layer + 1}_{b}"))
+                    index += 1
+    return _database(nodes, edges)
+
+
+def pair_graph_database(node_count: int, *, seed: int = 19, edge_probability: float = 0.15) -> Database:
+    """A database with a 4-ary relation ``E4`` encoding edges between node pairs.
+
+    Used for the Theorem 5.2 separation: reachability over *pairs* of nodes
+    is a PGQ_2 / FO[TC_2] query.  The relation ``E4(u1, u2, v1, v2)`` says
+    the pair ``(u1, u2)`` steps to ``(v1, v2)``.
+    """
+    rng = random.Random(seed)
+    values = [f"a{i}" for i in range(node_count)]
+    rows = []
+    for u1 in values:
+        for u2 in values:
+            for v1 in values:
+                for v2 in values:
+                    if (u1, u2) != (v1, v2) and rng.random() < edge_probability:
+                        rows.append((u1, u2, v1, v2))
+    return Database.from_dict({"E4": rows, "V": [(v,) for v in values]},
+                              arities={"E4": 4, "V": 1})

@@ -1,0 +1,6 @@
+"""Execution engines: in-memory session facade and SQLite backend."""
+
+from repro.engine.session import PGQSession, QueryResult
+from repro.engine.sqlite import SQLiteEngine
+
+__all__ = ["PGQSession", "QueryResult", "SQLiteEngine"]

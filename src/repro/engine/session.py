@@ -1,0 +1,129 @@
+"""User-facing session API tying the SQL/PGQ surface to the formal engine.
+
+A :class:`PGQSession` owns a relational database (with named columns, so
+the DDL can reference them), a catalog of property-graph view definitions,
+and an evaluator.  The typical flow mirrors the paper's introduction:
+
+>>> session = PGQSession()
+>>> session.register_table("Account", ["iban"], rows)
+>>> session.register_table("Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], rows)
+>>> session.execute("CREATE PROPERTY GRAPH Transfers ( ... )")
+>>> session.execute("SELECT * FROM GRAPH_TABLE ( Transfers MATCH ... COLUMNS (...) )")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import EngineError
+from repro.pgq.evaluator import PGQEvaluator
+from repro.pgq.queries import Query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, Schema
+from repro.sqlpgq.ast import CreatePropertyGraph, GraphTableQuery
+from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition
+from repro.sqlpgq.compiler import compile_query
+from repro.sqlpgq.parser import parse_statement
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Result of executing a statement: column names plus rows."""
+
+    columns: Tuple[str, ...]
+    rows: Tuple[Tuple, ...]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def to_set(self):
+        return set(self.rows)
+
+
+class PGQSession:
+    """An in-memory SQL/PGQ session over the formal PGQ evaluator."""
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, Relation] = {}
+        self._columns: Dict[str, Tuple[str, ...]] = {}
+        self._catalog: Optional[GraphCatalog] = None
+
+    # ------------------------------------------------------------------ #
+    # Data registration
+    # ------------------------------------------------------------------ #
+    def register_table(self, name: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
+        """Register (or replace) a base table with named columns."""
+        columns = tuple(columns)
+        relation = Relation(len(columns), [tuple(row) for row in rows], name=name)
+        self._relations[name] = relation
+        self._columns[name] = columns
+        self._catalog = None  # the schema changed; recompile definitions lazily
+
+    def register_database(self, database: Database, columns: Dict[str, Sequence[str]]) -> None:
+        """Register every relation of an existing database with column names."""
+        for name in database:
+            if name not in columns:
+                raise EngineError(f"no column names supplied for relation {name!r}")
+            self.register_table(name, columns[name], database.relation(name).rows)
+
+    @property
+    def schema(self) -> Schema:
+        return Schema(
+            RelationSchema(name, len(cols), cols) for name, cols in self._columns.items()
+        )
+
+    @property
+    def database(self) -> Database:
+        return Database(dict(self._relations), schema=self.schema)
+
+    @property
+    def catalog(self) -> GraphCatalog:
+        if self._catalog is None:
+            self._catalog = GraphCatalog(self.schema)
+        return self._catalog
+
+    def graph_names(self) -> Tuple[str, ...]:
+        return self.catalog.names()
+
+    # ------------------------------------------------------------------ #
+    # Statement execution
+    # ------------------------------------------------------------------ #
+    def execute(self, statement_text: str) -> QueryResult:
+        """Parse and execute one SQL/PGQ statement (DDL or query)."""
+        statement = parse_statement(statement_text)
+        if isinstance(statement, CreatePropertyGraph):
+            definition = self.catalog.register(statement)
+            return QueryResult(("graph",), ((definition.name,),))
+        if isinstance(statement, GraphTableQuery):
+            return self._execute_query(statement)
+        raise EngineError(f"unsupported statement {statement!r}")
+
+    def _execute_query(self, statement: GraphTableQuery) -> QueryResult:
+        query = compile_query(statement, self.catalog)
+        relation = self.evaluate(query)
+        columns = tuple(column.name for column in statement.columns)
+        if relation.arity != len(columns):
+            # n-ary identifiers flatten into several columns; fall back to
+            # positional names in that case.
+            columns = tuple(f"col{i + 1}" for i in range(relation.arity))
+        return QueryResult(columns, tuple(sorted(relation.rows, key=repr)))
+
+    def compile(self, statement_text: str) -> Query:
+        """Parse and compile a GRAPH_TABLE query without executing it."""
+        statement = parse_statement(statement_text)
+        if not isinstance(statement, GraphTableQuery):
+            raise EngineError("compile() expects a SELECT ... FROM GRAPH_TABLE(...) statement")
+        return compile_query(statement, self.catalog)
+
+    def evaluate(self, query: Query) -> Relation:
+        """Evaluate a programmatic PGQ query against the session database."""
+        return PGQEvaluator(self.database).evaluate(query)
+
+    def graph_definition(self, name: str) -> GraphDefinition:
+        """Look up a compiled property-graph view definition."""
+        return self.catalog.get(name)

@@ -1,0 +1,473 @@
+"""SQLite-backed execution engine.
+
+SQL/PGQ is designed to run *inside* a relational engine; this module shows
+the paper's formal fragments executing on a real one.  A
+:class:`SQLiteEngine` loads a :class:`~repro.relational.database.Database`
+into an in-memory SQLite database and evaluates PGQ queries by compiling
+them to SQL:
+
+* the relational operators map to ``SELECT`` / ``UNION`` / ``EXCEPT`` /
+  cross joins;
+* pattern matching over a graph view maps to joins over the six view
+  relations, with unbounded repetition compiled to a ``WITH RECURSIVE``
+  common table expression — the same mechanism (linear recursion) the paper
+  cites as SQL's NL-complete core.
+
+The SQL compilation supports unary identifiers (the read-only/read-write
+fragments and the SQL/PGQ core, cf. Section 7 item (3)); queries that build
+views with n-ary identifiers fall back to the in-memory evaluator so that
+every query still executes.  Results are always identical to the formal
+evaluator, which the test-suite and the E11 benchmark check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.matching.endpoint import EndpointEvaluator
+from repro.patterns.ast import (
+    Concatenation,
+    Disjunction,
+    EdgePattern,
+    Filter,
+    NodePattern,
+    OutputPattern,
+    Pattern,
+    PropertyRef,
+    Repetition,
+)
+from repro.patterns.conditions import (
+    AndCondition,
+    HasLabel,
+    NotCondition,
+    OrCondition,
+    PatternCondition,
+    PropertyCompare,
+    PropertyComparesProperty,
+    PropertyEquals,
+)
+from repro.pgq.evaluator import PGQEvaluator
+from repro.pgq.queries import (
+    ActiveDomainQuery,
+    BaseRelation,
+    Constant,
+    ConstantRelation,
+    Difference,
+    EmptyRelation,
+    GraphPattern,
+    Product,
+    Project,
+    Query,
+    Select,
+    Union,
+)
+from repro.pgq.views import infer_identifier_arity
+from repro.relational.conditions import (
+    And as RAAnd,
+    ColumnCompare,
+    ColumnCompareConstant,
+    ColumnEquals,
+    ColumnEqualsConstant,
+    Condition,
+    Not as RANot,
+    Or as RAOr,
+    TrueCondition,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class SQLiteEngine:
+    """Evaluates PGQ queries on SQLite, falling back to the formal evaluator."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.connection = sqlite3.connect(":memory:")
+        self._temp_counter = itertools.count()
+        self._load(database)
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def _load(self, database: Database) -> None:
+        cursor = self.connection.cursor()
+        for name in database:
+            relation = database.relation(name)
+            columns = ", ".join(f"c{i}" for i in range(1, relation.arity + 1))
+            cursor.execute(f'CREATE TABLE "{name}" ({columns})')
+            placeholders = ", ".join("?" for _ in range(relation.arity))
+            cursor.executemany(
+                f'INSERT INTO "{name}" VALUES ({placeholders})',
+                [tuple(row) for row in relation.rows],
+            )
+        # Active domain as a real table: the union of all columns of all relations.
+        cursor.execute("CREATE TABLE __adom (c1)")
+        values = {value for value in database.active_domain()}
+        cursor.executemany("INSERT INTO __adom VALUES (?)", [(v,) for v in values])
+        self.connection.commit()
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SQLiteEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def evaluate(self, query: Query) -> Relation:
+        """Evaluate a PGQ query, preferring the SQL path when it applies."""
+        try:
+            sql, arity = self._compile(query)
+        except _SQLUnsupported:
+            return PGQEvaluator(self.database).evaluate(query)
+        rows = self.connection.execute(sql).fetchall()
+        return Relation(arity, [tuple(row) for row in rows]) if arity > 0 else Relation(
+            0, [()] if rows else []
+        )
+
+    def evaluate_sql(self, sql: str) -> List[Tuple]:
+        """Run a raw SQL statement against the engine (for tests/examples)."""
+        return [tuple(row) for row in self.connection.execute(sql).fetchall()]
+
+    def compile_to_sql(self, query: Query) -> str:
+        """Return the SQL text a query compiles to (raises when unsupported)."""
+        sql, _arity = self._compile(query)
+        return sql
+
+    # ------------------------------------------------------------------ #
+    # Relational operators
+    # ------------------------------------------------------------------ #
+    def _compile(self, query: Query) -> Tuple[str, int]:
+        if isinstance(query, BaseRelation):
+            relation = self.database.relation(query.name)
+            columns = ", ".join(f"c{i}" for i in range(1, relation.arity + 1))
+            return f'SELECT {columns} FROM "{query.name}"', relation.arity
+        if isinstance(query, Constant):
+            return f"SELECT {_sql_literal(query.value)} AS c1", 1
+        if isinstance(query, ConstantRelation):
+            if not query.rows:
+                raise _SQLUnsupported("empty constant relation")
+            selects = [
+                "SELECT " + ", ".join(
+                    f"{_sql_literal(value)} AS c{i + 1}" for i, value in enumerate(row)
+                )
+                for row in query.rows
+            ]
+            return " UNION ".join(selects), query.arity
+        if isinstance(query, ActiveDomainQuery):
+            return "SELECT c1 FROM __adom", 1
+        if isinstance(query, EmptyRelation):
+            columns = ", ".join(f"NULL AS c{i + 1}" for i in range(query.arity))
+            return f"SELECT {columns} WHERE 1 = 0", query.arity
+        if isinstance(query, Project):
+            inner, _arity = self._compile(query.operand)
+            columns = ", ".join(
+                f"sub.c{position} AS c{index + 1}" for index, position in enumerate(query.positions)
+            )
+            return f"SELECT {columns} FROM ({inner}) AS sub", len(query.positions)
+        if isinstance(query, Select):
+            inner, arity = self._compile(query.operand)
+            predicate = _compile_ra_condition(query.condition, "sub")
+            columns = ", ".join(f"sub.c{i}" for i in range(1, arity + 1))
+            return f"SELECT {columns} FROM ({inner}) AS sub WHERE {predicate}", arity
+        if isinstance(query, Product):
+            left_sql, left_arity = self._compile(query.left)
+            right_sql, right_arity = self._compile(query.right)
+            left_cols = ", ".join(f"l.c{i} AS c{i}" for i in range(1, left_arity + 1))
+            right_cols = ", ".join(
+                f"r.c{i} AS c{left_arity + i}" for i in range(1, right_arity + 1)
+            )
+            separator = ", " if left_cols and right_cols else ""
+            return (
+                f"SELECT {left_cols}{separator}{right_cols} FROM ({left_sql}) AS l, ({right_sql}) AS r",
+                left_arity + right_arity,
+            )
+        if isinstance(query, Union):
+            left_sql, left_arity = self._compile(query.left)
+            right_sql, right_arity = self._compile(query.right)
+            if left_arity != right_arity:
+                raise EngineError("union of incompatible arities")
+            return f"SELECT * FROM ({left_sql}) UNION SELECT * FROM ({right_sql})", left_arity
+        if isinstance(query, Difference):
+            left_sql, left_arity = self._compile(query.left)
+            right_sql, _right = self._compile(query.right)
+            return f"SELECT * FROM ({left_sql}) EXCEPT SELECT * FROM ({right_sql})", left_arity
+        if isinstance(query, GraphPattern):
+            return self._compile_graph_pattern(query)
+        raise _SQLUnsupported(f"query node {type(query).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # Pattern matching
+    # ------------------------------------------------------------------ #
+    def _compile_graph_pattern(self, query: GraphPattern) -> Tuple[str, int]:
+        # Materialize the six view relations as temporary tables; this keeps
+        # the pattern SQL readable and lets the recursive CTE reference them.
+        view_relations = tuple(
+            PGQEvaluator(self.database).evaluate(source) for source in query.sources
+        )
+        identifier_arity = infer_identifier_arity(view_relations)
+        if identifier_arity != 1:
+            raise _SQLUnsupported("the SQL backend compiles unary-identifier views only")
+        names = []
+        cursor = self.connection.cursor()
+        for index, relation in enumerate(view_relations):
+            table = f"__view{next(self._temp_counter)}_{index}"
+            names.append(table)
+            columns = ", ".join(f"c{i}" for i in range(1, max(relation.arity, 1) + 1))
+            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            cursor.execute(f"CREATE TEMP TABLE {table} ({columns})")
+            if relation.arity:
+                placeholders = ", ".join("?" for _ in range(relation.arity))
+                cursor.executemany(
+                    f"INSERT INTO {table} VALUES ({placeholders})",
+                    [tuple(row) for row in relation.rows],
+                )
+        self.connection.commit()
+        view = _ViewTables(*names)
+        compiler = _PatternSQL(view)
+        sql = compiler.compile_output(query.output)
+        arity = len(query.output.items)
+        return sql, arity
+
+
+class _SQLUnsupported(Exception):
+    """Internal: the query cannot be compiled to SQL; fall back to Python."""
+
+
+def _sql_literal(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"
+
+
+def _compile_ra_condition(condition: Condition, alias: str) -> str:
+    if isinstance(condition, TrueCondition):
+        return "1 = 1"
+    if isinstance(condition, ColumnEquals):
+        return f"{alias}.c{condition.left} = {alias}.c{condition.right}"
+    if isinstance(condition, ColumnEqualsConstant):
+        return f"{alias}.c{condition.position} = {_sql_literal(condition.constant)}"
+    if isinstance(condition, ColumnCompare):
+        operator = "<>" if condition.operator == "!=" else condition.operator
+        return f"{alias}.c{condition.left} {operator} {alias}.c{condition.right}"
+    if isinstance(condition, ColumnCompareConstant):
+        operator = "<>" if condition.operator == "!=" else condition.operator
+        return f"{alias}.c{condition.position} {operator} {_sql_literal(condition.constant)}"
+    if isinstance(condition, RAAnd):
+        return f"({_compile_ra_condition(condition.left, alias)} AND {_compile_ra_condition(condition.right, alias)})"
+    if isinstance(condition, RAOr):
+        return f"({_compile_ra_condition(condition.left, alias)} OR {_compile_ra_condition(condition.right, alias)})"
+    if isinstance(condition, RANot):
+        return f"NOT ({_compile_ra_condition(condition.operand, alias)})"
+    raise _SQLUnsupported(f"selection condition {type(condition).__name__}")
+
+
+class _ViewTables:
+    """Names of the materialized view tables R1..R6."""
+
+    def __init__(self, nodes, edges, sources, targets, labels, properties):
+        self.nodes = nodes
+        self.edges = edges
+        self.sources = sources
+        self.targets = targets
+        self.labels = labels
+        self.properties = properties
+
+
+class _PatternSQL:
+    """Compiles unary-identifier patterns to SQL over the view tables.
+
+    Every pattern compiles to a SELECT with columns ``src``, ``tgt`` and one
+    column ``v_<name>`` per free variable.
+    """
+
+    def __init__(self, view: _ViewTables):
+        self.view = view
+        self._alias_counter = itertools.count()
+
+    def _alias(self) -> str:
+        return f"p{next(self._alias_counter)}"
+
+    # -- pattern cases ---------------------------------------------------
+    def compile(self, pattern: Pattern) -> Tuple[str, Tuple[str, ...]]:
+        if isinstance(pattern, NodePattern):
+            variables = (pattern.variable,) if pattern.variable else ()
+            binding = f", n.c1 AS v_{pattern.variable}" if pattern.variable else ""
+            sql = f"SELECT n.c1 AS src, n.c1 AS tgt{binding} FROM {self.view.nodes} AS n"
+            return sql, variables
+        if isinstance(pattern, EdgePattern):
+            variables = (pattern.variable,) if pattern.variable else ()
+            binding = f", e.c1 AS v_{pattern.variable}" if pattern.variable else ""
+            src_col, tgt_col = ("s.c2", "t.c2") if pattern.forward else ("t.c2", "s.c2")
+            sql = (
+                f"SELECT {src_col} AS src, {tgt_col} AS tgt{binding} "
+                f"FROM {self.view.edges} AS e "
+                f"JOIN {self.view.sources} AS s ON s.c1 = e.c1 "
+                f"JOIN {self.view.targets} AS t ON t.c1 = e.c1"
+            )
+            return sql, variables
+        if isinstance(pattern, Concatenation):
+            return self._compile_concatenation(pattern)
+        if isinstance(pattern, Disjunction):
+            return self._compile_disjunction(pattern)
+        if isinstance(pattern, Filter):
+            return self._compile_filter(pattern)
+        if isinstance(pattern, Repetition):
+            return self._compile_repetition(pattern)
+        raise _SQLUnsupported(f"pattern node {type(pattern).__name__}")
+
+    def _compile_concatenation(self, pattern: Concatenation) -> Tuple[str, Tuple[str, ...]]:
+        left_sql, left_vars = self.compile(pattern.left)
+        right_sql, right_vars = self.compile(pattern.right)
+        left_alias, right_alias = self._alias(), self._alias()
+        shared = [v for v in right_vars if v in left_vars]
+        conditions = [f"{left_alias}.tgt = {right_alias}.src"]
+        conditions += [f"{left_alias}.v_{v} = {right_alias}.v_{v}" for v in shared]
+        variables = tuple(left_vars) + tuple(v for v in right_vars if v not in left_vars)
+        bindings = [f"{left_alias}.v_{v} AS v_{v}" for v in left_vars]
+        bindings += [f"{right_alias}.v_{v} AS v_{v}" for v in right_vars if v not in left_vars]
+        select_bindings = (", " + ", ".join(bindings)) if bindings else ""
+        sql = (
+            f"SELECT {left_alias}.src AS src, {right_alias}.tgt AS tgt{select_bindings} "
+            f"FROM ({left_sql}) AS {left_alias} JOIN ({right_sql}) AS {right_alias} "
+            f"ON {' AND '.join(conditions)}"
+        )
+        return sql, variables
+
+    def _compile_disjunction(self, pattern: Disjunction) -> Tuple[str, Tuple[str, ...]]:
+        left_sql, left_vars = self.compile(pattern.left)
+        right_sql, right_vars = self.compile(pattern.right)
+        variables = tuple(sorted(set(left_vars)))
+        if set(left_vars) != set(right_vars):
+            raise _SQLUnsupported("disjunction branches with different variables")
+        order = ["src", "tgt"] + [f"v_{v}" for v in variables]
+        columns = ", ".join(order)
+        sql = (
+            f"SELECT {columns} FROM ({left_sql}) UNION SELECT {columns} FROM ({right_sql})"
+        )
+        return sql, variables
+
+    def _compile_filter(self, pattern: Filter) -> Tuple[str, Tuple[str, ...]]:
+        body_sql, variables = self.compile(pattern.body)
+        alias = self._alias()
+        predicate = self._compile_condition(pattern.condition, alias, variables)
+        columns = ", ".join(["src", "tgt"] + [f"v_{v}" for v in variables])
+        sql = f"SELECT {columns} FROM ({body_sql}) AS {alias} WHERE {predicate}"
+        return sql, variables
+
+    def _compile_repetition(self, pattern: Repetition) -> Tuple[str, Tuple[str, ...]]:
+        body_sql, _variables = self.compile(pattern.body)
+        # The repetition erases bindings; only (src, tgt) pairs matter.
+        pair_sql = f"SELECT DISTINCT src, tgt FROM ({body_sql})"
+        if not pattern.is_unbounded:
+            return self._bounded_repetition(pair_sql, pattern.lower, int(pattern.upper)), ()
+        lower = pattern.lower
+        cte = (
+            "WITH RECURSIVE walk(src, tgt, steps) AS ("
+            f" SELECT n.c1, n.c1, 0 FROM {self.view.nodes} AS n"
+            f" UNION SELECT walk.src, pair.tgt, walk.steps + 1"
+            f" FROM walk JOIN ({pair_sql}) AS pair ON walk.tgt = pair.src"
+            f" WHERE walk.steps < (SELECT COUNT(*) FROM {self.view.nodes})"
+            ") "
+            f"SELECT DISTINCT src AS src, tgt AS tgt FROM walk WHERE steps >= {lower}"
+        )
+        return cte, ()
+
+    def _bounded_repetition(self, pair_sql: str, lower: int, upper: int) -> str:
+        selects = []
+        if lower == 0:
+            selects.append(f"SELECT n.c1 AS src, n.c1 AS tgt FROM {self.view.nodes} AS n")
+        current = None
+        for count in range(1, upper + 1):
+            if current is None:
+                current = f"SELECT src, tgt FROM ({pair_sql})"
+            else:
+                previous_alias, pair_alias = self._alias(), self._alias()
+                current = (
+                    f"SELECT {previous_alias}.src AS src, {pair_alias}.tgt AS tgt "
+                    f"FROM ({current}) AS {previous_alias} "
+                    f"JOIN ({pair_sql}) AS {pair_alias} ON {previous_alias}.tgt = {pair_alias}.src"
+                )
+            if count >= max(lower, 1):
+                selects.append(current)
+        return " UNION ".join(f"SELECT DISTINCT src, tgt FROM ({part})" for part in selects)
+
+    # -- conditions --------------------------------------------------------
+    def _compile_condition(
+        self, condition: PatternCondition, alias: str, variables: Tuple[str, ...]
+    ) -> str:
+        def var_column(name: str) -> str:
+            if name not in variables:
+                raise _SQLUnsupported(f"condition variable {name!r} is not bound")
+            return f"{alias}.v_{name}"
+
+        if isinstance(condition, HasLabel):
+            return (
+                f"EXISTS (SELECT 1 FROM {self.view.labels} AS lab "
+                f"WHERE lab.c1 = {var_column(condition.var)} AND lab.c2 = {_sql_literal(condition.label)})"
+            )
+        if isinstance(condition, PropertyCompare):
+            operator = "<>" if condition.operator == "!=" else condition.operator
+            return (
+                f"EXISTS (SELECT 1 FROM {self.view.properties} AS prop "
+                f"WHERE prop.c1 = {var_column(condition.var)} AND prop.c2 = {_sql_literal(condition.key)} "
+                f"AND prop.c3 {operator} {_sql_literal(condition.constant)})"
+            )
+        if isinstance(condition, PropertyEquals):
+            return (
+                f"EXISTS (SELECT 1 FROM {self.view.properties} AS p1, {self.view.properties} AS p2 "
+                f"WHERE p1.c1 = {var_column(condition.left_var)} AND p1.c2 = {_sql_literal(condition.left_key)} "
+                f"AND p2.c1 = {var_column(condition.right_var)} AND p2.c2 = {_sql_literal(condition.right_key)} "
+                f"AND p1.c3 = p2.c3)"
+            )
+        if isinstance(condition, PropertyComparesProperty):
+            operator = "<>" if condition.operator == "!=" else condition.operator
+            return (
+                f"EXISTS (SELECT 1 FROM {self.view.properties} AS p1, {self.view.properties} AS p2 "
+                f"WHERE p1.c1 = {var_column(condition.left_var)} AND p1.c2 = {_sql_literal(condition.left_key)} "
+                f"AND p2.c1 = {var_column(condition.right_var)} AND p2.c2 = {_sql_literal(condition.right_key)} "
+                f"AND p1.c3 {operator} p2.c3)"
+            )
+        if isinstance(condition, AndCondition):
+            left = self._compile_condition(condition.left, alias, variables)
+            right = self._compile_condition(condition.right, alias, variables)
+            return f"({left} AND {right})"
+        if isinstance(condition, OrCondition):
+            left = self._compile_condition(condition.left, alias, variables)
+            right = self._compile_condition(condition.right, alias, variables)
+            return f"({left} OR {right})"
+        if isinstance(condition, NotCondition):
+            return f"NOT ({self._compile_condition(condition.operand, alias, variables)})"
+        raise _SQLUnsupported(f"pattern condition {type(condition).__name__}")
+
+    # -- output patterns ----------------------------------------------------
+    def compile_output(self, output: OutputPattern) -> str:
+        output.validate()
+        body_sql, variables = self.compile(output.pattern)
+        alias = self._alias()
+        items = []
+        joins = []
+        for index, item in enumerate(output.items):
+            if isinstance(item, PropertyRef):
+                prop_alias = f"out_prop{index}"
+                joins.append(
+                    f"JOIN {self.view.properties} AS {prop_alias} "
+                    f"ON {prop_alias}.c1 = {alias}.v_{item.variable} "
+                    f"AND {prop_alias}.c2 = {_sql_literal(item.key)}"
+                )
+                items.append(f"{prop_alias}.c3 AS c{index + 1}")
+            else:
+                items.append(f"{alias}.v_{item} AS c{index + 1}")
+        select_items = ", ".join(items) if items else "1"
+        join_sql = (" " + " ".join(joins)) if joins else ""
+        return f"SELECT DISTINCT {select_items} FROM ({body_sql}) AS {alias}{join_sql}"

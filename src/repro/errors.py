@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every subsystem raises exceptions rooted at :class:`ReproError` so callers can
+catch problems coming from this library without catching unrelated failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised when a property graph is constructed or mutated inconsistently."""
+
+
+class SchemaError(ReproError):
+    """Raised when a relation or database violates its declared schema."""
+
+
+class ArityError(SchemaError):
+    """Raised when a tuple or identifier has the wrong arity."""
+
+
+class ViewError(ReproError):
+    """Raised when relations do not satisfy the property-graph-view conditions.
+
+    The conditions are (1)-(4) of Definition 3.1 / 5.1 of the paper:
+    disjoint node/edge identifier relations, functional source/target
+    relations into the node set, label relation over graph elements, and a
+    property relation that encodes a partial function.
+    """
+
+
+class PatternError(ReproError):
+    """Raised when a pattern or output pattern is syntactically invalid."""
+
+
+class QueryError(ReproError):
+    """Raised when a PGQ query is ill-formed or evaluated incorrectly."""
+
+
+class FragmentError(QueryError):
+    """Raised when a query does not belong to the fragment it is used as."""
+
+
+class LogicError(ReproError):
+    """Raised when an FO[TC] formula is ill-formed or cannot be evaluated."""
+
+
+class TranslationError(ReproError):
+    """Raised when a PGQ <-> FO[TC] translation cannot be produced."""
+
+
+class ParseError(ReproError):
+    """Raised by the SQL/PGQ lexer and parser on malformed input."""
+
+    def __init__(self, message: str, *, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class EngineError(ReproError):
+    """Raised by execution engines (in-memory session or SQLite backend)."""

@@ -1,0 +1,20 @@
+"""Property graph data model (Definition 2.1 and Section 5 of the paper)."""
+
+from repro.graph.identifiers import (
+    Identifier,
+    as_identifier,
+    identifier_arity,
+    same_arity,
+    unwrap_if_unary,
+)
+from repro.graph.property_graph import Edge, PropertyGraph
+
+__all__ = [
+    "Identifier",
+    "as_identifier",
+    "identifier_arity",
+    "same_arity",
+    "unwrap_if_unary",
+    "Edge",
+    "PropertyGraph",
+]

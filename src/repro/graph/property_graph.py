@@ -1,0 +1,329 @@
+"""Property graphs (Definition 2.1 of the paper).
+
+A property graph is a tuple ``G = <N, E, src, tgt, lab, prop>`` where
+
+* ``N`` is a finite set of node identifiers,
+* ``E`` is a finite set of directed edge identifiers (disjoint from ``N``),
+* ``src, tgt : E -> N`` assign a source and target node to every edge,
+* ``lab`` associates a finite set of labels with every node or edge,
+* ``prop`` is a finite partial function from ``(N ∪ E) × K`` to values.
+
+Identifiers are canonical tuples (see :mod:`repro.graph.identifiers`); the
+extended fragment of the paper allows arities greater than one, and this
+class supports that uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.graph.identifiers import Identifier, as_identifier
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge together with its endpoints.
+
+    ``ident``, ``source`` and ``target`` are canonical identifier tuples.
+    """
+
+    ident: Identifier
+    source: Identifier
+    target: Identifier
+
+
+class PropertyGraph:
+    """Mutable property graph with n-ary identifiers.
+
+    The class enforces the structural invariants of Definition 2.1:
+    node and edge identifier sets are disjoint, every edge's endpoints are
+    existing nodes, and properties/labels are attached only to existing
+    elements.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Set[Identifier] = set()
+        self._edges: Dict[Identifier, Edge] = {}
+        self._labels: Dict[Identifier, Set[str]] = {}
+        self._properties: Dict[Tuple[Identifier, str], Any] = {}
+        self._outgoing: Dict[Identifier, Set[Identifier]] = {}
+        self._incoming: Dict[Identifier, Set[Identifier]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_node(
+        self,
+        ident: Any,
+        *,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Any]] = None,
+    ) -> Identifier:
+        """Add a node; returns its canonical identifier.
+
+        Adding an existing node is idempotent for the identifier itself but
+        still merges the provided labels and properties.
+        """
+        node = as_identifier(ident)
+        if node in self._edges:
+            raise GraphError(f"identifier {node!r} is already used by an edge")
+        self._nodes.add(node)
+        self._outgoing.setdefault(node, set())
+        self._incoming.setdefault(node, set())
+        for label in labels:
+            self.add_label(node, label)
+        for key, value in (properties or {}).items():
+            self.set_property(node, key, value)
+        return node
+
+    def add_edge(
+        self,
+        ident: Any,
+        source: Any,
+        target: Any,
+        *,
+        labels: Iterable[str] = (),
+        properties: Optional[Mapping[str, Any]] = None,
+    ) -> Identifier:
+        """Add a directed edge from ``source`` to ``target``.
+
+        Both endpoints must already be nodes of the graph (``src`` and ``tgt``
+        are total functions into ``N`` in Definition 2.1).
+        """
+        edge = as_identifier(ident)
+        src = as_identifier(source)
+        tgt = as_identifier(target)
+        if edge in self._nodes:
+            raise GraphError(f"identifier {edge!r} is already used by a node")
+        if src not in self._nodes:
+            raise GraphError(f"source {src!r} is not a node of the graph")
+        if tgt not in self._nodes:
+            raise GraphError(f"target {tgt!r} is not a node of the graph")
+        existing = self._edges.get(edge)
+        if existing is not None and (existing.source != src or existing.target != tgt):
+            raise GraphError(
+                f"edge {edge!r} already exists with different endpoints "
+                f"({existing.source!r} -> {existing.target!r})"
+            )
+        self._edges[edge] = Edge(edge, src, tgt)
+        self._outgoing[src].add(edge)
+        self._incoming[tgt].add(edge)
+        for label in labels:
+            self.add_label(edge, label)
+        for key, value in (properties or {}).items():
+            self.set_property(edge, key, value)
+        return edge
+
+    def add_label(self, element: Any, label: str) -> None:
+        """Attach ``label`` to an existing node or edge."""
+        ident = as_identifier(element)
+        if not self.has_element(ident):
+            raise GraphError(f"cannot label unknown element {ident!r}")
+        self._labels.setdefault(ident, set()).add(str(label))
+
+    def set_property(self, element: Any, key: str, value: Any) -> None:
+        """Set property ``key`` of an existing node or edge to ``value``."""
+        ident = as_identifier(element)
+        if not self.has_element(ident):
+            raise GraphError(f"cannot set property on unknown element {ident!r}")
+        self._properties[(ident, str(key))] = value
+
+    # ------------------------------------------------------------------ #
+    # Accessors (the six components of Definition 2.1)
+    # ------------------------------------------------------------------ #
+    @property
+    def nodes(self) -> FrozenSet[Identifier]:
+        """The node identifier set ``N``."""
+        return frozenset(self._nodes)
+
+    @property
+    def edges(self) -> FrozenSet[Identifier]:
+        """The edge identifier set ``E``."""
+        return frozenset(self._edges)
+
+    def _edge(self, edge: Any) -> Edge:
+        ident = as_identifier(edge)
+        if ident not in self._edges:
+            raise GraphError(f"unknown edge {ident!r}")
+        return self._edges[ident]
+
+    def source(self, edge: Any) -> Identifier:
+        """``src(e)`` — the source node of an edge."""
+        return self._edge(edge).source
+
+    def target(self, edge: Any) -> Identifier:
+        """``tgt(e)`` — the target node of an edge."""
+        return self._edge(edge).target
+
+    def labels(self, element: Any) -> FrozenSet[str]:
+        """``lab(x)`` — the (possibly empty) label set of a node or edge."""
+        ident = as_identifier(element)
+        if not self.has_element(ident):
+            raise GraphError(f"unknown element {ident!r}")
+        return frozenset(self._labels.get(ident, set()))
+
+    def property(self, element: Any, key: str) -> Any:
+        """``prop(x, k)`` — the property value, or ``None`` when undefined."""
+        ident = as_identifier(element)
+        return self._properties.get((ident, str(key)))
+
+    def has_property(self, element: Any, key: str) -> bool:
+        """Return True when ``prop`` is defined on ``(element, key)``."""
+        return (as_identifier(element), str(key)) in self._properties
+
+    def properties(self, element: Any) -> Dict[str, Any]:
+        """All key/value properties of one element, as a plain dict."""
+        ident = as_identifier(element)
+        return {
+            key: value
+            for (owner, key), value in self._properties.items()
+            if owner == ident
+        }
+
+    # ------------------------------------------------------------------ #
+    # Membership / navigation
+    # ------------------------------------------------------------------ #
+    def has_node(self, ident: Any) -> bool:
+        return as_identifier(ident) in self._nodes
+
+    def has_edge(self, ident: Any) -> bool:
+        return as_identifier(ident) in self._edges
+
+    def has_element(self, ident: Any) -> bool:
+        ident = as_identifier(ident)
+        return ident in self._nodes or ident in self._edges
+
+    def out_edges(self, node: Any) -> FrozenSet[Identifier]:
+        """Edges whose source is ``node``."""
+        return frozenset(self._outgoing.get(as_identifier(node), set()))
+
+    def in_edges(self, node: Any) -> FrozenSet[Identifier]:
+        """Edges whose target is ``node``."""
+        return frozenset(self._incoming.get(as_identifier(node), set()))
+
+    def successors(self, node: Any) -> FrozenSet[Identifier]:
+        """Nodes reachable from ``node`` by a single forward edge."""
+        return frozenset(self._edges[e].target for e in self.out_edges(node))
+
+    def predecessors(self, node: Any) -> FrozenSet[Identifier]:
+        """Nodes that reach ``node`` by a single forward edge."""
+        return frozenset(self._edges[e].source for e in self.in_edges(node))
+
+    def edge_tuples(self) -> Iterator[Edge]:
+        """Iterate over all edges as :class:`Edge` records."""
+        return iter(self._edges.values())
+
+    def elements_with_label(self, label: str) -> FrozenSet[Identifier]:
+        """All nodes and edges carrying ``label``."""
+        return frozenset(
+            ident for ident, labels in self._labels.items() if label in labels
+        )
+
+    # ------------------------------------------------------------------ #
+    # Metrics & invariants
+    # ------------------------------------------------------------------ #
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def out_degree(self, node: Any) -> int:
+        return len(self.out_edges(node))
+
+    def in_degree(self, node: Any) -> int:
+        return len(self.in_edges(node))
+
+    def node_arity(self) -> Optional[int]:
+        """Common arity of node identifiers, or None for an empty node set.
+
+        Raises :class:`GraphError` when nodes mix arities; mixed arities do
+        not arise from ``pgView_=n`` but may be created by hand.
+        """
+        arities = {len(node) for node in self._nodes}
+        if not arities:
+            return None
+        if len(arities) > 1:
+            raise GraphError(f"nodes mix identifier arities: {sorted(arities)}")
+        return arities.pop()
+
+    def edge_arity(self) -> Optional[int]:
+        """Common arity of edge identifiers, or None for an empty edge set."""
+        arities = {len(edge) for edge in self._edges}
+        if not arities:
+            return None
+        if len(arities) > 1:
+            raise GraphError(f"edges mix identifier arities: {sorted(arities)}")
+        return arities.pop()
+
+    def validate(self) -> None:
+        """Re-check all structural invariants; raises :class:`GraphError`."""
+        overlap = self._nodes & set(self._edges)
+        if overlap:
+            raise GraphError(f"node and edge identifier sets overlap: {sorted(overlap)[:3]}")
+        for edge in self._edges.values():
+            if edge.source not in self._nodes:
+                raise GraphError(f"edge {edge.ident!r} has dangling source {edge.source!r}")
+            if edge.target not in self._nodes:
+                raise GraphError(f"edge {edge.ident!r} has dangling target {edge.target!r}")
+        for element in self._labels:
+            if not self.has_element(element):
+                raise GraphError(f"label attached to unknown element {element!r}")
+        for element, _key in self._properties:
+            if not self.has_element(element):
+                raise GraphError(f"property attached to unknown element {element!r}")
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs
+    # ------------------------------------------------------------------ #
+    def subgraph(self, nodes: Iterable[Any]) -> "PropertyGraph":
+        """Induced subgraph on the given node identifiers."""
+        keep = {as_identifier(n) for n in nodes}
+        result = PropertyGraph()
+        for node in self._nodes & keep:
+            result.add_node(node, labels=self._labels.get(node, set()),
+                            properties=self.properties(node))
+        for edge in self._edges.values():
+            if edge.source in keep and edge.target in keep:
+                result.add_edge(edge.ident, edge.source, edge.target,
+                                labels=self._labels.get(edge.ident, set()),
+                                properties=self.properties(edge.ident))
+        return result
+
+    def reversed(self) -> "PropertyGraph":
+        """Graph with every edge direction flipped; labels/properties kept."""
+        result = PropertyGraph()
+        for node in self._nodes:
+            result.add_node(node, labels=self._labels.get(node, set()),
+                            properties=self.properties(node))
+        for edge in self._edges.values():
+            result.add_edge(edge.ident, edge.target, edge.source,
+                            labels=self._labels.get(edge.ident, set()),
+                            properties=self.properties(edge.ident))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Equality / representation
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PropertyGraph):
+            return NotImplemented
+        return (
+            self._nodes == other._nodes
+            and self._edges == other._edges
+            and {k: set(v) for k, v in self._labels.items() if v}
+            == {k: set(v) for k, v in other._labels.items() if v}
+            and self._properties == other._properties
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("PropertyGraph is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(nodes={len(self._nodes)}, edges={len(self._edges)}, "
+            f"labels={sum(len(v) for v in self._labels.values())}, "
+            f"properties={len(self._properties)})"
+        )

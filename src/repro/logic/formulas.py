@@ -1,0 +1,275 @@
+"""First-order logic with transitive closure: formula AST (Section 6.1).
+
+FO formulas over a relational schema are built from relation atoms
+``R(x1, ..., xn)`` and equalities ``x = y`` using Boolean connectives and
+quantifiers.  FO[TC] adds the transitive-closure operator
+
+    TC_{u-bar, v-bar}[ psi(u-bar, v-bar, p-bar) ](x-bar, y-bar)
+
+with ``|u| = |v| = |x| = |y|``, whose semantics is reachability under the
+binary relation on tuples defined by ``psi`` with parameters ``p-bar`` held
+fixed (the formula in the middle of page 12 of the paper).
+
+Terms are either variables or constants; constants are convenient for the
+worked examples and are standard in the ordered setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple, Union
+
+from repro.errors import LogicError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstantTerm:
+    """A constant term denoting a fixed domain element."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+#: Terms are variables or constants.
+Term = Union[Variable, ConstantTerm]
+
+
+def term(value: Union[str, Term, Any]) -> Term:
+    """Coerce a value into a term: strings become variables, Terms pass through.
+
+    Non-string scalars become constants; to use a string constant, build
+    :class:`ConstantTerm` explicitly.
+    """
+    if isinstance(value, (Variable, ConstantTerm)):
+        return value
+    if isinstance(value, str):
+        return Variable(value)
+    return ConstantTerm(value)
+
+
+class Formula:
+    """Base class of FO[TC] formulas."""
+
+    def free_variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+
+def _term_variables(terms: Tuple[Term, ...]) -> FrozenSet[str]:
+    return frozenset(t.name for t in terms if isinstance(t, Variable))
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """``R(t1, ..., tn)``."""
+
+    relation: str
+    terms: Tuple[Term, ...]
+
+    def free_variables(self) -> FrozenSet[str]:
+        return _term_variables(self.terms)
+
+
+@dataclass(frozen=True)
+class Equals(Formula):
+    """``t1 = t2``."""
+
+    left: Term
+    right: Term
+
+    def free_variables(self) -> FrozenSet[str]:
+        return _term_variables((self.left, self.right))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.operand.free_variables()
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.left.free_variables() | self.right.free_variables()
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """``exists x1 ... xk . phi`` (one or more bound variables)."""
+
+    variables: Tuple[str, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise LogicError("existential quantifier needs at least one variable")
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - frozenset(self.variables)
+
+
+@dataclass(frozen=True)
+class ForAll(Formula):
+    """``forall x1 ... xk . phi`` (one or more bound variables)."""
+
+    variables: Tuple[str, ...]
+    body: Formula
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise LogicError("universal quantifier needs at least one variable")
+
+    def free_variables(self) -> FrozenSet[str]:
+        return self.body.free_variables() - frozenset(self.variables)
+
+
+@dataclass(frozen=True)
+class TransitiveClosure(Formula):
+    """``TC_{u-bar, v-bar}[ body ](x-bar, y-bar)``.
+
+    ``source_vars``/``target_vars`` are the bound tuples ``u-bar`` and
+    ``v-bar`` (equal length ``k``); ``start_terms``/``end_terms`` are the
+    tuples the closure is applied to.  Any other free variable of ``body``
+    is a parameter ``p-bar`` held fixed along the closure, exactly as in the
+    paper.  The operator is reflexive: ``TC[...](a, a)`` always holds.
+    """
+
+    source_vars: Tuple[str, ...]
+    target_vars: Tuple[str, ...]
+    body: Formula
+    start_terms: Tuple[Term, ...]
+    end_terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.source_vars),
+            len(self.target_vars),
+            len(self.start_terms),
+            len(self.end_terms),
+        }
+        if len(lengths) != 1:
+            raise LogicError(
+                "TC requires |u| = |v| = |x| = |y|, got "
+                f"{len(self.source_vars)}, {len(self.target_vars)}, "
+                f"{len(self.start_terms)}, {len(self.end_terms)}"
+            )
+        if not self.source_vars:
+            raise LogicError("TC tuples must have arity >= 1")
+        if set(self.source_vars) & set(self.target_vars):
+            raise LogicError("TC source and target variable tuples must be disjoint")
+
+    @property
+    def arity(self) -> int:
+        """The tuple arity ``k`` of the closure (FO[TC_k] membership)."""
+        return len(self.source_vars)
+
+    def parameter_variables(self) -> FrozenSet[str]:
+        """Free variables of the body other than the closure variables."""
+        bound = frozenset(self.source_vars) | frozenset(self.target_vars)
+        return self.body.free_variables() - bound
+
+    def free_variables(self) -> FrozenSet[str]:
+        return (
+            self.parameter_variables()
+            | _term_variables(self.start_terms)
+            | _term_variables(self.end_terms)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Convenience constructors
+# --------------------------------------------------------------------------- #
+def atom(relation: str, *terms: Union[str, Term, Any]) -> RelationAtom:
+    """``R(t1, ..., tn)`` with automatic term coercion."""
+    return RelationAtom(relation, tuple(term(t) for t in terms))
+
+
+def eq(left: Union[str, Term, Any], right: Union[str, Term, Any]) -> Equals:
+    """``t1 = t2`` with automatic term coercion."""
+    return Equals(term(left), term(right))
+
+
+def exists(variables: Union[str, Tuple[str, ...]], body: Formula) -> Exists:
+    if isinstance(variables, str):
+        variables = (variables,)
+    return Exists(tuple(variables), body)
+
+
+def forall(variables: Union[str, Tuple[str, ...]], body: Formula) -> ForAll:
+    if isinstance(variables, str):
+        variables = (variables,)
+    return ForAll(tuple(variables), body)
+
+
+def tc(
+    source_vars: Union[str, Tuple[str, ...]],
+    target_vars: Union[str, Tuple[str, ...]],
+    body: Formula,
+    start_terms: Tuple[Union[str, Term, Any], ...],
+    end_terms: Tuple[Union[str, Term, Any], ...],
+) -> TransitiveClosure:
+    """``TC_{u, v}[body](x, y)`` with automatic coercion of tuples and terms."""
+    if isinstance(source_vars, str):
+        source_vars = (source_vars,)
+    if isinstance(target_vars, str):
+        target_vars = (target_vars,)
+    return TransitiveClosure(
+        tuple(source_vars),
+        tuple(target_vars),
+        body,
+        tuple(term(t) for t in start_terms),
+        tuple(term(t) for t in end_terms),
+    )
+
+
+def iter_subformulas(formula: Formula):
+    """Yield the formula and all subformulas, pre-order."""
+    yield formula
+    if isinstance(formula, (Not,)):
+        yield from iter_subformulas(formula.operand)
+    elif isinstance(formula, (And, Or)):
+        yield from iter_subformulas(formula.left)
+        yield from iter_subformulas(formula.right)
+    elif isinstance(formula, (Exists, ForAll)):
+        yield from iter_subformulas(formula.body)
+    elif isinstance(formula, TransitiveClosure):
+        yield from iter_subformulas(formula.body)
+
+
+def formula_size(formula: Formula) -> int:
+    """Number of AST nodes of a formula."""
+    return sum(1 for _ in iter_subformulas(formula))

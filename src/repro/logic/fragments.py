@@ -1,0 +1,114 @@
+"""Fragment analysis of FO[TC] formulas (Section 6.2).
+
+``FO[TC_n]`` restricts all transitive-closure operators to tuples of arity
+exactly ``n``; the paper's hierarchy (Theorem 6.8) is
+
+    PGQrw = PGQ_1 = FO[TC_1]  ⊊  FO[TC_2] = FO[TC_n] = PGQext   (n >= 2)
+
+on ordered structures.  This module computes the TC arities used by a
+formula, decides membership in ``FO`` (no TC at all) and in ``FO[TC_n]``,
+and provides the canonical separating formulas used in the proofs.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+from repro.logic.formulas import (
+    Formula,
+    RelationAtom,
+    TransitiveClosure,
+    atom,
+    eq,
+    iter_subformulas,
+    tc,
+)
+
+
+def tc_arities(formula: Formula) -> FrozenSet[int]:
+    """The set of tuple arities used by TC operators in the formula."""
+    return frozenset(
+        node.arity for node in iter_subformulas(formula) if isinstance(node, TransitiveClosure)
+    )
+
+
+def max_tc_arity(formula: Formula) -> int:
+    """Largest TC arity used; 0 when the formula is plain first-order."""
+    arities = tc_arities(formula)
+    return max(arities) if arities else 0
+
+
+def is_first_order(formula: Formula) -> bool:
+    """True when the formula uses no transitive closure (plain FO)."""
+    return not tc_arities(formula)
+
+
+def in_fo_tc_n(formula: Formula, n: int) -> bool:
+    """Membership in ``FO[TC_n]``: every TC operator has arity at most ``n``.
+
+    The paper defines ``FO[TC_n]`` with TC tuples of fixed arity ``n``; a
+    lower-arity closure is expressible with arity-``n`` tuples by padding,
+    so we use the standard cumulative reading ``arity <= n``.
+    """
+    if n < 0:
+        return False
+    return max_tc_arity(formula) <= n
+
+
+def tc_operator_count(formula: Formula) -> int:
+    """Number of TC operators in the formula."""
+    return sum(
+        1 for node in iter_subformulas(formula) if isinstance(node, TransitiveClosure)
+    )
+
+
+def relations_used(formula: Formula) -> FrozenSet[str]:
+    """Relation names mentioned by the formula."""
+    return frozenset(
+        node.relation for node in iter_subformulas(formula) if isinstance(node, RelationAtom)
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Canonical formulas used in the paper's separations
+# --------------------------------------------------------------------------- #
+def reachability_formula(edge_relation: str = "E", x: str = "x", y: str = "y") -> Formula:
+    """Unary-TC reachability ``TC_{u,v}[E(u, v)](x, y)`` — in FO[TC_1]."""
+    return tc("u", "v", atom(edge_relation, "u", "v"), (x,), (y,))
+
+
+def pair_reachability_formula(
+    edge_relation: str = "E",
+    x1: str = "x1",
+    x2: str = "x2",
+    y1: str = "y1",
+    y2: str = "y2",
+) -> Formula:
+    """Binary-TC reachability over node pairs (the separator of Theorem 5.2).
+
+    ``TC_{(u1,u2),(v1,v2)}[ E(u1, u2, v1, v2) ]((x1, x2), (y1, y2))`` is in
+    FO[TC_2] and provably not in FO[TC_1] (Graedel-McColm / Immerman).
+    """
+    return tc(
+        ("u1", "u2"),
+        ("v1", "v2"),
+        atom(edge_relation, "u1", "u2", "v1", "v2"),
+        (x1, x2),
+        (y1, y2),
+    )
+
+
+def same_generation_formula(
+    parent_relation: str = "Parent", x: str = "x", y: str = "y"
+) -> Formula:
+    """Same-generation, a classical FO[TC_2] query.
+
+    Two nodes are in the same generation when a pair-path simultaneously
+    walks one step up from each: ``TC_{(u1,u2),(v1,v2)}[Parent(u1, v1) ∧
+    Parent(u2, v2)]((x, y), (r, r))`` for some common ancestor pair (r, r).
+    """
+    body = atom(parent_relation, "u1", "v1") & atom(parent_relation, "u2", "v2")
+    closure = tc(("u1", "u2"), ("v1", "v2"), body, (x, y), ("r1", "r2"))
+    from repro.logic.formulas import exists
+
+    return exists(("r1", "r2"), closure & eq("r1", "r2"))

@@ -1,0 +1,306 @@
+"""Endpoint semantics of patterns (Figure 2 of the paper).
+
+The semantics ``[[psi]]_G`` of a pattern on a property graph ``G`` is a set
+of triples ``(s, t, mu)`` where ``s`` and ``t`` are the source and target
+nodes of a path matching ``psi`` and ``mu`` is a variable mapping for the
+free variables.  The paper's key simplification (footnote 1) is that paths
+are *not* stored: only endpoints and bindings are, which suffices for
+composing patterns and drives the complexity results.
+
+Unbounded repetition ``psi^{n..inf}`` is evaluated by a reachability
+fixpoint over the endpoint-pair relation of the body, which terminates in
+at most ``|N|`` rounds and keeps evaluation within NL data complexity
+(Corollary 6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import PatternError
+from repro.graph.identifiers import Identifier
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.mappings import EMPTY_MAPPING, Mapping, compatible, freeze, thaw, union
+from repro.patterns.ast import (
+    Concatenation,
+    Disjunction,
+    EdgePattern,
+    Filter,
+    NodePattern,
+    OutputPattern,
+    Pattern,
+    PropertyRef,
+    Repetition,
+)
+
+#: A single match triple ``(source, target, frozen mapping)``.
+MatchTriple = Tuple[Identifier, Identifier, Tuple[Tuple[str, Identifier], ...]]
+
+#: The full semantics of a pattern: a frozenset of match triples.
+MatchSet = FrozenSet[MatchTriple]
+
+
+@dataclass
+class EvaluationCounters:
+    """Instrumentation for the complexity experiments (Corollary 6.4).
+
+    The counters record the dominant unit operations of the evaluator:
+    triples produced, compatibility checks during concatenation, and
+    fixpoint rounds for unbounded repetition.
+    """
+
+    triples_produced: int = 0
+    join_checks: int = 0
+    fixpoint_rounds: int = 0
+    condition_checks: int = 0
+
+    def total_operations(self) -> int:
+        return (
+            self.triples_produced
+            + self.join_checks
+            + self.fixpoint_rounds
+            + self.condition_checks
+        )
+
+
+class EndpointEvaluator:
+    """Evaluates patterns under the endpoint semantics of Figure 2."""
+
+    def __init__(self, graph: PropertyGraph, *, counters: Optional[EvaluationCounters] = None):
+        self.graph = graph
+        self.counters = counters if counters is not None else EvaluationCounters()
+
+    # ------------------------------------------------------------------ #
+    # Pattern semantics
+    # ------------------------------------------------------------------ #
+    def evaluate(self, pattern: Pattern) -> MatchSet:
+        """Compute ``[[pattern]]_G`` as a set of (s, t, frozen mapping) triples."""
+        pattern.validate()
+        return self._eval(pattern)
+
+    def _eval(self, pattern: Pattern) -> MatchSet:
+        if isinstance(pattern, NodePattern):
+            return self._eval_node(pattern)
+        if isinstance(pattern, EdgePattern):
+            return self._eval_edge(pattern)
+        if isinstance(pattern, Concatenation):
+            return self._eval_concatenation(pattern)
+        if isinstance(pattern, Disjunction):
+            return self._eval_disjunction(pattern)
+        if isinstance(pattern, Filter):
+            return self._eval_filter(pattern)
+        if isinstance(pattern, Repetition):
+            return self._eval_repetition(pattern)
+        raise PatternError(f"unknown pattern node {pattern!r}")
+
+    def _eval_node(self, pattern: NodePattern) -> MatchSet:
+        triples = set()
+        for node in self.graph.nodes:
+            mapping = {pattern.variable: node} if pattern.variable else {}
+            triples.add((node, node, freeze(mapping)))
+            self.counters.triples_produced += 1
+        return frozenset(triples)
+
+    def _eval_edge(self, pattern: EdgePattern) -> MatchSet:
+        triples = set()
+        for edge in self.graph.edge_tuples():
+            mapping = {pattern.variable: edge.ident} if pattern.variable else {}
+            if pattern.forward:
+                triples.add((edge.source, edge.target, freeze(mapping)))
+            else:
+                triples.add((edge.target, edge.source, freeze(mapping)))
+            self.counters.triples_produced += 1
+        return frozenset(triples)
+
+    def _eval_concatenation(self, pattern: Concatenation) -> MatchSet:
+        left = self._eval(pattern.left)
+        right = self._eval(pattern.right)
+        # Index the right matches by their source node so composition is a
+        # hash join on the shared midpoint rather than a nested loop.
+        by_source: Dict[Identifier, List[MatchTriple]] = {}
+        for triple in right:
+            by_source.setdefault(triple[0], []).append(triple)
+        triples = set()
+        for (source, midpoint, left_frozen) in left:
+            left_mapping = thaw(left_frozen)
+            for (_mid, target, right_frozen) in by_source.get(midpoint, ()):
+                self.counters.join_checks += 1
+                right_mapping = thaw(right_frozen)
+                if compatible(left_mapping, right_mapping):
+                    merged = union(left_mapping, right_mapping)
+                    triples.add((source, target, freeze(merged)))
+                    self.counters.triples_produced += 1
+        return frozenset(triples)
+
+    def _eval_disjunction(self, pattern: Disjunction) -> MatchSet:
+        return self._eval(pattern.left) | self._eval(pattern.right)
+
+    def _eval_filter(self, pattern: Filter) -> MatchSet:
+        matches = self._eval(pattern.body)
+        triples = set()
+        for (source, target, frozen) in matches:
+            self.counters.condition_checks += 1
+            if pattern.condition.satisfied(self.graph, thaw(frozen)):
+                triples.add((source, target, frozen))
+        return frozenset(triples)
+
+    def _eval_repetition(self, pattern: Repetition) -> MatchSet:
+        body = self._eval(pattern.body)
+        # The repetition semantics forgets bindings (mu_emptyset), so only
+        # the endpoint-pair relation of the body matters.
+        base_pairs: Set[Tuple[Identifier, Identifier]] = {(s, t) for (s, t, _mu) in body}
+        empty = freeze(EMPTY_MAPPING)
+
+        identity_pairs = {(node, node) for node in self.graph.nodes}
+
+        if pattern.is_unbounded:
+            pairs = self._pairs_at_least(base_pairs, pattern.lower, identity_pairs)
+        else:
+            pairs = self._pairs_bounded(
+                base_pairs, pattern.lower, int(pattern.upper), identity_pairs
+            )
+        self.counters.triples_produced += len(pairs)
+        return frozenset((source, target, empty) for (source, target) in pairs)
+
+    # ------------------------------------------------------------------ #
+    # Pair-relation helpers for repetition
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _compose_pairs(
+        pairs: Set[Tuple[Identifier, Identifier]],
+        base: Set[Tuple[Identifier, Identifier]],
+    ) -> Set[Tuple[Identifier, Identifier]]:
+        """One composition step: pairs . base (relational composition)."""
+        by_source: Dict[Identifier, List[Identifier]] = {}
+        for (source, target) in base:
+            by_source.setdefault(source, []).append(target)
+        result = set()
+        for (source, midpoint) in pairs:
+            for target in by_source.get(midpoint, ()):
+                result.add((source, target))
+        return result
+
+    def _pairs_bounded(
+        self,
+        base: Set[Tuple[Identifier, Identifier]],
+        lower: int,
+        upper: int,
+        identity: Set[Tuple[Identifier, Identifier]],
+    ) -> Set[Tuple[Identifier, Identifier]]:
+        """Endpoint pairs of ``psi^{lower..upper}`` for finite bounds."""
+        result: Set[Tuple[Identifier, Identifier]] = set()
+        current = set(identity)  # pairs for exactly 0 repetitions
+        for count in range(0, upper + 1):
+            if count >= lower:
+                result |= current
+            if count < upper:
+                current = self._compose_pairs(current, base)
+                self.counters.fixpoint_rounds += 1
+                if not current:
+                    break
+        return result
+
+    def _pairs_at_least(
+        self,
+        base: Set[Tuple[Identifier, Identifier]],
+        lower: int,
+        identity: Set[Tuple[Identifier, Identifier]],
+    ) -> Set[Tuple[Identifier, Identifier]]:
+        """Endpoint pairs of ``psi^{lower..inf}``.
+
+        Computed as (pairs for exactly ``lower`` repetitions) composed with
+        the reflexive-transitive closure of the base pair relation.
+        """
+        exact_lower = set(identity)
+        for _ in range(lower):
+            exact_lower = self._compose_pairs(exact_lower, base)
+            self.counters.fixpoint_rounds += 1
+            if not exact_lower:
+                return set()
+        closure = self._reflexive_transitive_closure(base)
+        return self._compose_with_closure(exact_lower, closure)
+
+    def _reflexive_transitive_closure(
+        self, base: Set[Tuple[Identifier, Identifier]]
+    ) -> Dict[Identifier, Set[Identifier]]:
+        """Reachability map of the base pair relation, including 0 steps.
+
+        Semi-naive iteration: each round only extends from newly discovered
+        targets, so the work is proportional to the closure size.
+        """
+        adjacency: Dict[Identifier, Set[Identifier]] = {}
+        for (source, target) in base:
+            adjacency.setdefault(source, set()).add(target)
+        reachable: Dict[Identifier, Set[Identifier]] = {}
+        nodes = set(self.graph.nodes) | set(adjacency)
+        for start in nodes:
+            seen: Set[Identifier] = {start}
+            frontier = [start]
+            while frontier:
+                self.counters.fixpoint_rounds += 1
+                next_frontier = []
+                for node in frontier:
+                    for successor in adjacency.get(node, ()):
+                        if successor not in seen:
+                            seen.add(successor)
+                            next_frontier.append(successor)
+                frontier = next_frontier
+            reachable[start] = seen
+        return reachable
+
+    @staticmethod
+    def _compose_with_closure(
+        pairs: Set[Tuple[Identifier, Identifier]],
+        closure: Dict[Identifier, Set[Identifier]],
+    ) -> Set[Tuple[Identifier, Identifier]]:
+        result = set()
+        for (source, midpoint) in pairs:
+            for target in closure.get(midpoint, {midpoint}):
+                result.add((source, target))
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Output patterns
+    # ------------------------------------------------------------------ #
+    def evaluate_output(self, output: OutputPattern) -> FrozenSet[Tuple]:
+        """``[[psi_Omega]]_G``: tuples of identifiers / property values.
+
+        Unary identifiers are unwrapped to plain values so results line up
+        with the relational layer; n-ary identifiers are flattened into the
+        output tuple (the extended semantics of Section 5, where outputs are
+        k-tuples per identifier component group).
+        """
+        output.validate()
+        matches = self._eval(output.pattern)
+        rows: Set[Tuple] = set()
+        for (_source, _target, frozen) in matches:
+            mapping = thaw(frozen)
+            row: List = []
+            defined = True
+            for item in output.items:
+                if isinstance(item, PropertyRef):
+                    element = mapping.get(item.variable)
+                    if element is None or not self.graph.has_property(element, item.key):
+                        defined = False
+                        break
+                    row.append(self.graph.property(element, item.key))
+                else:
+                    element = mapping.get(item)
+                    if element is None:
+                        defined = False
+                        break
+                    row.extend(element)
+            if defined:
+                rows.add(tuple(row))
+        return frozenset(rows)
+
+
+def evaluate_pattern(graph: PropertyGraph, pattern: Pattern) -> MatchSet:
+    """Convenience wrapper: ``[[pattern]]_G`` with a fresh evaluator."""
+    return EndpointEvaluator(graph).evaluate(pattern)
+
+
+def evaluate_output_pattern(graph: PropertyGraph, output: OutputPattern) -> FrozenSet[Tuple]:
+    """Convenience wrapper: ``[[psi_Omega]]_G`` with a fresh evaluator."""
+    return EndpointEvaluator(graph).evaluate_output(output)

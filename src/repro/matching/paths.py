@@ -1,0 +1,237 @@
+"""Path semantics of patterns (Figure 6, Appendix 9.1 of the paper).
+
+Unlike the endpoint semantics of Figure 2, the path semantics
+``[[psi]]^path_G`` materializes the full matched path ``p`` together with
+the variable mapping.  Proposition 9.1 proves that projecting each pair
+``(p, mu)`` to ``(src(p), tgt(p), mu)`` yields exactly the endpoint
+semantics; :func:`project_endpoints` implements that projection and the
+test-suite checks the equivalence on generated graphs and patterns.
+
+Because a graph with cycles has infinitely many paths, unbounded
+repetition is enumerated only up to ``max_repetitions`` iterations
+(defaulting to the node count, which is sufficient for the endpoint
+projection to saturate).  The evaluator is intended for validation and for
+the semantics-equivalence benchmark, not for production evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.errors import PatternError
+from repro.graph.identifiers import Identifier
+from repro.graph.property_graph import PropertyGraph
+from repro.matching.endpoint import MatchSet, MatchTriple
+from repro.matching.mappings import EMPTY_MAPPING, Mapping, compatible, freeze, thaw, union
+from repro.patterns.ast import (
+    Concatenation,
+    Disjunction,
+    EdgePattern,
+    Filter,
+    NodePattern,
+    OutputPattern,
+    Pattern,
+    PropertyRef,
+    Repetition,
+)
+
+
+@dataclass(frozen=True)
+class Path:
+    """A path: an alternating sequence of nodes and edges.
+
+    ``nodes`` has one more element than ``edges``.  A single-vertex path has
+    one node and no edges.
+    """
+
+    nodes: Tuple[Identifier, ...]
+    edges: Tuple[Identifier, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise PatternError("a path must contain at least one node")
+        if len(self.nodes) != len(self.edges) + 1:
+            raise PatternError(
+                f"path with {len(self.nodes)} nodes must have {len(self.nodes) - 1} edges, "
+                f"got {len(self.edges)}"
+            )
+
+    @property
+    def source(self) -> Identifier:
+        """``src(p)``: the first node of the path."""
+        return self.nodes[0]
+
+    @property
+    def target(self) -> Identifier:
+        """``tgt(p)``: the last node of the path."""
+        return self.nodes[-1]
+
+    @property
+    def length(self) -> int:
+        """Number of edges on the path."""
+        return len(self.edges)
+
+    def concat(self, other: "Path") -> "Path":
+        """``p1 . p2``: concatenation, requires ``tgt(p1) = src(p2)``."""
+        if self.target != other.source:
+            raise PatternError(
+                f"cannot concatenate paths: target {self.target!r} != source {other.source!r}"
+            )
+        return Path(self.nodes + other.nodes[1:], self.edges + other.edges)
+
+    @staticmethod
+    def single(node: Identifier) -> "Path":
+        """The single-vertex path on ``node``."""
+        return Path((node,), ())
+
+
+#: A path-semantics match: the path plus a frozen variable mapping.
+PathMatch = Tuple[Path, Tuple[Tuple[str, Identifier], ...]]
+PathMatchSet = FrozenSet[PathMatch]
+
+
+class PathEvaluator:
+    """Evaluates patterns under the path semantics of Figure 6."""
+
+    def __init__(self, graph: PropertyGraph, *, max_repetitions: Optional[int] = None):
+        self.graph = graph
+        if max_repetitions is None:
+            max_repetitions = max(graph.node_count(), 1)
+        self.max_repetitions = max_repetitions
+
+    def evaluate(self, pattern: Pattern) -> PathMatchSet:
+        """Compute ``[[pattern]]^path_G``."""
+        pattern.validate()
+        return self._eval(pattern)
+
+    def _eval(self, pattern: Pattern) -> PathMatchSet:
+        if isinstance(pattern, NodePattern):
+            return self._eval_node(pattern)
+        if isinstance(pattern, EdgePattern):
+            return self._eval_edge(pattern)
+        if isinstance(pattern, Concatenation):
+            return self._eval_concatenation(pattern)
+        if isinstance(pattern, Disjunction):
+            return self._eval(pattern.left) | self._eval(pattern.right)
+        if isinstance(pattern, Filter):
+            return self._eval_filter(pattern)
+        if isinstance(pattern, Repetition):
+            return self._eval_repetition(pattern)
+        raise PatternError(f"unknown pattern node {pattern!r}")
+
+    def _eval_node(self, pattern: NodePattern) -> PathMatchSet:
+        matches = set()
+        for node in self.graph.nodes:
+            mapping = {pattern.variable: node} if pattern.variable else {}
+            matches.add((Path.single(node), freeze(mapping)))
+        return frozenset(matches)
+
+    def _eval_edge(self, pattern: EdgePattern) -> PathMatchSet:
+        matches = set()
+        for edge in self.graph.edge_tuples():
+            mapping = {pattern.variable: edge.ident} if pattern.variable else {}
+            if pattern.forward:
+                path = Path((edge.source, edge.target), (edge.ident,))
+            else:
+                path = Path((edge.target, edge.source), (edge.ident,))
+            matches.add((path, freeze(mapping)))
+        return frozenset(matches)
+
+    def _eval_concatenation(self, pattern: Concatenation) -> PathMatchSet:
+        left = self._eval(pattern.left)
+        right = self._eval(pattern.right)
+        by_source: Dict[Identifier, List[PathMatch]] = {}
+        for match in right:
+            by_source.setdefault(match[0].source, []).append(match)
+        matches = set()
+        for (left_path, left_frozen) in left:
+            left_mapping = thaw(left_frozen)
+            for (right_path, right_frozen) in by_source.get(left_path.target, ()):
+                right_mapping = thaw(right_frozen)
+                if compatible(left_mapping, right_mapping):
+                    merged = union(left_mapping, right_mapping)
+                    matches.add((left_path.concat(right_path), freeze(merged)))
+        return frozenset(matches)
+
+    def _eval_filter(self, pattern: Filter) -> PathMatchSet:
+        matches = self._eval(pattern.body)
+        return frozenset(
+            (path, frozen)
+            for (path, frozen) in matches
+            if pattern.condition.satisfied(self.graph, thaw(frozen))
+        )
+
+    def _eval_repetition(self, pattern: Repetition) -> PathMatchSet:
+        body = self._eval(pattern.body)
+        empty = freeze(EMPTY_MAPPING)
+        if pattern.is_unbounded:
+            upper = max(self.max_repetitions, pattern.lower)
+        else:
+            upper = int(pattern.upper)
+
+        matches: Set[PathMatch] = set()
+        # Exactly 0 repetitions: every single-vertex path (src(p) = tgt(p)).
+        current: Set[Path] = {Path.single(node) for node in self.graph.nodes}
+        if pattern.lower == 0:
+            matches.update((path, empty) for path in current)
+        for count in range(1, upper + 1):
+            next_paths: Set[Path] = set()
+            by_source: Dict[Identifier, List[Path]] = {}
+            for (body_path, _mu) in body:
+                by_source.setdefault(body_path.source, []).append(body_path)
+            for prefix in current:
+                for body_path in by_source.get(prefix.target, ()):
+                    next_paths.add(prefix.concat(body_path))
+            current = next_paths
+            if not current:
+                break
+            if count >= pattern.lower:
+                matches.update((path, empty) for path in current)
+        return frozenset(matches)
+
+    def evaluate_output(self, output: OutputPattern) -> FrozenSet[Tuple]:
+        """``[[psi_Omega]]^path_G``: output tuples under the path semantics."""
+        output.validate()
+        matches = self._eval(output.pattern)
+        rows: Set[Tuple] = set()
+        for (_path, frozen) in matches:
+            mapping = thaw(frozen)
+            row: List = []
+            defined = True
+            for item in output.items:
+                if isinstance(item, PropertyRef):
+                    element = mapping.get(item.variable)
+                    if element is None or not self.graph.has_property(element, item.key):
+                        defined = False
+                        break
+                    row.append(self.graph.property(element, item.key))
+                else:
+                    element = mapping.get(item)
+                    if element is None:
+                        defined = False
+                        break
+                    row.extend(element)
+            if defined:
+                rows.add(tuple(row))
+        return frozenset(rows)
+
+
+def project_endpoints(matches: PathMatchSet) -> MatchSet:
+    """``pi_end``: project path matches to endpoint triples (Prop. 9.1)."""
+    return frozenset(
+        (path.source, path.target, frozen) for (path, frozen) in matches
+    )
+
+
+def endpoint_path_equivalent(graph: PropertyGraph, pattern: Pattern) -> bool:
+    """Check Proposition 9.1 on one graph and pattern.
+
+    Returns True when ``pi_end([[psi]]^path_G) = [[psi]]_G``; used by tests
+    and the semantics-equivalence benchmark.
+    """
+    from repro.matching.endpoint import EndpointEvaluator
+
+    endpoint = EndpointEvaluator(graph).evaluate(pattern)
+    paths = PathEvaluator(graph).evaluate(pattern)
+    return project_endpoints(paths) == endpoint

@@ -1,0 +1,132 @@
+"""A small fluent DSL for building patterns.
+
+The textual syntax of Figure 1 is terse; this module offers readable
+constructors so examples and tests mirror the paper's notation closely::
+
+    from repro.patterns import builder as P
+
+    # ((x) -t-> (y))^{1..inf} with a filter, output (x.iban, y.iban)
+    pattern = P.seq(P.node("x"), P.edge("t"), P.node("y"))
+    query = P.seq(P.node("x"), P.edge("t").plus_path(), P.node("y"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.patterns.ast import (
+    Concatenation,
+    Disjunction,
+    EdgePattern,
+    Filter,
+    NodePattern,
+    OutputPattern,
+    Pattern,
+    PropertyRef,
+    Repetition,
+    INFINITY,
+)
+from repro.patterns.conditions import (
+    HasLabel,
+    PatternCondition,
+    PropertyCompare,
+    PropertyComparesProperty,
+    PropertyEquals,
+)
+
+
+def node(variable: Optional[str] = None) -> NodePattern:
+    """``(x)`` — a node pattern, optionally binding ``variable``."""
+    return NodePattern(variable)
+
+
+def edge(variable: Optional[str] = None) -> EdgePattern:
+    """``-x->`` — a forward edge pattern."""
+    return EdgePattern(variable, forward=True)
+
+
+def back_edge(variable: Optional[str] = None) -> EdgePattern:
+    """``<-x-`` — a backward edge pattern."""
+    return EdgePattern(variable, forward=False)
+
+
+def seq(first: Pattern, *rest: Pattern) -> Pattern:
+    """Left-associated concatenation of one or more patterns."""
+    result = first
+    for pattern in rest:
+        result = Concatenation(result, pattern)
+    return result
+
+
+def either(left: Pattern, right: Pattern) -> Disjunction:
+    """``psi1 + psi2`` — disjunction."""
+    return Disjunction(left, right)
+
+
+def repeat(body: Pattern, lower: int = 0, upper: float = INFINITY) -> Repetition:
+    """``psi^{lower..upper}`` — bounded or unbounded repetition."""
+    return Repetition(body, lower, upper)
+
+
+def star(body: Pattern) -> Repetition:
+    """``psi*`` — zero-or-more repetition."""
+    return Repetition(body, 0, INFINITY)
+
+
+def plus(body: Pattern) -> Repetition:
+    """``psi^{1..inf}`` — one-or-more repetition."""
+    return Repetition(body, 1, INFINITY)
+
+
+def where(body: Pattern, condition: PatternCondition) -> Filter:
+    """``psi<theta>`` — filtered pattern."""
+    return Filter(body, condition)
+
+
+def output(pattern: Pattern, *items: Union[str, PropertyRef]) -> OutputPattern:
+    """``psi_Omega`` — output pattern projecting the given items."""
+    return OutputPattern(pattern, tuple(items))
+
+
+def prop(variable: str, key: str) -> PropertyRef:
+    """Output item ``x.key``."""
+    return PropertyRef(variable, key)
+
+
+def label(variable: str, name: str) -> HasLabel:
+    """Condition ``name(variable)``."""
+    return HasLabel(variable, name)
+
+
+def prop_eq(left_var: str, left_key: str, right_var: str, right_key: str) -> PropertyEquals:
+    """Condition ``left_var.left_key = right_var.right_key``."""
+    return PropertyEquals(left_var, left_key, right_var, right_key)
+
+
+def prop_cmp(variable: str, key: str, operator: str, constant) -> PropertyCompare:
+    """Condition ``variable.key  operator  constant`` (e.g. amount > 100)."""
+    return PropertyCompare(variable, key, operator, constant)
+
+
+def prop_cmp_prop(
+    left_var: str, left_key: str, operator: str, right_var: str, right_key: str
+) -> PropertyComparesProperty:
+    """Condition ``left_var.left_key  operator  right_var.right_key``."""
+    return PropertyComparesProperty(left_var, left_key, operator, right_var, right_key)
+
+
+def reachability(source_var: str = "x", target_var: str = "y") -> OutputPattern:
+    """The reachability output pattern ``((x) (-> )* (y))_{x, y}``.
+
+    This is the pattern ``psi_reach`` used in the FO[TC] -> PGQext
+    translation (Lemma 9.4): all pairs connected by a (possibly empty)
+    directed path.
+    """
+    pattern = seq(node(source_var), star(seq(edge(), node())), node(target_var))
+    return OutputPattern(pattern, (source_var, target_var))
+
+
+def nonempty_reachability(source_var: str = "x", target_var: str = "y") -> OutputPattern:
+    """Reachability by at least one edge: ``((x) (-> )^{1..inf} (y))_{x, y}``."""
+    pattern = seq(node(source_var), plus(seq(edge(), node())), node(target_var))
+    return OutputPattern(pattern, (source_var, target_var))

@@ -1,0 +1,279 @@
+"""PGQ query abstract syntax (Figure 3 of the paper).
+
+The three fragments share one AST:
+
+* ``PGQro``: relational algebra over base relations plus pattern matching
+  applied to a tuple of *base relation names* ``psi_Omega(R1, ..., R6)``.
+* ``PGQrw``: adds individual constants and pattern matching over arbitrary
+  subqueries ``psi_Omega(Q1, ..., Q6)`` (unary identifiers).
+* ``PGQext``: pattern matching over subqueries whose identifier arity may
+  be any ``n >= 1`` (``psi^ext_Omega``).
+
+Fragment membership is *checked*, not encoded in separate classes: the
+:mod:`repro.pgq.fragments` module classifies a query, and
+:class:`GraphPattern` carries an optional ``max_arity`` bound so a query can
+be pinned to ``PGQ_n`` (Section 6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from repro.errors import QueryError
+from repro.patterns.ast import OutputPattern, PropertyRef
+from repro.relational.conditions import Condition
+
+
+class Query:
+    """Base class for PGQ queries."""
+
+    def children(self) -> Tuple["Query", ...]:
+        """Direct subqueries, used by generic traversals."""
+        return ()
+
+    def relation_names(self) -> FrozenSet[str]:
+        """Base relation names referenced anywhere in the query."""
+        names: set = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, BaseRelation):
+                names.add(node.name)
+            stack.extend(node.children())
+        return frozenset(names)
+
+    # Fluent combinators -------------------------------------------------
+    def project(self, *positions: int) -> "Project":
+        return Project(self, tuple(positions))
+
+    def select(self, condition: Condition) -> "Select":
+        return Select(self, condition)
+
+    def product(self, other: "Query") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Query") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Query") -> "Difference":
+        return Difference(self, other)
+
+    def intersection(self, other: "Query") -> "Difference":
+        return Difference(self, Difference(self, other))
+
+
+@dataclass(frozen=True)
+class BaseRelation(Query):
+    """A stored relation ``R`` referenced by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Constant(Query):
+    """An individual constant ``c`` (PGQrw addition, Figure 3).
+
+    Evaluates to the singleton unary relation ``{(c,)}``; the paper requires
+    ``c`` to come from the active domain, which the evaluator checks.
+    """
+
+    value: Any
+    require_active: bool = True
+
+
+@dataclass(frozen=True)
+class ConstantRelation(Query):
+    """An inline constant relation of arbitrary arity.
+
+    Constant *tuples* are definable in PGQrw from individual constants and
+    Cartesian product; this node is provided as a convenience and is
+    expanded that way by the fragment analysis.
+    """
+
+    rows: Tuple[Tuple[Any, ...], ...]
+    arity: int
+
+
+@dataclass(frozen=True)
+class ActiveDomainQuery(Query):
+    """The unary active-domain relation ``adom(D)``.
+
+    Used by the FO[TC] -> PGQ translation (Theorem 6.2), where it is the
+    query ``Q_A = union over R, i of pi_i(R)``; we keep it as a primitive
+    node for readability and expand it during fragment analysis.
+    """
+
+
+@dataclass(frozen=True)
+class EmptyRelation(Query):
+    """The empty relation of a declared arity (used for empty R5/R6 views)."""
+
+    arity: int
+
+
+@dataclass(frozen=True)
+class Project(Query):
+    """Positional projection ``pi_{$i1,...,$ik}(Q)``."""
+
+    operand: Query
+    positions: Tuple[int, ...]
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Select(Query):
+    """Selection ``sigma_theta(Q)`` for a positional condition."""
+
+    operand: Query
+    condition: Condition
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.operand,)
+
+
+@dataclass(frozen=True)
+class Product(Query):
+    """Cartesian product ``Q x Q'``."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Union(Query):
+    """Union ``Q ∪ Q'``."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Difference(Query):
+    """Difference ``Q - Q'``."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> Tuple[Query, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class GraphPattern(Query):
+    """Pattern matching over a dynamically constructed property graph view.
+
+    ``sources`` are the six subqueries ``(Q1, ..., Q6)`` whose results are
+    fed to ``pgView_ext`` (or ``pgView_n`` when ``max_arity`` is set); the
+    output pattern is then evaluated on the resulting graph (Figure 4).
+
+    * In ``PGQro`` every source must be a :class:`BaseRelation`.
+    * In ``PGQrw`` the identifier arity must be 1 (``pgView``).
+    * In ``PGQ_n`` it must be at most ``n``; ``PGQext`` places no bound.
+    """
+
+    output: OutputPattern
+    sources: Tuple[Query, Query, Query, Query, Query, Query]
+    max_arity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if len(self.sources) != 6:
+            raise QueryError(
+                f"pattern matching needs exactly 6 view subqueries, got {len(self.sources)}"
+            )
+        if self.max_arity is not None and self.max_arity < 1:
+            raise QueryError(f"max identifier arity must be >= 1, got {self.max_arity}")
+
+    def children(self) -> Tuple[Query, ...]:
+        return tuple(self.sources)
+
+
+def graph_pattern_on_relations(
+    output: OutputPattern,
+    relation_names: Tuple[str, str, str, str, str, str],
+    *,
+    max_arity: Optional[int] = None,
+) -> GraphPattern:
+    """``psi_Omega(R1, ..., R6)`` — the PGQro form over base relations."""
+    sources = tuple(BaseRelation(name) for name in relation_names)
+    return GraphPattern(output, sources, max_arity=max_arity)
+
+
+def iter_queries(query: Query):
+    """Yield the query and all subqueries, pre-order."""
+    stack = [query]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def query_size(query: Query) -> int:
+    """Number of AST nodes in the query (pattern nodes not included)."""
+    return sum(1 for _ in iter_queries(query))
+
+
+def static_query_arity(query: Query, schema) -> int:
+    """Arity of a query's result, computed statically from a schema.
+
+    Used by the fragment analysis and by the PGQ -> FO[TC] translation
+    (Theorem 6.1), both of which need to know how many columns -- and hence
+    how many first-order variables -- a subquery contributes.
+    ``schema`` is a :class:`repro.relational.schema.Schema`.
+    """
+    if isinstance(query, BaseRelation):
+        return schema.arity(query.name)
+    if isinstance(query, Constant):
+        return 1
+    if isinstance(query, ConstantRelation):
+        return query.arity
+    if isinstance(query, ActiveDomainQuery):
+        return 1
+    if isinstance(query, EmptyRelation):
+        return query.arity
+    if isinstance(query, Project):
+        return len(query.positions)
+    if isinstance(query, Select):
+        return static_query_arity(query.operand, schema)
+    if isinstance(query, Product):
+        return static_query_arity(query.left, schema) + static_query_arity(query.right, schema)
+    if isinstance(query, (Union, Difference)):
+        left = static_query_arity(query.left, schema)
+        right = static_query_arity(query.right, schema)
+        if left != right:
+            raise QueryError(f"union/difference of incompatible arities {left} and {right}")
+        return left
+    if isinstance(query, GraphPattern):
+        identifier_arity = static_query_arity(query.sources[0], schema)
+        return output_arity(query.output, identifier_arity)
+    raise QueryError(f"cannot compute the arity of {query!r}")
+
+
+def static_identifier_arity(pattern: "GraphPattern", schema) -> int:
+    """Identifier arity of the view built by a ``GraphPattern``, statically.
+
+    The arity is that of the node-identifier subquery ``Q1`` (Definition
+    5.1 fixes the other five arities relative to it).
+    """
+    return static_query_arity(pattern.sources[0], schema)
+
+
+def output_arity(output: OutputPattern, identifier_arity: int) -> int:
+    """Arity of the relation produced by an output pattern.
+
+    Each plain variable contributes ``identifier_arity`` columns (the
+    identifier components), each property reference contributes one column
+    (Section 5: outputs over k-ary graphs are flattened k-tuples).
+    """
+    arity = 0
+    for item in output.items:
+        arity += 1 if isinstance(item, PropertyRef) else identifier_arity
+    return arity

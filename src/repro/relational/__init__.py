@@ -1,0 +1,60 @@
+"""Relational substrate: relations, schemas, databases, relational algebra."""
+
+from repro.relational.algebra import (
+    ActiveDomain,
+    ConstantTuple,
+    Difference,
+    Literal,
+    NaturalJoin,
+    Product,
+    Project,
+    RAExpression,
+    RelationRef,
+    Select,
+    Union,
+)
+from repro.relational.conditions import (
+    And,
+    ColumnCompare,
+    ColumnCompareConstant,
+    ColumnEquals,
+    ColumnEqualsConstant,
+    Condition,
+    Not,
+    Or,
+    TrueCondition,
+    conjoin,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation, Row, as_row
+from repro.relational.schema import RelationSchema, Schema
+
+__all__ = [
+    "ActiveDomain",
+    "And",
+    "ColumnCompare",
+    "ColumnCompareConstant",
+    "ColumnEquals",
+    "ColumnEqualsConstant",
+    "Condition",
+    "ConstantTuple",
+    "Database",
+    "Difference",
+    "Literal",
+    "NaturalJoin",
+    "Not",
+    "Or",
+    "Product",
+    "Project",
+    "RAExpression",
+    "Relation",
+    "RelationRef",
+    "RelationSchema",
+    "Row",
+    "Schema",
+    "Select",
+    "TrueCondition",
+    "Union",
+    "as_row",
+    "conjoin",
+]

@@ -1,0 +1,261 @@
+"""Relational algebra expressions and their evaluator.
+
+This is the ``RA`` fragment referenced throughout the paper: union,
+difference, Cartesian product, positional projection and selection over
+base relations.  Expressions form an immutable AST evaluated against a
+:class:`~repro.relational.database.Database`.  The PGQ evaluator reuses
+these operators for the relational layer of the language (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.errors import ArityError, QueryError
+from repro.relational.conditions import Condition
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class RAExpression:
+    """Base class for relational algebra expressions."""
+
+    def evaluate(self, database: Database) -> Relation:
+        """Evaluate the expression on a database and return a relation."""
+        raise NotImplementedError
+
+    def arity(self, database: Database) -> int:
+        """Arity of the expression result given a database's schema."""
+        raise NotImplementedError
+
+    def relation_names(self) -> FrozenSet[str]:
+        """Base relation names mentioned by the expression."""
+        raise NotImplementedError
+
+    # Fluent combinators ------------------------------------------------------
+    def project(self, *positions: int) -> "Project":
+        return Project(self, tuple(positions))
+
+    def select(self, condition: Condition) -> "Select":
+        return Select(self, condition)
+
+    def product(self, other: "RAExpression") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "RAExpression") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "RAExpression") -> "Difference":
+        return Difference(self, other)
+
+    def intersection(self, other: "RAExpression") -> "Difference":
+        return Difference(self, Difference(self, other))
+
+
+@dataclass(frozen=True)
+class RelationRef(RAExpression):
+    """A reference to a base relation by name."""
+
+    name: str
+
+    def evaluate(self, database: Database) -> Relation:
+        return database.relation(self.name)
+
+    def arity(self, database: Database) -> int:
+        return database.relation(self.name).arity
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+
+@dataclass(frozen=True)
+class Literal(RAExpression):
+    """An inline constant relation, independent of the database."""
+
+    relation: Relation
+
+    def evaluate(self, database: Database) -> Relation:
+        return self.relation
+
+    def arity(self, database: Database) -> int:
+        return self.relation.arity
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class ConstantTuple(RAExpression):
+    """The singleton relation ``{(c1, ..., ck)}`` of constants.
+
+    PGQrw adds individual constants ``c`` to the query grammar (Figure 3);
+    this node generalizes that to constant tuples, which is convenient when
+    assembling graph views from fixed values.
+    """
+
+    values: Tuple[Any, ...]
+
+    def evaluate(self, database: Database) -> Relation:
+        return Relation(len(self.values), [self.values])
+
+    def arity(self, database: Database) -> int:
+        return len(self.values)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class ActiveDomain(RAExpression):
+    """The unary active-domain relation ``adom(D)``.
+
+    Used by the FO[TC] -> PGQ translation (Theorem 6.2), where negation and
+    universal quantification are relativized to the active domain.
+    """
+
+    def evaluate(self, database: Database) -> Relation:
+        return database.adom_relation()
+
+    def arity(self, database: Database) -> int:
+        return 1
+
+    def relation_names(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+@dataclass(frozen=True)
+class Project(RAExpression):
+    """Positional projection ``pi_{$i1,...,$ik}(Q)`` (1-based)."""
+
+    operand: RAExpression
+    positions: Tuple[int, ...]
+
+    def evaluate(self, database: Database) -> Relation:
+        return self.operand.evaluate(database).project(self.positions)
+
+    def arity(self, database: Database) -> int:
+        return len(self.positions)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.operand.relation_names()
+
+
+@dataclass(frozen=True)
+class Select(RAExpression):
+    """Selection ``sigma_theta(Q)`` for a positional condition theta."""
+
+    operand: RAExpression
+    condition: Condition
+
+    def evaluate(self, database: Database) -> Relation:
+        relation = self.operand.evaluate(database)
+        if self.condition.max_position() > relation.arity:
+            raise QueryError(
+                f"selection condition mentions ${self.condition.max_position()} "
+                f"but the operand has arity {relation.arity}"
+            )
+        return relation.select(self.condition.evaluate)
+
+    def arity(self, database: Database) -> int:
+        return self.operand.arity(database)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.operand.relation_names()
+
+
+@dataclass(frozen=True)
+class Product(RAExpression):
+    """Cartesian product ``Q x Q'``."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def evaluate(self, database: Database) -> Relation:
+        return self.left.evaluate(database).product(self.right.evaluate(database))
+
+    def arity(self, database: Database) -> int:
+        return self.left.arity(database) + self.right.arity(database)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+
+@dataclass(frozen=True)
+class Union(RAExpression):
+    """Union ``Q ∪ Q'`` of two expressions of equal arity."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def evaluate(self, database: Database) -> Relation:
+        return self.left.evaluate(database).union(self.right.evaluate(database))
+
+    def arity(self, database: Database) -> int:
+        left = self.left.arity(database)
+        right = self.right.arity(database)
+        if left != right:
+            raise ArityError(f"union of incompatible arities {left} and {right}")
+        return left
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+
+@dataclass(frozen=True)
+class Difference(RAExpression):
+    """Difference ``Q - Q'`` of two expressions of equal arity."""
+
+    left: RAExpression
+    right: RAExpression
+
+    def evaluate(self, database: Database) -> Relation:
+        return self.left.evaluate(database).difference(self.right.evaluate(database))
+
+    def arity(self, database: Database) -> int:
+        left = self.left.arity(database)
+        right = self.right.arity(database)
+        if left != right:
+            raise ArityError(f"difference of incompatible arities {left} and {right}")
+        return left
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+
+@dataclass(frozen=True)
+class NaturalJoin(RAExpression):
+    """Equi-join on explicit position pairs.
+
+    Not part of the paper's core grammar, but definable from product,
+    selection and projection; provided because the FO[TC] -> PGQ translation
+    (Lemma 9.4) realizes its union over parameter tuples "by an ordinary
+    join", and because the SQL backend emits joins directly.
+    ``pairs`` lists ``(left_position, right_position)`` 1-based pairs that
+    must be equal; the result keeps all left columns then all right columns.
+    """
+
+    left: RAExpression
+    right: RAExpression
+    pairs: Tuple[Tuple[int, int], ...]
+
+    def evaluate(self, database: Database) -> Relation:
+        left = self.left.evaluate(database)
+        right = self.right.evaluate(database)
+        rows = []
+        for lrow in left.rows:
+            for rrow in right.rows:
+                if all(lrow[lp - 1] == rrow[rp - 1] for lp, rp in self.pairs):
+                    rows.append(lrow + rrow)
+        return Relation(left.arity + right.arity, rows)
+
+    def arity(self, database: Database) -> int:
+        return self.left.arity(database) + self.right.arity(database)
+
+    def relation_names(self) -> FrozenSet[str]:
+        return self.left.relation_names() | self.right.relation_names()
+
+
+def evaluate(expression: RAExpression, database: Database) -> Relation:
+    """Module-level convenience wrapper around ``expression.evaluate``."""
+    return expression.evaluate(database)

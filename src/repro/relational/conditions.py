@@ -1,0 +1,187 @@
+"""Positional selection conditions for the relational-algebra layer.
+
+Figure 3 of the paper defines selection conditions over query results by
+positional equalities ``$i = $j`` closed under the Boolean connectives.
+We additionally support comparisons against constants and ordered
+comparisons (``<``, ``<=``), which are definable from equality plus the
+linear order of the ordered structure (Remark 2.1) and are needed by the
+SQL/PGQ surface syntax (e.g. ``t.amount > 100``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from repro.errors import QueryError
+from repro.relational.relation import Row
+
+
+class Condition:
+    """Base class for positional conditions evaluated against a row."""
+
+    def evaluate(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def positions(self) -> FrozenSet[int]:
+        """All 1-based column positions mentioned by the condition."""
+        raise NotImplementedError
+
+    def max_position(self) -> int:
+        positions = self.positions()
+        return max(positions) if positions else 0
+
+    # Convenient combinators -------------------------------------------------
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+
+def _column_value(row: Row, position: int) -> Any:
+    if not 1 <= position <= len(row):
+        raise QueryError(f"condition refers to ${position} but the row has arity {len(row)}")
+    return row[position - 1]
+
+
+@dataclass(frozen=True)
+class ColumnEquals(Condition):
+    """``$left = $right``."""
+
+    left: int
+    right: int
+
+    def evaluate(self, row: Row) -> bool:
+        return _column_value(row, self.left) == _column_value(row, self.right)
+
+    def positions(self) -> FrozenSet[int]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class ColumnEqualsConstant(Condition):
+    """``$position = constant``."""
+
+    position: int
+    constant: Any
+
+    def evaluate(self, row: Row) -> bool:
+        return _column_value(row, self.position) == self.constant
+
+    def positions(self) -> FrozenSet[int]:
+        return frozenset({self.position})
+
+
+_COMPARATORS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+@dataclass(frozen=True)
+class ColumnCompare(Condition):
+    """``$left  op  $right`` for an ordered comparison operator."""
+
+    left: int
+    operator: str
+    right: int
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS:
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        left = _column_value(row, self.left)
+        right = _column_value(row, self.right)
+        try:
+            return _COMPARATORS[self.operator](left, right)
+        except TypeError:
+            return False
+
+    def positions(self) -> FrozenSet[int]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class ColumnCompareConstant(Condition):
+    """``$position  op  constant`` for an ordered comparison operator."""
+
+    position: int
+    operator: str
+    constant: Any
+
+    def __post_init__(self) -> None:
+        if self.operator not in _COMPARATORS:
+            raise QueryError(f"unsupported comparison operator {self.operator!r}")
+
+    def evaluate(self, row: Row) -> bool:
+        value = _column_value(row, self.position)
+        try:
+            return _COMPARATORS[self.operator](value, self.constant)
+        except TypeError:
+            return False
+
+    def positions(self) -> FrozenSet[int]:
+        return frozenset({self.position})
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+    def evaluate(self, row: Row) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def positions(self) -> FrozenSet[int]:
+        return self.left.positions() | self.right.positions()
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+    def evaluate(self, row: Row) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def positions(self) -> FrozenSet[int]:
+        return self.left.positions() | self.right.positions()
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    operand: Condition
+
+    def evaluate(self, row: Row) -> bool:
+        return not self.operand.evaluate(row)
+
+    def positions(self) -> FrozenSet[int]:
+        return self.operand.positions()
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The always-true condition; useful as a neutral element."""
+
+    def evaluate(self, row: Row) -> bool:
+        return True
+
+    def positions(self) -> FrozenSet[int]:
+        return frozenset()
+
+
+def conjoin(conditions: Tuple[Condition, ...]) -> Condition:
+    """Conjunction of zero or more conditions (empty conjunction is true)."""
+    result: Condition = TrueCondition()
+    for condition in conditions:
+        result = condition if isinstance(result, TrueCondition) else And(result, condition)
+    return result

@@ -1,0 +1,173 @@
+"""Database instances over a schema (Section 2.1).
+
+A database assigns a finite relation to every relation name of its schema.
+Following Remark 2.1 of the paper, structures are *ordered*: the active
+domain carries a total order, which we realize by sorting domain values by
+``(type name, repr)`` so heterogeneous values (ints and strings) compare
+deterministically.  The order is exposed both as an explicit successor
+relation and as a comparison function, which the FO[TC] layer relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation, Row
+from repro.relational.schema import RelationSchema, Schema
+
+
+def _order_key(value: Any) -> Tuple[str, str]:
+    """Deterministic total order key over heterogeneous atomic values."""
+    return (type(value).__name__, repr(value))
+
+
+class Database:
+    """An immutable database instance: a mapping from names to relations."""
+
+    def __init__(self, relations: Mapping[str, Relation], *, schema: Optional[Schema] = None):
+        self._relations: Dict[str, Relation] = dict(relations)
+        if schema is None:
+            schema = Schema(
+                RelationSchema(name, rel.arity) for name, rel in self._relations.items()
+            )
+        else:
+            self._validate_against(schema)
+        self._schema = schema
+        self._adom_cache: Optional[Tuple[Any, ...]] = None
+
+    def _validate_against(self, schema: Schema) -> None:
+        for name, relation in self._relations.items():
+            if name not in schema:
+                raise SchemaError(f"relation {name!r} is not declared in the schema")
+            declared = schema.arity(name)
+            if relation.arity != declared:
+                raise SchemaError(
+                    f"relation {name!r} has arity {relation.arity}, schema declares {declared}"
+                )
+        for declared in schema:
+            if declared.name not in self._relations:
+                self._relations[declared.name] = Relation.empty(declared.arity, name=declared.name)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Iterable[Any]], *, arities: Optional[Mapping[str, int]] = None) -> "Database":
+        """Build a database from ``{name: iterable of rows}``.
+
+        ``arities`` lets callers declare the arity of relations that may be
+        empty in ``data``.
+        """
+        relations: Dict[str, Relation] = {}
+        for name, rows in data.items():
+            rows = list(rows)
+            if rows:
+                relations[name] = Relation.from_rows(rows, name=name)
+            elif arities and name in arities:
+                relations[name] = Relation.empty(arities[name], name=name)
+            else:
+                raise SchemaError(
+                    f"relation {name!r} is empty; pass its arity via the 'arities' argument"
+                )
+        if arities:
+            for name, arity in arities.items():
+                relations.setdefault(name, Relation.empty(arity, name=name))
+        return cls(relations)
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        """Return a new database with one relation added or replaced."""
+        updated = dict(self._relations)
+        updated[name] = relation
+        return Database(updated)
+
+    def without_relation(self, name: str) -> "Database":
+        """Return a new database lacking the named relation."""
+        updated = {k: v for k, v in self._relations.items() if k != name}
+        return Database(updated)
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise SchemaError(f"database has no relation named {name!r}")
+        return self._relations[name]
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._relations))
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}({len(rel)})" for name, rel in sorted(self._relations.items()))
+        return f"Database({parts})"
+
+    def relations(self) -> Dict[str, Relation]:
+        """Copy of the name -> relation mapping."""
+        return dict(self._relations)
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations (the database size)."""
+        return sum(len(rel) for rel in self._relations.values())
+
+    # ------------------------------------------------------------------ #
+    # Active domain and order (Remark 2.1)
+    # ------------------------------------------------------------------ #
+    def active_domain(self) -> Tuple[Any, ...]:
+        """``adom(D)``: all constants appearing in the database, totally ordered."""
+        if self._adom_cache is None:
+            values = set()
+            for relation in self._relations.values():
+                values.update(relation.values())
+            self._adom_cache = tuple(sorted(values, key=_order_key))
+        return self._adom_cache
+
+    def domain_index(self, value: Any) -> int:
+        """Position of ``value`` in the ordered active domain."""
+        domain = self.active_domain()
+        try:
+            return domain.index(value)
+        except ValueError:
+            raise SchemaError(f"value {value!r} is not in the active domain") from None
+
+    def domain_less_than(self, left: Any, right: Any) -> bool:
+        """The linear order ``<`` over the active domain."""
+        return self.domain_index(left) < self.domain_index(right)
+
+    def successor_relation(self) -> Relation:
+        """Binary successor relation of the linear order over ``adom(D)``."""
+        domain = self.active_domain()
+        pairs = [(domain[i], domain[i + 1]) for i in range(len(domain) - 1)]
+        return Relation(2, pairs, name="succ") if pairs else Relation.empty(2, name="succ")
+
+    def order_relation(self) -> Relation:
+        """Binary strict order relation ``<`` over ``adom(D)``."""
+        domain = self.active_domain()
+        pairs = [
+            (domain[i], domain[j])
+            for i in range(len(domain))
+            for j in range(i + 1, len(domain))
+        ]
+        return Relation(2, pairs, name="lt") if pairs else Relation.empty(2, name="lt")
+
+    def adom_relation(self) -> Relation:
+        """Unary relation containing the full active domain."""
+        domain = self.active_domain()
+        return Relation.unary(domain, name="adom") if domain else Relation.empty(1, name="adom")

@@ -1,0 +1,181 @@
+"""Relations in the unnamed perspective (Section 2.1 of the paper).
+
+A relation is a finite set of tuples over the domain ``C`` with a fixed
+arity.  Following the paper we work with the *unnamed* perspective: columns
+are addressed positionally (``$1 .. $k``) rather than by attribute names.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import ArityError, SchemaError
+
+#: A database tuple: a flat tuple of atomic domain values.
+Row = Tuple[Any, ...]
+
+
+def as_row(values: Any) -> Row:
+    """Normalize ``values`` into a flat tuple row.
+
+    Scalars become 1-tuples.  Nested containers are rejected because domain
+    elements are atomic.
+    """
+    if isinstance(values, tuple):
+        row = values
+    elif isinstance(values, list):
+        row = tuple(values)
+    else:
+        row = (values,)
+    for component in row:
+        if isinstance(component, (tuple, list, set, dict)):
+            raise ArityError(f"relation entries must be atomic values, got {component!r}")
+    return row
+
+
+class Relation:
+    """An immutable, finite relation of fixed arity.
+
+    ``Relation`` values are hashable and comparable by (arity, tuple set),
+    which matches the set semantics of the paper's relational layer.
+
+    Arity 0 is permitted for Boolean query results: the 0-ary relation is
+    either empty (false) or the singleton containing the empty tuple (true).
+    """
+
+    __slots__ = ("_arity", "_rows", "_name")
+
+    def __init__(self, arity: int, rows: Iterable[Any] = (), *, name: Optional[str] = None):
+        if arity < 0:
+            raise ArityError(f"relation arity must be >= 0, got {arity}")
+        normalized = set()
+        for row in rows:
+            row = as_row(row)
+            if len(row) != arity:
+                raise ArityError(
+                    f"row {row!r} has arity {len(row)}, expected {arity}"
+                    + (f" in relation {name!r}" if name else "")
+                )
+            normalized.add(row)
+        self._arity = arity
+        self._rows: FrozenSet[Row] = frozenset(normalized)
+        self._name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(cls, rows: Iterable[Any], *, name: Optional[str] = None) -> "Relation":
+        """Build a relation inferring the arity from the first row.
+
+        Raises :class:`SchemaError` for an empty iterable because the arity
+        cannot be inferred; use the explicit constructor in that case.
+        """
+        materialized = [as_row(r) for r in rows]
+        if not materialized:
+            raise SchemaError("cannot infer arity from an empty row set")
+        return cls(len(materialized[0]), materialized, name=name)
+
+    @classmethod
+    def empty(cls, arity: int, *, name: Optional[str] = None) -> "Relation":
+        """The empty relation of the given arity."""
+        return cls(arity, (), name=name)
+
+    @classmethod
+    def unary(cls, values: Iterable[Any], *, name: Optional[str] = None) -> "Relation":
+        """A unary relation from an iterable of scalar values."""
+        return cls(1, ((v,) for v in values), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def name(self) -> Optional[str]:
+        return self._name
+
+    @property
+    def rows(self) -> FrozenSet[Row]:
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(sorted(self._rows, key=repr))
+
+    def __contains__(self, row: Any) -> bool:
+        return as_row(row) in self._rows
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._arity == other._arity and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self._arity, self._rows))
+
+    def __repr__(self) -> str:
+        label = f" {self._name}" if self._name else ""
+        return f"Relation{label}(arity={self._arity}, rows={len(self._rows)})"
+
+    # ------------------------------------------------------------------ #
+    # Set / relational operations
+    # ------------------------------------------------------------------ #
+    def _require_same_arity(self, other: "Relation", operation: str) -> None:
+        if self._arity != other._arity:
+            raise ArityError(
+                f"{operation} requires equal arities, got {self._arity} and {other._arity}"
+            )
+
+    def union(self, other: "Relation") -> "Relation":
+        self._require_same_arity(other, "union")
+        return Relation(self._arity, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        self._require_same_arity(other, "difference")
+        return Relation(self._arity, self._rows - other._rows)
+
+    def intersection(self, other: "Relation") -> "Relation":
+        self._require_same_arity(other, "intersection")
+        return Relation(self._arity, self._rows & other._rows)
+
+    def product(self, other: "Relation") -> "Relation":
+        """Cartesian product; the result arity is the sum of the arities."""
+        rows = (left + right for left in self._rows for right in other._rows)
+        return Relation(self._arity + other._arity, rows)
+
+    def project(self, positions: Iterable[int]) -> "Relation":
+        """Positional projection ``pi_{$i1,...,$ik}`` (1-based positions)."""
+        positions = tuple(positions)
+        if not positions:
+            raise ArityError("projection requires at least one position")
+        for position in positions:
+            if not 1 <= position <= self._arity:
+                raise ArityError(
+                    f"projection position ${position} out of range for arity {self._arity}"
+                )
+        rows = (tuple(row[p - 1] for p in positions) for row in self._rows)
+        return Relation(len(positions), rows)
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Selection by an arbitrary per-row predicate."""
+        return Relation(self._arity, (row for row in self._rows if predicate(row)))
+
+    def rename(self, name: str) -> "Relation":
+        """Return the same relation carrying a different display name."""
+        return Relation(self._arity, self._rows, name=name)
+
+    def values(self) -> FrozenSet[Any]:
+        """All atomic values appearing anywhere in the relation."""
+        return frozenset(value for row in self._rows for value in row)
+
+    def to_sorted_list(self) -> list:
+        """Deterministically ordered list of rows, useful for reporting."""
+        return sorted(self._rows, key=lambda row: tuple(map(repr, row)))

@@ -1,0 +1,53 @@
+"""Executable separating queries from the paper's proofs (Sections 4 and 5)."""
+
+from repro.separations.alternating import (
+    alternating_path_query_ro,
+    alternating_path_query_rw,
+    has_alternating_path_reference,
+    union_view_sources,
+)
+from repro.separations.increasing import (
+    BASE_AMOUNT,
+    account_copies_query,
+    increasing_amount_pairs_query,
+    increasing_amount_pairs_reference,
+    increasing_view_sources,
+)
+from repro.separations.pairs import (
+    approximation_gap,
+    componentwise_approximation,
+    pair_reachability_query,
+    pair_reachability_reference,
+)
+from repro.separations.semilinear import (
+    best_period,
+    is_eventually_periodic,
+    path_length_set,
+    rw_detectable_length_sets,
+    square_length_path_exists,
+    square_lengths,
+    squares_not_rw_detectable,
+)
+
+__all__ = [
+    "BASE_AMOUNT",
+    "account_copies_query",
+    "alternating_path_query_ro",
+    "alternating_path_query_rw",
+    "approximation_gap",
+    "best_period",
+    "componentwise_approximation",
+    "has_alternating_path_reference",
+    "increasing_amount_pairs_query",
+    "increasing_amount_pairs_reference",
+    "increasing_view_sources",
+    "is_eventually_periodic",
+    "pair_reachability_query",
+    "pair_reachability_reference",
+    "path_length_set",
+    "rw_detectable_length_sets",
+    "square_length_path_exists",
+    "square_lengths",
+    "squares_not_rw_detectable",
+    "union_view_sources",
+]

@@ -1,0 +1,153 @@
+"""The PGQrw vs NL separation: non-semilinear path-length sets (Theorem 4.2).
+
+The proof observes that the sets of path lengths detectable by PGQrw
+queries are definable in Presburger arithmetic and therefore semilinear
+(finite unions of arithmetic progressions), whereas NL can decide
+properties such as "there is a path whose length is a perfect square",
+whose length set is not semilinear.
+
+This module makes that argument executable:
+
+* :func:`path_length_set` computes the set of path lengths between nodes of
+  a graph-view database up to a bound (an NL-style dynamic program);
+* :func:`is_eventually_periodic` tests whether a finite length set is
+  consistent with a semilinear (eventually periodic) set on the observed
+  window, and :func:`best_period` reports the smallest witnessing period;
+* :func:`square_length_path_exists` is the NL query of the proof;
+* :func:`rw_detectable_length_sets` enumerates the length sets of a natural
+  family of PGQrw repetition queries (``length >= n``, ``length ≡ r mod m``
+  and finite unions thereof), all of which are semilinear by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.relational.database import Database
+
+
+def _adjacency(database: Database) -> Dict[str, Set[str]]:
+    sources = {row[0]: row[1] for row in database.relation("S").rows}
+    targets = {row[0]: row[1] for row in database.relation("T").rows}
+    adjacency: Dict[str, Set[str]] = {}
+    for edge_id, source in sources.items():
+        target = targets.get(edge_id)
+        if target is not None:
+            adjacency.setdefault(source, set()).add(target)
+    return adjacency
+
+
+def path_length_set(
+    database: Database,
+    source: Optional[str] = None,
+    target: Optional[str] = None,
+    *,
+    bound: int = 64,
+) -> FrozenSet[int]:
+    """All path lengths up to ``bound`` between the given endpoints.
+
+    ``None`` endpoints are wildcards.  The computation is a layered
+    breadth-first dynamic program over (node, length) states, the standard
+    NL-style algorithm: its working memory is one bit per (node, length)
+    pair, logarithmic counters only.
+    """
+    adjacency = _adjacency(database)
+    nodes = {row[0] for row in database.relation("N").rows}
+    starts = {source} if source is not None else set(nodes)
+    lengths: Set[int] = set()
+    current: Set[Tuple[str, str]] = {(s, s) for s in starts}
+    for length in range(0, bound + 1):
+        for (start, node) in current:
+            if target is None or node == target:
+                lengths.add(length)
+        next_states = {
+            (start, successor)
+            for (start, node) in current
+            for successor in adjacency.get(node, ())
+        }
+        current = next_states
+        if not current:
+            break
+    return frozenset(lengths)
+
+
+def is_eventually_periodic(lengths: Iterable[int], *, bound: int, max_period: int = 12) -> bool:
+    """Whether the observed length set looks eventually periodic on [0, bound].
+
+    A set is semilinear iff it is eventually periodic; on a finite window we
+    check that some period ``p <= max_period`` and threshold ``t`` exist such
+    that membership of ``l`` and ``l + p`` agree for all ``t <= l <= bound - p``.
+    """
+    return best_period(lengths, bound=bound, max_period=max_period) is not None
+
+
+def best_period(
+    lengths: Iterable[int], *, bound: int, max_period: int = 12
+) -> Optional[Tuple[int, int]]:
+    """Smallest ``(period, threshold)`` witnessing eventual periodicity, if any."""
+    members = {l for l in lengths if 0 <= l <= bound}
+    # Thresholds are limited to the first half of the window so the periodic
+    # tail is checked on a non-trivial suffix; otherwise every set looks
+    # "eventually periodic" once the window runs out of members.
+    for period in range(1, max_period + 1):
+        for threshold in range(0, bound // 2 + 1):
+            consistent = all(
+                ((l in members) == ((l + period) in members))
+                for l in range(threshold, bound - period + 1)
+            )
+            if consistent:
+                return (period, threshold)
+    return None
+
+
+def square_lengths(bound: int) -> FrozenSet[int]:
+    """The perfect squares up to ``bound`` — a canonical non-semilinear set."""
+    return frozenset(i * i for i in range(0, int(math.isqrt(bound)) + 1) if i * i <= bound)
+
+
+def square_length_path_exists(
+    database: Database,
+    source: Optional[str] = None,
+    target: Optional[str] = None,
+    *,
+    bound: int = 64,
+) -> bool:
+    """The NL query of Theorem 4.2: is some path length a (positive) perfect square?"""
+    lengths = path_length_set(database, source, target, bound=bound)
+    return any(length in square_lengths(bound) and length > 0 for length in lengths)
+
+
+def rw_detectable_length_sets(*, bound: int, max_modulus: int = 6) -> Dict[str, FrozenSet[int]]:
+    """Length sets of a natural family of PGQrw repetition queries.
+
+    Each entry is the set of path lengths accepted by one query shape
+    expressible with bounded/unbounded repetition of the single-edge
+    pattern: ``length >= n`` (Kleene-style), ``length in [n, m]`` and
+    ``length ≡ r (mod m)`` realized by repeating an ``m``-edge block.  All of
+    them are semilinear, matching the Presburger argument of the proof.
+    """
+    sets: Dict[str, FrozenSet[int]] = {}
+    for lower in range(0, 5):
+        sets[f"length>={lower}"] = frozenset(range(lower, bound + 1))
+    for lower in range(0, 4):
+        for upper in range(lower, lower + 4):
+            sets[f"length in [{lower},{upper}]"] = frozenset(range(lower, min(upper, bound) + 1))
+    for modulus in range(2, max_modulus + 1):
+        for residue in range(modulus):
+            sets[f"length ≡ {residue} (mod {modulus})"] = frozenset(
+                l for l in range(0, bound + 1) if l % modulus == residue
+            )
+    return sets
+
+
+def squares_not_rw_detectable(*, bound: int, max_modulus: int = 6) -> bool:
+    """No query in the PGQrw family has exactly the perfect-square length set.
+
+    This is the finite-window shadow of Theorem 4.2: every semilinear set
+    disagrees with the squares once the window is large enough.
+    """
+    squares = frozenset(l for l in square_lengths(bound) if l > 0)
+    return all(
+        candidate != squares for candidate in rw_detectable_length_sets(bound=bound, max_modulus=max_modulus).values()
+    )

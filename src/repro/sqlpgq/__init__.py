@@ -1,0 +1,49 @@
+"""SQL/PGQ concrete syntax: lexer, parser, catalog and compiler."""
+
+from repro.sqlpgq.ast import (
+    BooleanExpression,
+    Comparison,
+    CreatePropertyGraph,
+    EdgeElement,
+    EdgeTableSpec,
+    GraphTableQuery,
+    LiteralOperand,
+    NodeElement,
+    NodeTableSpec,
+    OutputColumn,
+    PropertyOperand,
+    Quantifier,
+)
+from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition, compile_graph_definition
+from repro.sqlpgq.compiler import compile_query
+from repro.sqlpgq.lexer import Token, TokenStream, tokenize
+from repro.sqlpgq.parser import (
+    parse_create_property_graph,
+    parse_graph_query,
+    parse_statement,
+)
+
+__all__ = [
+    "BooleanExpression",
+    "Comparison",
+    "CreatePropertyGraph",
+    "EdgeElement",
+    "EdgeTableSpec",
+    "GraphCatalog",
+    "GraphDefinition",
+    "GraphTableQuery",
+    "LiteralOperand",
+    "NodeElement",
+    "NodeTableSpec",
+    "OutputColumn",
+    "PropertyOperand",
+    "Quantifier",
+    "Token",
+    "TokenStream",
+    "compile_graph_definition",
+    "compile_query",
+    "parse_create_property_graph",
+    "parse_graph_query",
+    "parse_statement",
+    "tokenize",
+]

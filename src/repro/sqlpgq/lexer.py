@@ -1,0 +1,181 @@
+"""Tokenizer for the SQL/PGQ surface syntax subset.
+
+The lexer covers the statements used in the paper (``CREATE PROPERTY
+GRAPH`` view definitions and ``SELECT ... FROM GRAPH_TABLE(...)`` queries)
+plus the pattern punctuation of MATCH clauses: ``-[t:Label]->``, ``<-[t]-``,
+quantifiers ``*``, ``+`` and ``{n,m}``, and ordinary SQL punctuation.
+Keywords are case-insensitive; identifiers keep their original spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import ParseError
+
+#: Keywords recognized by the parser (upper-cased for comparison).
+KEYWORDS = {
+    "CREATE", "PROPERTY", "GRAPH", "NODES", "VERTEX", "EDGES", "EDGE", "TABLE", "TABLES",
+    "KEY", "LABEL", "LABELS", "PROPERTIES", "SOURCE", "TARGET", "REFERENCES",
+    "SELECT", "DISTINCT", "FROM", "GRAPH_TABLE", "MATCH", "WHERE", "RETURN", "COLUMNS",
+    "AS", "AND", "OR", "NOT", "ALL", "ARE",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its position for error reporting."""
+
+    kind: str          # KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == "KEYWORD" and self.value.upper() in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.kind == "SYMBOL" and self.value in symbols
+
+
+_MULTI_CHAR_SYMBOLS = ("<>", "!=", ">=", "<=", "->", "<-", "]-", "-[")
+_SINGLE_CHAR_SYMBOLS = set("()[]{},.;:*+=<>-/")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on unknown characters."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    index = 0
+    length = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, line=line, column=column)
+
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            column += 1
+            continue
+        if text.startswith("--", index):
+            # SQL line comment.
+            end = text.find("\n", index)
+            index = length if end == -1 else end
+            continue
+        if char == "'" or char == '"':
+            quote = char
+            end = index + 1
+            while end < length and text[end] != quote:
+                end += 1
+            if end >= length:
+                raise error("unterminated string literal")
+            value = text[index + 1 : end]
+            tokens.append(Token("STRING", value, line, column))
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char.isdigit():
+            end = index
+            while end < length and (text[end].isdigit() or text[end] == "."):
+                end += 1
+            value = text[index:end]
+            tokens.append(Token("NUMBER", value, line, column))
+            column += end - index
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            value = text[index:end]
+            # Keywords keep their original spelling so they can double as
+            # identifiers (e.g. an output alias named "target").
+            if value.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", value, line, column))
+            else:
+                tokens.append(Token("IDENT", value, line, column))
+            column += end - index
+            index = end
+            continue
+        matched = False
+        for symbol in _MULTI_CHAR_SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token("SYMBOL", symbol, line, column))
+                index += len(symbol)
+                column += len(symbol)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_CHAR_SYMBOLS:
+            tokens.append(Token("SYMBOL", char, line, column))
+            index += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+    tokens.append(Token("EOF", "", line, column))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._position += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(
+            f"{message} (found {token.kind} {token.value!r})",
+            line=token.line,
+            column=token.column,
+        )
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*names):
+            raise self.error(f"expected keyword {' or '.join(names)}")
+        return self.advance()
+
+    def expect_symbol(self, *symbols: str) -> Token:
+        token = self.peek()
+        if not token.is_symbol(*symbols):
+            raise self.error(f"expected {' or '.join(symbols)}")
+        return self.advance()
+
+    def expect_identifier(self) -> Token:
+        token = self.peek()
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise self.error("expected an identifier")
+        return self.advance()
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def accept_symbol(self, *symbols: str) -> Optional[Token]:
+        if self.peek().is_symbol(*symbols):
+            return self.advance()
+        return None

@@ -1,0 +1,405 @@
+"""Recursive-descent parser for the SQL/PGQ surface subset.
+
+Grammar (informal)::
+
+    create_graph  := CREATE PROPERTY GRAPH name "(" table_clause ("," table_clause)* ")" [";"]
+    table_clause  := (NODES|VERTEX) TABLE[S] node_table
+                   | (EDGES|EDGE) TABLE[S] edge_table
+    node_table    := name KEY "(" columns ")" [LABEL|LABELS names] [PROPERTIES "(" columns ")"]
+    edge_table    := name KEY "(" columns ")"
+                     SOURCE KEY [ "(" ] columns [ ")" ] REFERENCES name
+                     TARGET KEY [ "(" ] columns [ ")" ] REFERENCES name
+                     [LABEL|LABELS names] [PROPERTIES "(" columns ")"]
+
+    query         := SELECT [DISTINCT] ("*" | columns) FROM GRAPH_TABLE "("
+                        name MATCH path [WHERE condition] (COLUMNS|RETURN) "(" output ")"
+                     ")" [";"]
+    path          := node_elem (edge_elem node_elem)*
+    node_elem     := "(" [var] [":" label] ")"
+    edge_elem     := "-" "[" [var] [":" label] "]" "->" [quant]
+                   | "<-" "[" [var] [":" label] "]" "-" [quant]
+                   | "->" [quant]
+    quant         := "*" | "+" | "{" n "," m "}"
+    condition     := disjunction of conjunctions of (comparison | NOT ...)
+    comparison    := operand (= | <> | != | < | <= | > | >=) operand
+    operand       := var "." key | number | string
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ParseError
+from repro.sqlpgq.ast import (
+    BooleanExpression,
+    Comparison,
+    ConditionExpr,
+    CreatePropertyGraph,
+    EdgeElement,
+    EdgeTableSpec,
+    GraphTableQuery,
+    LiteralOperand,
+    NodeElement,
+    NodeTableSpec,
+    OutputColumn,
+    PathElement,
+    PropertyOperand,
+    Quantifier,
+)
+from repro.sqlpgq.lexer import Token, TokenStream, tokenize
+
+
+def parse_statement(text: str) -> Union[CreatePropertyGraph, GraphTableQuery]:
+    """Parse one SQL/PGQ statement (DDL or query)."""
+    stream = TokenStream(tokenize(text))
+    if stream.peek().is_keyword("CREATE"):
+        statement = _parse_create_graph(stream)
+    elif stream.peek().is_keyword("SELECT"):
+        statement = _parse_query(stream)
+    else:
+        raise stream.error("expected CREATE PROPERTY GRAPH or SELECT")
+    stream.accept_symbol(";")
+    if not stream.at_end():
+        raise stream.error("unexpected trailing input")
+    return statement
+
+
+def parse_create_property_graph(text: str) -> CreatePropertyGraph:
+    """Parse a ``CREATE PROPERTY GRAPH`` statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, CreatePropertyGraph):
+        raise ParseError("expected a CREATE PROPERTY GRAPH statement")
+    return statement
+
+
+def parse_graph_query(text: str) -> GraphTableQuery:
+    """Parse a ``SELECT ... FROM GRAPH_TABLE(...)`` statement."""
+    statement = parse_statement(text)
+    if not isinstance(statement, GraphTableQuery):
+        raise ParseError("expected a SELECT ... FROM GRAPH_TABLE(...) statement")
+    return statement
+
+
+# --------------------------------------------------------------------------- #
+# DDL
+# --------------------------------------------------------------------------- #
+def _parse_create_graph(stream: TokenStream) -> CreatePropertyGraph:
+    stream.expect_keyword("CREATE")
+    stream.expect_keyword("PROPERTY")
+    stream.expect_keyword("GRAPH")
+    name = stream.expect_identifier().value
+    stream.expect_symbol("(")
+    node_tables: List[NodeTableSpec] = []
+    edge_tables: List[EdgeTableSpec] = []
+    while True:
+        if stream.accept_keyword("NODES", "VERTEX"):
+            stream.expect_keyword("TABLE", "TABLES")
+            node_tables.append(_parse_node_table(stream))
+            while stream.peek().kind == "IDENT" and not stream.peek(1).is_keyword("KEY"):
+                break
+            # Additional node tables separated by commas without repeating the
+            # NODES TABLE keyword are accepted below via the comma loop.
+            while stream.accept_symbol(","):
+                if stream.peek().is_keyword("NODES", "VERTEX", "EDGES", "EDGE"):
+                    _rewind_comma(stream)
+                    break
+                node_tables.append(_parse_node_table(stream))
+        elif stream.accept_keyword("EDGES", "EDGE"):
+            stream.expect_keyword("TABLE", "TABLES")
+            edge_tables.append(_parse_edge_table(stream))
+            while stream.accept_symbol(","):
+                if stream.peek().is_keyword("NODES", "VERTEX", "EDGES", "EDGE"):
+                    _rewind_comma(stream)
+                    break
+                edge_tables.append(_parse_edge_table(stream))
+        else:
+            break
+        if stream.peek().is_symbol(")"):
+            break
+    stream.expect_symbol(")")
+    if not node_tables:
+        raise ParseError(f"property graph {name!r} declares no node tables")
+    return CreatePropertyGraph(name, tuple(node_tables), tuple(edge_tables))
+
+
+def _rewind_comma(stream: TokenStream) -> None:
+    """No-op placeholder: the comma before a NODES/EDGES keyword is consumed."""
+    return None
+
+
+def _parse_name_list(stream: TokenStream) -> Tuple[str, ...]:
+    names = [stream.expect_identifier().value]
+    # A comma followed by a clause keyword (NODES/EDGES/...) separates table
+    # clauses of the surrounding CREATE statement, not list entries.
+    while stream.peek().is_symbol(",") and not stream.peek(1).is_keyword(
+        "NODES", "VERTEX", "EDGES", "EDGE"
+    ):
+        stream.advance()
+        names.append(stream.expect_identifier().value)
+    return tuple(names)
+
+
+def _parse_column_list(stream: TokenStream) -> Tuple[str, ...]:
+    stream.expect_symbol("(")
+    columns = _parse_name_list(stream)
+    stream.expect_symbol(")")
+    return columns
+
+
+def _parse_optional_key_columns(stream: TokenStream) -> Tuple[str, ...]:
+    if stream.peek().is_symbol("("):
+        return _parse_column_list(stream)
+    return (stream.expect_identifier().value,)
+
+
+def _parse_labels_and_properties(stream: TokenStream) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    labels: Tuple[str, ...] = ()
+    properties: Tuple[str, ...] = ()
+    while True:
+        if stream.accept_keyword("LABEL", "LABELS"):
+            labels = labels + _parse_name_list(stream)
+        elif stream.accept_keyword("PROPERTIES"):
+            properties = properties + _parse_column_list(stream)
+        else:
+            break
+    return labels, properties
+
+
+def _parse_node_table(stream: TokenStream) -> NodeTableSpec:
+    table = stream.expect_identifier().value
+    stream.expect_keyword("KEY")
+    key_columns = _parse_column_list(stream)
+    labels, properties = _parse_labels_and_properties(stream)
+    return NodeTableSpec(table, key_columns, labels, properties)
+
+
+def _parse_edge_table(stream: TokenStream) -> EdgeTableSpec:
+    table = stream.expect_identifier().value
+    stream.expect_keyword("KEY")
+    key_columns = _parse_column_list(stream)
+    stream.expect_keyword("SOURCE")
+    stream.expect_keyword("KEY")
+    source_columns = _parse_optional_key_columns(stream)
+    stream.expect_keyword("REFERENCES")
+    source_table = stream.expect_identifier().value
+    stream.expect_keyword("TARGET")
+    stream.expect_keyword("KEY")
+    target_columns = _parse_optional_key_columns(stream)
+    stream.expect_keyword("REFERENCES")
+    target_table = stream.expect_identifier().value
+    labels, properties = _parse_labels_and_properties(stream)
+    return EdgeTableSpec(
+        table, key_columns, source_columns, source_table, target_columns, target_table,
+        labels, properties,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Queries
+# --------------------------------------------------------------------------- #
+def _parse_query(stream: TokenStream) -> GraphTableQuery:
+    stream.expect_keyword("SELECT")
+    distinct = stream.accept_keyword("DISTINCT") is not None
+    if not stream.accept_symbol("*"):
+        # A projection list in the outer SELECT is accepted and ignored: the
+        # inner COLUMNS clause already fixes the output (the outer list is
+        # only meaningful with aliases/joins, which are outside this subset).
+        _parse_name_list(stream)
+    stream.expect_keyword("FROM")
+    stream.expect_keyword("GRAPH_TABLE")
+    stream.expect_symbol("(")
+    graph_name = stream.expect_identifier().value
+    stream.expect_keyword("MATCH")
+    elements = _parse_path(stream)
+    condition: Optional[ConditionExpr] = None
+    if stream.accept_keyword("WHERE"):
+        condition = _parse_condition(stream)
+    stream.expect_keyword("COLUMNS", "RETURN")
+    stream.expect_symbol("(")
+    columns = _parse_output_columns(stream)
+    stream.expect_symbol(")")
+    stream.expect_symbol(")")
+    return GraphTableQuery(graph_name, tuple(elements), condition, tuple(columns), distinct)
+
+
+def _parse_path(stream: TokenStream) -> List[PathElement]:
+    elements: List[PathElement] = [_parse_node_element(stream)]
+    while stream.peek().is_symbol("-", "-[", "<-", "->"):
+        elements.append(_parse_edge_element(stream))
+        elements.append(_parse_node_element(stream))
+    return elements
+
+
+def _parse_node_element(stream: TokenStream) -> NodeElement:
+    stream.expect_symbol("(")
+    variable: Optional[str] = None
+    labels: Tuple[str, ...] = ()
+    if stream.peek().kind == "IDENT":
+        variable = stream.advance().value
+    if stream.accept_symbol(":"):
+        labels = (stream.expect_identifier().value,)
+        while stream.accept_symbol(":"):
+            labels = labels + (stream.expect_identifier().value,)
+    stream.expect_symbol(")")
+    return NodeElement(variable, labels)
+
+
+def _parse_quantifier(stream: TokenStream) -> Optional[Quantifier]:
+    if stream.accept_symbol("*"):
+        return Quantifier(0, None)
+    if stream.accept_symbol("+"):
+        return Quantifier(1, None)
+    if stream.accept_symbol("{"):
+        lower = int(stream.advance().value)
+        upper: Optional[int] = lower
+        if stream.accept_symbol(","):
+            if stream.peek().kind == "NUMBER":
+                upper = int(stream.advance().value)
+            else:
+                upper = None
+        stream.expect_symbol("}")
+        return Quantifier(lower, upper)
+    return None
+
+
+def _parse_edge_body(stream: TokenStream) -> Tuple[Optional[str], Tuple[str, ...]]:
+    """Parse ``[t:Label]``-style edge descriptors (the brackets' inside)."""
+    variable: Optional[str] = None
+    labels: Tuple[str, ...] = ()
+    if stream.peek().kind == "IDENT":
+        variable = stream.advance().value
+    if stream.accept_symbol(":"):
+        labels = (stream.expect_identifier().value,)
+        while stream.accept_symbol(":"):
+            labels = labels + (stream.expect_identifier().value,)
+    return variable, labels
+
+
+def _parse_edge_element(stream: TokenStream) -> EdgeElement:
+    # Backward edge: <-[t]- or <- ...
+    if stream.accept_symbol("<-"):
+        variable: Optional[str] = None
+        labels: Tuple[str, ...] = ()
+        if stream.accept_symbol("["):
+            variable, labels = _parse_edge_body(stream)
+            if not stream.accept_symbol("]-"):
+                stream.expect_symbol("]")
+                stream.expect_symbol("-")
+        else:
+            stream.accept_symbol("-")
+        quantifier = _parse_quantifier(stream)
+        return EdgeElement(variable, labels, forward=False, quantifier=quantifier)
+    # Forward edge: -[t]-> , -> , or - [t] - > spelled with separate symbols.
+    if stream.accept_symbol("->"):
+        quantifier = _parse_quantifier(stream)
+        return EdgeElement(None, (), forward=True, quantifier=quantifier)
+    stream.expect_symbol("-", "-[")
+    variable = None
+    labels = ()
+    if stream.peek().is_symbol("["):
+        stream.advance()
+        variable, labels = _parse_edge_body(stream)
+        stream.expect_symbol("]")
+    elif not stream.peek().is_symbol("-", "->", ">"):
+        variable, labels = _parse_edge_body(stream)
+    # Closing arrow: "->", or "-" then ">", or "]-" then ">".
+    if not stream.accept_symbol("->"):
+        stream.expect_symbol("-", "]-")
+        stream.expect_symbol(">")
+    quantifier = _parse_quantifier(stream)
+    return EdgeElement(variable, labels, forward=True, quantifier=quantifier)
+
+
+def _parse_output_columns(stream: TokenStream) -> List[OutputColumn]:
+    columns = [_parse_output_column(stream)]
+    while stream.accept_symbol(","):
+        columns.append(_parse_output_column(stream))
+    return columns
+
+
+def _parse_output_column(stream: TokenStream) -> OutputColumn:
+    variable = stream.expect_identifier().value
+    key: Optional[str] = None
+    alias: Optional[str] = None
+    if stream.accept_symbol("."):
+        key = stream.expect_identifier().value
+    if stream.accept_keyword("AS"):
+        alias = stream.expect_identifier().value
+    return OutputColumn(variable, key, alias)
+
+
+# --------------------------------------------------------------------------- #
+# Conditions
+# --------------------------------------------------------------------------- #
+def _parse_condition(stream: TokenStream) -> ConditionExpr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> ConditionExpr:
+    left = _parse_and(stream)
+    operands = [left]
+    while stream.accept_keyword("OR"):
+        operands.append(_parse_and(stream))
+    if len(operands) == 1:
+        return left
+    return BooleanExpression("OR", tuple(operands))
+
+
+def _parse_and(stream: TokenStream) -> ConditionExpr:
+    left = _parse_not(stream)
+    operands = [left]
+    while stream.accept_keyword("AND"):
+        operands.append(_parse_not(stream))
+    if len(operands) == 1:
+        return left
+    return BooleanExpression("AND", tuple(operands))
+
+
+def _parse_not(stream: TokenStream) -> ConditionExpr:
+    if stream.accept_keyword("NOT"):
+        return BooleanExpression("NOT", (_parse_not(stream),))
+    if stream.peek().is_symbol("(") and _looks_like_group(stream):
+        stream.expect_symbol("(")
+        inner = _parse_condition(stream)
+        stream.expect_symbol(")")
+        return inner
+    return _parse_comparison(stream)
+
+
+def _looks_like_group(stream: TokenStream) -> bool:
+    """Distinguish a parenthesised condition from other uses of '('."""
+    return True
+
+
+def _parse_operand(stream: TokenStream) -> Union[PropertyOperand, LiteralOperand]:
+    token = stream.peek()
+    if token.kind == "NUMBER":
+        stream.advance()
+        value: object = float(token.value) if "." in token.value else int(token.value)
+        return LiteralOperand(value)
+    if token.kind == "STRING":
+        stream.advance()
+        return LiteralOperand(token.value)
+    variable = stream.expect_identifier().value
+    stream.expect_symbol(".")
+    key = stream.expect_identifier().value
+    return PropertyOperand(variable, key)
+
+
+def _parse_comparison(stream: TokenStream) -> ConditionExpr:
+    left = _parse_operand(stream)
+    token = stream.peek()
+    operator: str
+    if token.is_symbol("=", "<", ">", "<=", ">=", "<>", "!="):
+        stream.advance()
+        operator = token.value
+        # Allow ">=" / "<=" spelled as two tokens.
+        if operator in ("<", ">") and stream.peek().is_symbol("="):
+            stream.advance()
+            operator += "="
+    else:
+        raise stream.error("expected a comparison operator")
+    if operator == "<>":
+        operator = "!="
+    right = _parse_operand(stream)
+    return Comparison(left, operator, right)

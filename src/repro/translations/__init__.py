@@ -1,0 +1,21 @@
+"""Constructive translations between PGQ fragments and FO[TC] (Section 6)."""
+
+from repro.translations.fotc_to_pgq import FOTCToPGQ, translate_formula
+from repro.translations.pgq_to_fotc import PGQToFOTC, translate_query
+from repro.translations.equivalence import (
+    check_formula_translation,
+    check_query_translation,
+    roundtrip_formula,
+    roundtrip_query,
+)
+
+__all__ = [
+    "FOTCToPGQ",
+    "PGQToFOTC",
+    "check_formula_translation",
+    "check_query_translation",
+    "roundtrip_formula",
+    "roundtrip_query",
+    "translate_formula",
+    "translate_query",
+]

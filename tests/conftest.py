@@ -1,0 +1,57 @@
+"""Shared fixtures: small canonical databases and property graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import PropertyGraph
+from repro.relational import Database
+
+
+@pytest.fixture
+def triangle_graph() -> PropertyGraph:
+    """A labelled 3-cycle a -> b -> c -> a with an amount on each edge."""
+    graph = PropertyGraph()
+    for name, colour in (("a", "Red"), ("b", "Blue"), ("c", "Red")):
+        graph.add_node(name, labels=[colour], properties={"name": name})
+    graph.add_edge("e1", "a", "b", labels=["Edge"], properties={"amount": 10})
+    graph.add_edge("e2", "b", "c", labels=["Edge"], properties={"amount": 20})
+    graph.add_edge("e3", "c", "a", labels=["Edge"], properties={"amount": 30})
+    return graph
+
+
+@pytest.fixture
+def chain_view_db() -> Database:
+    """Graph-view database for the chain v0 -> v1 -> v2 -> v3."""
+    return Database.from_dict(
+        {
+            "N": [("v0",), ("v1",), ("v2",), ("v3",)],
+            "E": [("e0",), ("e1",), ("e2",)],
+            "S": [("e0", "v0"), ("e1", "v1"), ("e2", "v2")],
+            "T": [("e0", "v1"), ("e1", "v2"), ("e2", "v3")],
+            "L": [("v0", "Start"), ("v3", "End"), ("e0", "Hop"), ("e1", "Hop"), ("e2", "Hop")],
+            "P": [("e0", "w", 1), ("e1", "w", 2), ("e2", "w", 3)],
+        }
+    )
+
+
+@pytest.fixture
+def bank_db() -> Database:
+    """A tiny Example 1.1 style bank database."""
+    return Database.from_dict(
+        {
+            "Account": [("A1",), ("A2",), ("A3",), ("A4",)],
+            "Transfer": [
+                ("T1", "A1", "A2", 100, 250),
+                ("T2", "A2", "A3", 200, 500),
+                ("T3", "A3", "A4", 300, 50),
+                ("T4", "A4", "A1", 400, 700),
+            ],
+        }
+    )
+
+
+@pytest.fixture
+def edge_relation_db() -> Database:
+    """A plain edge relation E over integers, for FO[TC] tests."""
+    return Database.from_dict({"E": [(1, 2), (2, 3), (3, 4), (5, 1)]})

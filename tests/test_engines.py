@@ -1,0 +1,207 @@
+"""Tests for the session facade and the SQLite-backed engine."""
+
+import pytest
+
+from repro.datasets import (
+    GRAPH_VIEW_SCHEMA,
+    SocialNetworkConfig,
+    chain,
+    erdos_renyi,
+    generate_social_database,
+)
+from repro.engine import PGQSession, SQLiteEngine
+from repro.errors import EngineError
+from repro.patterns.builder import edge, label, node, output, plus, prop, prop_cmp, seq, star, where
+from repro.pgq import (
+    BaseRelation,
+    Difference,
+    PGQEvaluator,
+    Project,
+    Select,
+    Union,
+    graph_pattern_on_relations,
+)
+from repro.relational import ColumnEqualsConstant
+
+VIEW = GRAPH_VIEW_SCHEMA
+
+BANK_DDL = """
+CREATE PROPERTY GRAPH Transfers (
+  NODES TABLE Account KEY (iban) LABEL Account,
+  EDGES TABLE Transfer KEY (t_id)
+    SOURCE KEY src_iban REFERENCES Account
+    TARGET KEY tgt_iban REFERENCES Account
+    LABELS Transfer PROPERTIES (ts, amount))
+"""
+
+BANK_QUERY = """
+SELECT * FROM GRAPH_TABLE ( Transfers
+  MATCH (x) -[t:Transfer]->+ (y)
+  WHERE t.amount > 100
+  COLUMNS (x.iban, y.iban) )
+"""
+
+
+def make_bank_session() -> PGQSession:
+    session = PGQSession()
+    session.register_table("Account", ["iban"], [("A1",), ("A2",), ("A3",), ("A4",)])
+    session.register_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            ("T1", "A1", "A2", 1, 250),
+            ("T2", "A2", "A3", 2, 500),
+            ("T3", "A3", "A4", 3, 50),
+            ("T4", "A4", "A1", 4, 700),
+        ],
+    )
+    session.execute(BANK_DDL)
+    return session
+
+
+# --------------------------------------------------------------------------- #
+# Session
+# --------------------------------------------------------------------------- #
+class TestSession:
+    def test_end_to_end_bank_example(self):
+        session = make_bank_session()
+        result = session.execute(BANK_QUERY)
+        assert result.columns == ("x.iban", "y.iban")
+        assert ("A1", "A3") in result.to_set()
+        assert ("A3", "A4") not in result.to_set()  # amount 50 filtered out
+
+    def test_ddl_result_and_graph_names(self):
+        session = make_bank_session()
+        assert session.graph_names() == ("Transfers",)
+        definition = session.graph_definition("Transfers")
+        assert definition.identifier_arity == 1
+
+    def test_compile_returns_pgq_query(self):
+        session = make_bank_session()
+        query = session.compile(BANK_QUERY)
+        relation = session.evaluate(query)
+        assert relation.arity == 2
+
+    def test_compile_rejects_ddl(self):
+        session = make_bank_session()
+        with pytest.raises(EngineError):
+            session.compile(BANK_DDL)
+
+    def test_register_database_requires_columns(self):
+        session = PGQSession()
+        db = chain(2)
+        with pytest.raises(EngineError):
+            session.register_database(db, {"N": ["node_id"]})
+
+    def test_social_workload_through_session(self):
+        database = generate_social_database(SocialNetworkConfig(people=12, posts=10, seed=4))
+        session = PGQSession()
+        session.register_database(
+            database,
+            {
+                "Person": ["person_id", "name", "city"],
+                "Post": ["post_id", "author_id", "length"],
+                "Knows": ["knows_id", "src_id", "tgt_id", "since"],
+                "Likes": ["likes_id", "person_id", "post_id"],
+            },
+        )
+        session.execute(
+            """
+            CREATE PROPERTY GRAPH SocialGraph (
+              NODES TABLE Person KEY (person_id) LABEL Person,
+              EDGES TABLE Knows KEY (knows_id)
+                SOURCE KEY src_id REFERENCES Person
+                TARGET KEY tgt_id REFERENCES Person
+                LABEL Knows )
+            """
+        )
+        result = session.execute(
+            """
+            SELECT * FROM GRAPH_TABLE ( SocialGraph
+              MATCH (a) -[k:Knows]->* (b)
+              COLUMNS (a.name, b.name) )
+            """
+        )
+        assert len(result) > 0
+
+    def test_output_column_bound_in_quantifier_rejected(self):
+        from repro.errors import QueryError
+
+        session = make_bank_session()
+        with pytest.raises(QueryError):
+            session.execute(
+                "SELECT * FROM GRAPH_TABLE ( Transfers MATCH (x) -[t:Transfer]->+ (y) "
+                "COLUMNS (t.amount) )"
+            )
+
+
+# --------------------------------------------------------------------------- #
+# SQLite engine
+# --------------------------------------------------------------------------- #
+class TestSQLiteEngine:
+    @pytest.fixture
+    def graph_db(self):
+        return erdos_renyi(7, 0.25, seed=9, labels=("Red", "Blue"), property_key="w")
+
+    def queries(self):
+        simple = seq(node("x"), edge("t"), node("y"))
+        return [
+            BaseRelation("S"),
+            Project(BaseRelation("S"), (2,)),
+            Union(Project(BaseRelation("S"), (2,)), Project(BaseRelation("T"), (2,))),
+            Difference(BaseRelation("N"), Project(BaseRelation("S"), (2,))),
+            Select(BaseRelation("P"), ColumnEqualsConstant(2, "w")),
+            graph_pattern_on_relations(output(simple, "x", "y"), VIEW),
+            graph_pattern_on_relations(
+                output(where(simple, label("x", "Red")), "x", "y"), VIEW
+            ),
+            graph_pattern_on_relations(
+                output(
+                    seq(node("x"), where(edge("t"), prop_cmp("t", "w", ">", 50)), node("y")),
+                    "x", prop("t", "w"), "y",
+                ),
+                VIEW,
+            ),
+            graph_pattern_on_relations(
+                output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y"), VIEW
+            ),
+            graph_pattern_on_relations(
+                output(seq(node("x"), plus(seq(edge(), node())), node("y")), "x", "y"), VIEW
+            ),
+        ]
+
+    def test_sqlite_agrees_with_formal_evaluator(self, graph_db):
+        with SQLiteEngine(graph_db) as engine:
+            for query in self.queries():
+                expected = PGQEvaluator(graph_db).evaluate(query)
+                actual = engine.evaluate(query)
+                assert actual.rows == expected.rows, query
+
+    def test_recursive_cte_is_emitted_for_star(self, graph_db):
+        query = graph_pattern_on_relations(
+            output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y"), VIEW
+        )
+        with SQLiteEngine(graph_db) as engine:
+            assert "WITH RECURSIVE" in engine.compile_to_sql(query)
+
+    def test_bank_example_on_sqlite(self):
+        session = make_bank_session()
+        query = session.compile(BANK_QUERY)
+        expected = session.evaluate(query)
+        with SQLiteEngine(session.database) as engine:
+            assert engine.evaluate(query).rows == expected.rows
+
+    def test_raw_sql_access(self, graph_db):
+        with SQLiteEngine(graph_db) as engine:
+            rows = engine.evaluate_sql('SELECT COUNT(*) FROM "N"')
+            assert rows == [(7,)]
+
+    def test_fallback_for_nary_identifiers(self):
+        from repro.datasets import generate_transfer_chain
+        from repro.separations import increasing_amount_pairs_query
+
+        db = generate_transfer_chain(4, increasing=True)
+        query = increasing_amount_pairs_query()
+        expected = PGQEvaluator(db).evaluate(query)
+        with SQLiteEngine(db) as engine:
+            assert engine.evaluate(query).rows == expected.rows

@@ -1,0 +1,65 @@
+"""Unit tests for identifier normalization (repro.graph.identifiers)."""
+
+import pytest
+
+from repro.errors import ArityError
+from repro.graph.identifiers import (
+    as_identifier,
+    identifier_arity,
+    same_arity,
+    unwrap_if_unary,
+)
+
+
+def test_scalar_becomes_unary_tuple():
+    assert as_identifier("a1") == ("a1",)
+
+
+def test_tuple_passes_through():
+    assert as_identifier(("bank", "branch", 7)) == ("bank", "branch", 7)
+
+
+def test_list_is_converted_to_tuple():
+    assert as_identifier(["x", "y"]) == ("x", "y")
+
+
+def test_integer_scalar():
+    assert as_identifier(42) == (42,)
+
+
+def test_empty_tuple_rejected():
+    with pytest.raises(ArityError):
+        as_identifier(())
+
+
+def test_nested_tuple_rejected():
+    with pytest.raises(ArityError):
+        as_identifier((("a", "b"), "c"))
+
+
+def test_nested_list_component_rejected():
+    with pytest.raises(ArityError):
+        as_identifier((["a"],))
+
+
+def test_identifier_arity():
+    assert identifier_arity("x") == 1
+    assert identifier_arity(("a", "b")) == 2
+
+
+def test_same_arity_true():
+    assert same_arity([("a",), ("b",), ("c",)])
+    assert same_arity([("a", 1), ("b", 2)])
+
+
+def test_same_arity_false():
+    assert not same_arity([("a",), ("b", 2)])
+
+
+def test_same_arity_empty():
+    assert same_arity([])
+
+
+def test_unwrap_if_unary():
+    assert unwrap_if_unary(("a",)) == "a"
+    assert unwrap_if_unary(("a", "b")) == ("a", "b")

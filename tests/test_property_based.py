@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import PropertyGraph
+from repro.matching import EndpointEvaluator, PathEvaluator, project_endpoints
+from repro.logic import AlgebraicFOTCEvaluator, FOTCEvaluator, atom, reachability_formula
+from repro.patterns.builder import edge, node, output, plus, seq, star
+from repro.pgq import graph_to_view, pg_view, PGQEvaluator, graph_pattern_on_relations
+from repro.relational import Database, Relation
+from repro.translations import check_formula_translation, check_query_translation
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+values = st.one_of(st.integers(min_value=0, max_value=6), st.sampled_from("abcdef"))
+
+
+@st.composite
+def small_graphs(draw):
+    """Random small property graphs with unary identifiers."""
+    node_count = draw(st.integers(min_value=1, max_value=6))
+    nodes = [f"n{i}" for i in range(node_count)]
+    edge_count = draw(st.integers(min_value=0, max_value=8))
+    graph = PropertyGraph()
+    for index, name in enumerate(nodes):
+        labels = ["Red"] if index % 2 == 0 else ["Blue"]
+        graph.add_node(name, labels=labels, properties={"idx": index})
+    for index in range(edge_count):
+        source = draw(st.sampled_from(nodes))
+        target = draw(st.sampled_from(nodes))
+        graph.add_edge(f"e{index}", source, target, properties={"w": index})
+    return graph
+
+
+@st.composite
+def edge_databases(draw):
+    """Random binary edge relations over a tiny integer domain."""
+    pairs = draw(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    return Database.from_dict({"E": pairs})
+
+
+@st.composite
+def relations(draw):
+    arity = draw(st.integers(min_value=1, max_value=3))
+    rows = draw(st.lists(st.tuples(*([values] * arity)), min_size=0, max_size=8))
+    return Relation(arity, rows)
+
+
+# --------------------------------------------------------------------------- #
+# Relation algebra laws
+# --------------------------------------------------------------------------- #
+@given(relations(), relations())
+def test_union_is_commutative_when_arities_match(left, right):
+    if left.arity == right.arity:
+        assert left.union(right) == right.union(left)
+
+
+@given(relations())
+def test_difference_with_self_is_empty(relation):
+    assert len(relation.difference(relation)) == 0
+
+
+@given(relations())
+def test_projection_identity(relation):
+    positions = tuple(range(1, relation.arity + 1))
+    assert relation.project(positions) == relation
+
+
+@given(relations(), relations())
+def test_product_cardinality(left, right):
+    assert len(left.product(right)) == len(left) * len(right)
+
+
+# --------------------------------------------------------------------------- #
+# Graph <-> view round-trip (Definition 3.2)
+# --------------------------------------------------------------------------- #
+@settings(max_examples=40)
+@given(small_graphs())
+def test_graph_view_roundtrip(graph):
+    rebuilt = pg_view(graph_to_view(graph).as_tuple())
+    assert rebuilt == graph
+
+
+# --------------------------------------------------------------------------- #
+# Proposition 9.1: endpoint and path semantics agree
+# --------------------------------------------------------------------------- #
+@settings(max_examples=30, deadline=None)
+@given(small_graphs())
+def test_endpoint_equals_projected_path_semantics(graph):
+    patterns = [
+        seq(node("x"), edge("t"), node("y")),
+        seq(node("x"), star(seq(edge(), node())), node("y")),
+        seq(node("x"), plus(seq(edge(), node())), node("y")),
+    ]
+    for pattern in patterns:
+        endpoint = EndpointEvaluator(graph).evaluate(pattern)
+        paths = PathEvaluator(graph).evaluate(pattern)
+        assert project_endpoints(paths) == endpoint
+
+
+# --------------------------------------------------------------------------- #
+# The two FO[TC] evaluators agree
+# --------------------------------------------------------------------------- #
+@settings(max_examples=30, deadline=None)
+@given(edge_databases())
+def test_fo_tc_evaluators_agree_on_reachability(database):
+    formula = reachability_formula()
+    top_down = FOTCEvaluator(database).result(formula, ("x", "y"))
+    bottom_up = AlgebraicFOTCEvaluator(database).result(formula, ("x", "y"))
+    assert top_down.rows == bottom_up.rows
+
+
+# --------------------------------------------------------------------------- #
+# Translations are semantics-preserving on random instances (Thms 6.1/6.2)
+# --------------------------------------------------------------------------- #
+@settings(max_examples=15, deadline=None)
+@given(edge_databases())
+def test_formula_to_query_translation_on_random_databases(database):
+    report = check_formula_translation(reachability_formula(), database)
+    assert report.equivalent, report.detail
+
+
+@settings(max_examples=10, deadline=None)
+@given(small_graphs())
+def test_query_to_formula_translation_on_random_graphs(graph):
+    relations = graph_to_view(graph).as_tuple()
+    database = Database.from_dict(
+        {name: list(rel.rows) for name, rel in zip("NESTLP", relations) if len(rel)},
+        arities={name: rel.arity for name, rel in zip("NESTLP", relations)},
+    )
+    query = graph_pattern_on_relations(
+        output(seq(node("x"), plus(seq(edge(), node())), node("y")), "x", "y"),
+        ("N", "E", "S", "T", "L", "P"),
+    )
+    report = check_query_translation(query, database)
+    assert report.equivalent, report.detail
+
+
+# --------------------------------------------------------------------------- #
+# Reachability query is monotone under edge addition
+# --------------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(edge_databases(), st.tuples(st.integers(0, 4), st.integers(0, 4)))
+def test_reachability_is_monotone(database, extra_edge):
+    formula = reachability_formula()
+    before = AlgebraicFOTCEvaluator(database).result(formula, ("x", "y")).rows
+    bigger = Database.from_dict(
+        {"E": list(database.relation("E").rows) + [extra_edge]}
+    )
+    after = AlgebraicFOTCEvaluator(bigger).result(formula, ("x", "y")).rows
+    # Every previously reachable pair stays reachable.
+    assert all(row in after for row in before)

@@ -1,0 +1,143 @@
+"""Unit tests for the property graph data model (Definition 2.1)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import PropertyGraph
+
+
+def build_small_graph() -> PropertyGraph:
+    graph = PropertyGraph()
+    graph.add_node("a", labels=["Red"], properties={"k": 1})
+    graph.add_node("b", labels=["Blue"])
+    graph.add_edge("e", "a", "b", labels=["Link"], properties={"w": 5})
+    return graph
+
+
+def test_nodes_and_edges_are_canonical_tuples():
+    graph = build_small_graph()
+    assert ("a",) in graph.nodes
+    assert ("e",) in graph.edges
+
+
+def test_source_and_target():
+    graph = build_small_graph()
+    assert graph.source("e") == ("a",)
+    assert graph.target("e") == ("b",)
+
+
+def test_labels_and_properties():
+    graph = build_small_graph()
+    assert graph.labels("a") == frozenset({"Red"})
+    assert graph.property("e", "w") == 5
+    assert graph.property("e", "missing") is None
+    assert graph.has_property("a", "k")
+    assert not graph.has_property("b", "k")
+
+
+def test_properties_dict():
+    graph = build_small_graph()
+    assert graph.properties("a") == {"k": 1}
+
+
+def test_edge_endpoints_must_exist():
+    graph = PropertyGraph()
+    graph.add_node("a")
+    with pytest.raises(GraphError):
+        graph.add_edge("e", "a", "missing")
+    with pytest.raises(GraphError):
+        graph.add_edge("e", "missing", "a")
+
+
+def test_node_edge_identifier_disjointness():
+    graph = PropertyGraph()
+    graph.add_node("x")
+    graph.add_node("y")
+    graph.add_edge("x2", "x", "y")
+    with pytest.raises(GraphError):
+        graph.add_node("x2")
+    with pytest.raises(GraphError):
+        graph.add_edge("x", "x", "y")
+
+
+def test_edge_redefinition_with_different_endpoints_rejected():
+    graph = PropertyGraph()
+    graph.add_node("a")
+    graph.add_node("b")
+    graph.add_node("c")
+    graph.add_edge("e", "a", "b")
+    with pytest.raises(GraphError):
+        graph.add_edge("e", "a", "c")
+
+
+def test_label_on_unknown_element_rejected():
+    graph = PropertyGraph()
+    with pytest.raises(GraphError):
+        graph.add_label("ghost", "L")
+
+
+def test_navigation():
+    graph = build_small_graph()
+    assert graph.successors("a") == frozenset({("b",)})
+    assert graph.predecessors("b") == frozenset({("a",)})
+    assert graph.out_degree("a") == 1
+    assert graph.in_degree("a") == 0
+    assert graph.out_edges("a") == frozenset({("e",)})
+
+
+def test_elements_with_label():
+    graph = build_small_graph()
+    assert graph.elements_with_label("Red") == frozenset({("a",)})
+    assert graph.elements_with_label("Link") == frozenset({("e",)})
+    assert graph.elements_with_label("Nope") == frozenset()
+
+
+def test_node_and_edge_arity():
+    graph = PropertyGraph()
+    assert graph.node_arity() is None
+    graph.add_node(("b1", "x"))
+    graph.add_node(("b2", "y"))
+    graph.add_edge(("t", "1"), ("b1", "x"), ("b2", "y"))
+    assert graph.node_arity() == 2
+    assert graph.edge_arity() == 2
+
+
+def test_mixed_node_arity_detected():
+    graph = PropertyGraph()
+    graph.add_node("a")
+    graph.add_node(("b", "c"))
+    with pytest.raises(GraphError):
+        graph.node_arity()
+
+
+def test_subgraph_keeps_induced_edges_only():
+    graph = build_small_graph()
+    graph.add_node("c")
+    graph.add_edge("f", "b", "c")
+    sub = graph.subgraph(["a", "b"])
+    assert sub.nodes == frozenset({("a",), ("b",)})
+    assert sub.edges == frozenset({("e",)})
+    assert sub.property("e", "w") == 5
+
+
+def test_reversed_graph():
+    graph = build_small_graph()
+    reversed_graph = graph.reversed()
+    assert reversed_graph.source("e") == ("b",)
+    assert reversed_graph.target("e") == ("a",)
+    assert reversed_graph.labels("e") == frozenset({"Link"})
+
+
+def test_equality_and_validate():
+    left = build_small_graph()
+    right = build_small_graph()
+    assert left == right
+    left.set_property("a", "k", 2)
+    assert left != right
+    left.validate()
+    right.validate()
+
+
+def test_counts(triangle_graph):
+    assert triangle_graph.node_count() == 3
+    assert triangle_graph.edge_count() == 3
