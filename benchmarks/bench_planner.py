@@ -1,0 +1,265 @@
+"""Engine comparison: naive oracle vs planned vs SQLite.
+
+Runs the repetition-heavy workloads of ``bench_transfers.py`` (amount-
+filtered transitive reachability over random transfer graphs) and
+``bench_pairs_reachability.py`` (PGQext pair reachability over 4-ary
+identifiers) on all three registered engines and records the timings in
+``BENCH_planner.json`` so later PRs have a performance trajectory.
+
+Two measurement levels per workload:
+
+* ``*_query`` — end-to-end engine evaluation of the full PGQ query
+  (view subqueries, graph construction, pattern matching);
+* ``*_matcher`` — pattern matching only, on a pre-built graph view
+  (the level ``bench_transfers.py::test_filtered_reachability`` measures).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py            # full run
+    PYTHONPATH=src python benchmarks/bench_planner.py --smoke    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from repro.datasets import (
+    TransferWorkloadConfig,
+    generate_iban_database,
+    iban_view_relations,
+    pair_graph_database,
+)
+from repro.engine import NaiveEngine, PlannedEngine, SQLiteEngine
+from repro.matching import EndpointEvaluator
+from repro.patterns.builder import edge, node, output, plus, prop_cmp, seq, where
+from repro.pgq import graph_pattern_on_relations, pg_view, pg_view_ext
+from repro.planner import PlanCache, PlanExecutor
+from repro.separations import pair_reachability_query
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_planner.json"
+
+TRANSFER_SIZES = [(50, 150), (100, 400), (200, 800)]
+PAIR_SIZES = [4, 6, 8, 10, 12]
+SMOKE_TRANSFER_SIZES = [(40, 120)]
+SMOKE_PAIR_SIZES = [3]
+
+IBAN_VIEW = ("AccountNodes", "TransferEdges", "Sources", "Targets", "Labels", "Properties")
+
+
+def _time(function: Callable[[], object], repeats: int) -> float:
+    """Best-of-N wall-clock seconds for one call."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _filtered_reachability_output(threshold: int = 500):
+    pattern = seq(
+        node("x"),
+        plus(seq(where(edge("t"), prop_cmp("t", "amount", ">", threshold)), node())),
+        node("y"),
+    )
+    return output(pattern, "x", "y")
+
+
+def _transfer_database(accounts: int, transfers: int):
+    return generate_iban_database(
+        TransferWorkloadConfig(accounts=accounts, transfers=transfers, seed=7)
+    )
+
+
+def _transfer_query():
+    # The six iban view relations are registered under canonical names below.
+    return graph_pattern_on_relations(_filtered_reachability_output(), IBAN_VIEW)
+
+
+def _transfer_view_database(database):
+    from repro.relational.database import Database
+
+    relations = iban_view_relations(database)
+    return Database.from_dict(
+        {name: [tuple(row) for row in relation.rows] for name, relation in zip(IBAN_VIEW, relations)},
+        arities={name: relation.arity for name, relation in zip(IBAN_VIEW, relations)},
+    )
+
+
+def bench_transfers(sizes, repeats: int) -> Dict[str, List[dict]]:
+    query_rows: List[dict] = []
+    matcher_rows: List[dict] = []
+    out = _filtered_reachability_output()
+    for accounts, transfers in sizes:
+        database = _transfer_database(accounts, transfers)
+        view_db = _transfer_view_database(database)
+        query = _transfer_query()
+
+        naive_engine = NaiveEngine(view_db)
+        planned_engine = PlannedEngine(view_db, plan_cache=PlanCache())
+        sqlite_engine = SQLiteEngine(view_db)
+        expected = naive_engine.evaluate(query)
+        assert planned_engine.evaluate(query).rows == expected.rows
+        assert sqlite_engine.evaluate(query).rows == expected.rows
+
+        naive_s = _time(lambda: naive_engine.evaluate(query), repeats)
+        planned_s = _time(lambda: planned_engine.evaluate(query), repeats)
+        sqlite_s = _time(lambda: sqlite_engine.evaluate(query), repeats)
+        sqlite_engine.close()
+        query_rows.append(
+            {
+                "accounts": accounts,
+                "transfers": transfers,
+                "rows": len(expected),
+                "naive_s": naive_s,
+                "planned_s": planned_s,
+                "sqlite_s": sqlite_s,
+                "speedup_planned_vs_naive": round(naive_s / planned_s, 2),
+            }
+        )
+
+        graph = pg_view(iban_view_relations(database))
+        cache = PlanCache()
+        assert PlanExecutor(graph, plan_cache=cache).evaluate_output(out) == EndpointEvaluator(
+            graph
+        ).evaluate_output(out)
+        naive_m = _time(lambda: EndpointEvaluator(graph).evaluate_output(out), repeats)
+        planned_m = _time(
+            lambda: PlanExecutor(graph, plan_cache=cache).evaluate_output(out), repeats
+        )
+        matcher_rows.append(
+            {
+                "accounts": accounts,
+                "transfers": transfers,
+                "naive_s": naive_m,
+                "planned_s": planned_m,
+                "speedup_planned_vs_naive": round(naive_m / planned_m, 2),
+            }
+        )
+    return {"transfers_query": query_rows, "transfers_matcher": matcher_rows}
+
+
+def bench_pairs(sizes, repeats: int) -> Dict[str, List[dict]]:
+    query_rows: List[dict] = []
+    matcher_rows: List[dict] = []
+    query = pair_reachability_query()
+    for values in sizes:
+        database = pair_graph_database(values, seed=5, edge_probability=0.15)
+        naive_engine = NaiveEngine(database)
+        planned_engine = PlannedEngine(database, plan_cache=PlanCache())
+        sqlite_engine = SQLiteEngine(database)  # n-ary view: falls back to the oracle
+        expected = naive_engine.evaluate(query)
+        assert planned_engine.evaluate(query).rows == expected.rows
+        assert sqlite_engine.evaluate(query).rows == expected.rows
+
+        naive_s = _time(lambda: naive_engine.evaluate(query), repeats)
+        planned_s = _time(lambda: planned_engine.evaluate(query), repeats)
+        sqlite_s = _time(lambda: sqlite_engine.evaluate(query), repeats)
+        sqlite_engine.close()
+        query_rows.append(
+            {
+                "values": values,
+                "pair_nodes": values * values,
+                "rows": len(expected),
+                "naive_s": naive_s,
+                "planned_s": planned_s,
+                "sqlite_s": sqlite_s,
+                "speedup_planned_vs_naive": round(naive_s / planned_s, 2),
+            }
+        )
+
+        # Matcher level: reachability on the materialized 4-ary pair graph.
+        graph_pattern = query.operand  # Project(GraphPattern(...), ...)
+        view_relations = tuple(
+            NaiveEngine(database).evaluate(source) for source in graph_pattern.sources
+        )
+        graph = pg_view_ext(view_relations)
+        out = graph_pattern.output
+        cache = PlanCache()
+        assert PlanExecutor(graph, plan_cache=cache).evaluate_output(out) == EndpointEvaluator(
+            graph
+        ).evaluate_output(out)
+        naive_m = _time(lambda: EndpointEvaluator(graph).evaluate_output(out), repeats)
+        planned_m = _time(
+            lambda: PlanExecutor(graph, plan_cache=cache).evaluate_output(out), repeats
+        )
+        matcher_rows.append(
+            {
+                "values": values,
+                "pair_nodes": values * values,
+                "naive_s": naive_m,
+                "planned_s": planned_m,
+                "speedup_planned_vs_naive": round(naive_m / planned_m, 2),
+            }
+        )
+    return {"pairs_reachability": query_rows, "pairs_matcher": matcher_rows}
+
+
+def _print_table(title: str, rows: List[dict]) -> None:
+    print(f"\n# {title}")
+    if not rows:
+        return
+    header = list(rows[0])
+    widths = [max(len(h), *(len(_fmt(r[h])) for r in rows)) for h in header]
+    print("  " + "  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(_fmt(row[h]).rjust(w) for h, w in zip(header, widths)))
+
+
+def _fmt(value) -> str:
+    return f"{value:.5f}" if isinstance(value, float) else str(value)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small sizes, one repeat (CI)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else 3
+    transfer_sizes = SMOKE_TRANSFER_SIZES if args.smoke else TRANSFER_SIZES
+    pair_sizes = SMOKE_PAIR_SIZES if args.smoke else PAIR_SIZES
+
+    workloads: Dict[str, List[dict]] = {}
+    workloads.update(bench_transfers(transfer_sizes, repeats))
+    workloads.update(bench_pairs(pair_sizes, repeats))
+
+    for name, rows in workloads.items():
+        _print_table(name, rows)
+
+    payload = {
+        "generated_by": "benchmarks/bench_planner.py" + (" --smoke" if args.smoke else ""),
+        "engines": ["naive", "planned", "sqlite"],
+        "workloads": workloads,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    if args.smoke:
+        return 0
+    missed = False
+    for key in (
+        "transfers_query",
+        "transfers_matcher",
+        "pairs_reachability",
+        "pairs_matcher",
+    ):
+        largest = workloads[key][-1]
+        speedup = largest["speedup_planned_vs_naive"]
+        below = speedup < 5.0
+        missed = missed or below
+        status = "BELOW TARGET" if below else "ok"
+        print(f"{key}: planned is {speedup}x naive at the largest size [{status}]")
+    # Nonzero exit makes a perf regression below the recorded >=5x target
+    # fail loudly in full runs.
+    return 1 if missed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,7 +41,16 @@ Quickstart::
     ''')
 """
 
-from repro.engine import PGQSession, QueryResult, SQLiteEngine
+from repro.engine import (
+    NaiveEngine,
+    PGQSession,
+    PlannedEngine,
+    QueryResult,
+    SQLiteEngine,
+    available_engines,
+    create_engine,
+    register_engine,
+)
 from repro.errors import (
     ArityError,
     EngineError,
@@ -81,8 +90,10 @@ __all__ = [
     "FragmentError",
     "GraphError",
     "LogicError",
+    "NaiveEngine",
     "PGQEvaluator",
     "PGQSession",
+    "PlannedEngine",
     "ParseError",
     "PatternError",
     "PropertyGraph",
@@ -95,13 +106,16 @@ __all__ = [
     "SchemaError",
     "TranslationError",
     "ViewError",
+    "available_engines",
     "classify",
+    "create_engine",
     "evaluate",
     "evaluate_boolean",
     "graph_pattern_on_relations",
     "pg_view",
     "pg_view_ext",
     "pg_view_n",
+    "register_engine",
     "translate_formula",
     "translate_query",
     "__version__",

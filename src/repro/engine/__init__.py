@@ -1,6 +1,37 @@
-"""Execution engines: in-memory session facade and SQLite backend."""
+"""Execution engines: session facade, backend registry, three backends.
 
+The module registers the built-in backends (``naive``, ``planned``,
+``sqlite``) with :mod:`repro.engine.registry` at import time; a
+:class:`PGQSession` selects one by name via ``PGQSession(engine=...)``.
+"""
+
+from repro.engine.naive import NaiveEngine, make_naive_engine
+from repro.engine.planned import PlannedEngine, make_planned_engine
+from repro.engine.registry import (
+    Engine,
+    available_engines,
+    create_engine,
+    engine_factory,
+    register_engine,
+    unregister_engine,
+)
 from repro.engine.session import PGQSession, QueryResult
-from repro.engine.sqlite import SQLiteEngine
+from repro.engine.sqlite import SQLiteEngine, make_sqlite_engine
 
-__all__ = ["PGQSession", "QueryResult", "SQLiteEngine"]
+register_engine("naive", make_naive_engine, replace=True)
+register_engine("planned", make_planned_engine, replace=True)
+register_engine("sqlite", make_sqlite_engine, replace=True)
+
+__all__ = [
+    "Engine",
+    "NaiveEngine",
+    "PGQSession",
+    "PlannedEngine",
+    "QueryResult",
+    "SQLiteEngine",
+    "available_engines",
+    "create_engine",
+    "engine_factory",
+    "register_engine",
+    "unregister_engine",
+]

@@ -1,0 +1,34 @@
+"""The naive backend: the formal evaluator as a registered engine.
+
+``NaiveEngine`` is :class:`~repro.pgq.evaluator.PGQEvaluator` wearing the
+:class:`~repro.engine.registry.Engine` protocol.  It exists as its own
+backend for two reasons: it is the **semantics oracle** — the direct
+implementation of Figures 2 and 4 of the paper that every optimized
+backend is tested against — and it is the baseline the planner benchmarks
+measure speedups from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pgq.evaluator import PGQEvaluator
+from repro.relational.database import Database
+
+
+class NaiveEngine(PGQEvaluator):
+    """Set-at-a-time evaluation straight from the paper's semantics.
+
+    The constructor is inherited unchanged from :class:`PGQEvaluator`
+    (``database``, ``collect_statistics``, ``max_repetitions``); the
+    subclass only contributes the Engine-protocol surface.
+    """
+
+    name = "naive"
+
+    def close(self) -> None:
+        """Nothing to release; present for the Engine protocol."""
+
+
+def make_naive_engine(database: Database, *, max_repetitions: Optional[int] = None, **_options):
+    return NaiveEngine(database, max_repetitions=max_repetitions)

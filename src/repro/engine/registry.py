@@ -1,0 +1,105 @@
+"""The pluggable ``Engine`` protocol and the backend registry.
+
+Every execution backend implements one small protocol — a ``name``, an
+``evaluate(query) -> Relation`` method, and ``close()`` — and registers a
+factory under a short name.  Sessions (and anything else that wants to run
+a PGQ query) pick a backend by name:
+
+>>> from repro.engine.registry import available_engines, create_engine
+>>> sorted(available_engines())
+['naive', 'planned', 'sqlite']
+>>> engine = create_engine("planned", database)
+>>> engine.evaluate(query)
+
+Adding a backend is registration, not modification::
+
+    from repro.engine.registry import register_engine
+
+    def _make_my_engine(database, *, max_repetitions=None):
+        return MyEngine(database, max_repetitions=max_repetitions)
+
+    register_engine("mine", _make_my_engine)
+
+Factories receive the database plus keyword options (currently
+``max_repetitions``); they may ignore options that do not apply to them.
+The three built-in backends are registered by :mod:`repro.engine`:
+
+* ``naive`` — the formal evaluator, kept as the semantics oracle;
+* ``planned`` — the query planner (logical IR, rule-based optimizer,
+  hash joins, semi-naive repetition fixpoint);
+* ``sqlite`` — compilation to SQL with recursive CTEs, falling back to
+  the oracle for n-ary identifier views.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.errors import EngineError
+from repro.pgq.queries import Query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Protocol every execution backend satisfies."""
+
+    name: str
+
+    def evaluate(self, query: Query) -> Relation:
+        """Evaluate a PGQ query and return its result relation."""
+        ...
+
+    def close(self) -> None:
+        """Release any resources held by the backend."""
+        ...
+
+
+#: A factory builds an engine bound to one database instance.
+EngineFactory = Callable[..., Engine]
+
+_REGISTRY: Dict[str, EngineFactory] = {}
+
+
+def register_engine(name: str, factory: EngineFactory, *, replace: bool = False) -> None:
+    """Register an engine factory under ``name``.
+
+    Re-registering an existing name requires ``replace=True`` so typos do
+    not silently shadow a built-in backend.
+    """
+    if not replace and name in _REGISTRY:
+        raise EngineError(f"engine {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def unregister_engine(name: str) -> None:
+    """Remove a registered engine (tests of the registry itself)."""
+    _REGISTRY.pop(name, None)
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def engine_factory(name: str) -> EngineFactory:
+    """Look up a factory; raises :class:`EngineError` naming alternatives."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EngineError(
+            f"unknown engine {name!r}; available engines: {', '.join(available_engines())}"
+        ) from None
+
+
+def create_engine(
+    name: str,
+    database: Database,
+    *,
+    max_repetitions: Optional[int] = None,
+    **options,
+) -> Engine:
+    """Instantiate the backend ``name`` for one database instance."""
+    factory = engine_factory(name)
+    return factory(database, max_repetitions=max_repetitions, **options)

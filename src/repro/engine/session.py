@@ -2,30 +2,41 @@
 
 A :class:`PGQSession` owns a relational database (with named columns, so
 the DDL can reference them), a catalog of property-graph view definitions,
-and an evaluator.  The typical flow mirrors the paper's introduction:
+and an execution backend chosen from the engine registry.  The typical
+flow mirrors the paper's introduction:
 
->>> session = PGQSession()
+>>> session = PGQSession(engine="planned")
 >>> session.register_table("Account", ["iban"], rows)
 >>> session.register_table("Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], rows)
 >>> session.execute("CREATE PROPERTY GRAPH Transfers ( ... )")
 >>> session.execute("SELECT * FROM GRAPH_TABLE ( Transfers MATCH ... COLUMNS (...) )")
+
+The ``engine`` option selects a registered backend (``naive`` — the
+semantics oracle, ``planned`` — the query planner, ``sqlite`` — SQL
+compilation); ``max_repetitions`` bounds repetition depth, raising
+:class:`~repro.errors.PatternError` when a match would need more body
+iterations.  Both options thread through to the backend untouched.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import EngineError
-from repro.pgq.evaluator import PGQEvaluator
+from repro.errors import EngineError, ReproError
+from repro.engine.registry import Engine, create_engine, engine_factory
 from repro.pgq.queries import Query
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, Schema
 from repro.sqlpgq.ast import CreatePropertyGraph, GraphTableQuery
 from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition
-from repro.sqlpgq.compiler import compile_query
+from repro.sqlpgq.compiler import compile_query, compile_to_plan
 from repro.sqlpgq.parser import parse_statement
+
+#: Sentinel distinguishing "argument not passed" from an explicit None.
+_UNSET: object = object()
 
 
 @dataclass(frozen=True)
@@ -44,14 +55,64 @@ class QueryResult:
     def to_set(self):
         return set(self.rows)
 
+    def to_list(self) -> List[Tuple]:
+        """Rows as a plain list, in the result's deterministic order."""
+        return list(self.rows)
+
+    def equals_unordered(self, other: Union["QueryResult", Iterable[Tuple]]) -> bool:
+        """Multiset row equality, ignoring order (cross-engine checks).
+
+        Accepts another :class:`QueryResult` or any iterable of row tuples;
+        column names are not compared (backends may fall back to positional
+        names).
+        """
+        other_rows = other.rows if isinstance(other, QueryResult) else tuple(other)
+        return Counter(self.rows) == Counter(tuple(row) for row in other_rows)
+
+    def __repr__(self) -> str:
+        header = [str(column) for column in self.columns]
+        body = [[repr(value) for value in row] for row in self.rows[:20]]
+        widths = [
+            max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            " | ".join(cell.ljust(width) for cell, width in zip(header, widths)),
+            "-+-".join("-" * width for width in widths),
+        ]
+        lines += [
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in body
+        ]
+        if len(self.rows) > 20:
+            lines.append(f"... ({len(self.rows) - 20} more rows)")
+        lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
+        return "\n".join(lines)
+
 
 class PGQSession:
-    """An in-memory SQL/PGQ session over the formal PGQ evaluator."""
+    """An in-memory SQL/PGQ session over a pluggable execution backend."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        engine: str = "naive",
+        max_repetitions: Optional[int] = None,
+    ) -> None:
+        engine_factory(engine)  # fail fast on unknown backend names
         self._relations: Dict[str, Relation] = {}
         self._columns: Dict[str, Tuple[str, ...]] = {}
         self._catalog: Optional[GraphCatalog] = None
+        #: DDL statements by graph name, replayed whenever the catalog is
+        #: rebuilt after a schema change so registered graphs survive
+        #: later register_table calls.
+        self._graph_statements: Dict[str, CreatePropertyGraph] = {}
+        #: Graphs whose definitions stopped compiling after a schema
+        #: change, with the reason; referencing one raises, everything
+        #: else keeps working.
+        self._invalid_graphs: Dict[str, str] = {}
+        self._engine_name = engine
+        self._max_repetitions = max_repetitions
+        self._engine: Optional[Engine] = None
 
     # ------------------------------------------------------------------ #
     # Data registration
@@ -63,6 +124,7 @@ class PGQSession:
         self._relations[name] = relation
         self._columns[name] = columns
         self._catalog = None  # the schema changed; recompile definitions lazily
+        self._invalidate_engine()
 
     def register_database(self, database: Database, columns: Dict[str, Sequence[str]]) -> None:
         """Register every relation of an existing database with column names."""
@@ -84,11 +146,83 @@ class PGQSession:
     @property
     def catalog(self) -> GraphCatalog:
         if self._catalog is None:
-            self._catalog = GraphCatalog(self.schema)
+            catalog = GraphCatalog(self.schema)
+            self._invalid_graphs = {}
+            for name, statement in self._graph_statements.items():
+                try:
+                    catalog.register(statement)
+                except ReproError as error:
+                    # The graph no longer compiles against the new schema;
+                    # record why, but keep the session usable — only
+                    # queries referencing this graph will raise.
+                    self._invalid_graphs[name] = str(error)
+            self._catalog = catalog
         return self._catalog
 
+    def _check_graph_valid(self, name: str) -> None:
+        self.catalog  # ensure any pending replay ran
+        if name in self._invalid_graphs:
+            raise EngineError(
+                f"property graph {name!r} is no longer valid after a schema "
+                f"change: {self._invalid_graphs[name]} (re-create it or call "
+                f"drop_graph({name!r}))"
+            )
+
+    def drop_graph(self, name: str) -> None:
+        """Forget a registered property-graph definition."""
+        self._graph_statements.pop(name, None)
+        self._invalid_graphs.pop(name, None)
+        self._catalog = None
+
     def graph_names(self) -> Tuple[str, ...]:
-        return self.catalog.names()
+        """All registered graphs, including ones a schema change broke
+        (those raise when referenced; see :meth:`drop_graph`)."""
+        names = dict.fromkeys(self.catalog.names())
+        names.update(dict.fromkeys(self._invalid_graphs))
+        return tuple(names)
+
+    # ------------------------------------------------------------------ #
+    # Engine selection
+    # ------------------------------------------------------------------ #
+    @property
+    def engine_name(self) -> str:
+        """Name of the execution backend this session dispatches to."""
+        return self._engine_name
+
+    @property
+    def max_repetitions(self) -> Optional[int]:
+        """Repetition-depth bound threaded through to the backend."""
+        return self._max_repetitions
+
+    def use_engine(
+        self, name: str, *, max_repetitions: Union[Optional[int], object] = _UNSET
+    ) -> None:
+        """Switch the session to another registered backend.
+
+        ``max_repetitions`` is kept as-is unless explicitly passed
+        (including an explicit ``None`` to lift a bound).
+        """
+        engine_factory(name)
+        self._engine_name = name
+        if max_repetitions is not _UNSET:
+            self._max_repetitions = max_repetitions  # type: ignore[assignment]
+        self._invalidate_engine()
+
+    def _invalidate_engine(self) -> None:
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+
+    def _get_engine(self) -> Engine:
+        """The backend bound to the current database, built lazily and
+        invalidated whenever a table is (re)registered."""
+        if self._engine is None:
+            self._engine = create_engine(
+                self._engine_name,
+                self.database,
+                max_repetitions=self._max_repetitions,
+            )
+        return self._engine
 
     # ------------------------------------------------------------------ #
     # Statement execution
@@ -98,12 +232,15 @@ class PGQSession:
         statement = parse_statement(statement_text)
         if isinstance(statement, CreatePropertyGraph):
             definition = self.catalog.register(statement)
+            self._graph_statements[definition.name] = statement
+            self._invalid_graphs.pop(definition.name, None)
             return QueryResult(("graph",), ((definition.name,),))
         if isinstance(statement, GraphTableQuery):
             return self._execute_query(statement)
         raise EngineError(f"unsupported statement {statement!r}")
 
     def _execute_query(self, statement: GraphTableQuery) -> QueryResult:
+        self._check_graph_valid(statement.graph_name)
         query = compile_query(statement, self.catalog)
         relation = self.evaluate(query)
         columns = tuple(column.name for column in statement.columns)
@@ -118,12 +255,32 @@ class PGQSession:
         statement = parse_statement(statement_text)
         if not isinstance(statement, GraphTableQuery):
             raise EngineError("compile() expects a SELECT ... FROM GRAPH_TABLE(...) statement")
+        self._check_graph_valid(statement.graph_name)
         return compile_query(statement, self.catalog)
 
+    def explain(self, statement_text: str) -> str:
+        """The optimized logical plan a GRAPH_TABLE query lowers to."""
+        statement = parse_statement(statement_text)
+        if not isinstance(statement, GraphTableQuery):
+            raise EngineError("explain() expects a SELECT ... FROM GRAPH_TABLE(...) statement")
+        self._check_graph_valid(statement.graph_name)
+        return compile_to_plan(statement, self.catalog).describe()
+
     def evaluate(self, query: Query) -> Relation:
-        """Evaluate a programmatic PGQ query against the session database."""
-        return PGQEvaluator(self.database).evaluate(query)
+        """Evaluate a programmatic PGQ query on the session's backend."""
+        return self._get_engine().evaluate(query)
 
     def graph_definition(self, name: str) -> GraphDefinition:
         """Look up a compiled property-graph view definition."""
+        self._check_graph_valid(name)
         return self.catalog.get(name)
+
+    def close(self) -> None:
+        """Release the backend (e.g. the SQLite connection)."""
+        self._invalidate_engine()
+
+    def __enter__(self) -> "PGQSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

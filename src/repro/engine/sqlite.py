@@ -38,6 +38,7 @@ from repro.patterns.ast import (
     Pattern,
     PropertyRef,
     Repetition,
+    iter_subpatterns,
 )
 from repro.patterns.conditions import (
     AndCondition,
@@ -63,6 +64,7 @@ from repro.pgq.queries import (
     Query,
     Select,
     Union,
+    iter_queries,
 )
 from repro.pgq.views import infer_identifier_arity
 from repro.relational.conditions import (
@@ -81,19 +83,39 @@ from repro.relational.relation import Relation
 
 
 class SQLiteEngine:
-    """Evaluates PGQ queries on SQLite, falling back to the formal evaluator."""
+    """Evaluates PGQ queries on SQLite, falling back to the formal evaluator.
 
-    def __init__(self, database: Database):
+    Registered in :mod:`repro.engine.registry` under the name ``sqlite``;
+    with ``max_repetitions`` set, every query runs on the formal evaluator
+    so the depth-overrun :class:`~repro.errors.PatternError` matches the
+    other engines exactly.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, database: Database, *, max_repetitions: Optional[int] = None):
         self.database = database
-        self.connection = sqlite3.connect(":memory:")
+        self.max_repetitions = max_repetitions
+        self._connection: Optional[sqlite3.Connection] = None
         self._temp_counter = itertools.count()
-        self._load(database)
 
     # ------------------------------------------------------------------ #
     # Loading
     # ------------------------------------------------------------------ #
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """The backing connection, created and loaded on first SQL use.
+
+        Bounded sessions (``max_repetitions`` set) always delegate to the
+        formal evaluator, so they never pay for loading the database.
+        """
+        if self._connection is None:
+            self._connection = sqlite3.connect(":memory:")
+            self._load(self.database)
+        return self._connection
+
     def _load(self, database: Database) -> None:
-        cursor = self.connection.cursor()
+        cursor = self._connection.cursor()
         for name in database:
             relation = database.relation(name)
             columns = ", ".join(f"c{i}" for i in range(1, relation.arity + 1))
@@ -107,10 +129,12 @@ class SQLiteEngine:
         cursor.execute("CREATE TABLE __adom (c1)")
         values = {value for value in database.active_domain()}
         cursor.executemany("INSERT INTO __adom VALUES (?)", [(v,) for v in values])
-        self.connection.commit()
+        self._connection.commit()
 
     def close(self) -> None:
-        self.connection.close()
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
 
     def __enter__(self) -> "SQLiteEngine":
         return self
@@ -122,7 +146,17 @@ class SQLiteEngine:
     # Public API
     # ------------------------------------------------------------------ #
     def evaluate(self, query: Query) -> Relation:
-        """Evaluate a PGQ query, preferring the SQL path when it applies."""
+        """Evaluate a PGQ query, preferring the SQL path when it applies.
+
+        A configured ``max_repetitions`` bound is enforced by the formal
+        evaluator (the SQL recursive CTE cannot raise on depth overrun),
+        so queries that contain a repetition operator take the fallback
+        path — keeping the error behavior identical across engines while
+        repetition-free queries stay on SQL.
+        """
+        if self.max_repetitions is not None and _contains_repetition(query):
+            fallback = PGQEvaluator(self.database, max_repetitions=self.max_repetitions)
+            return fallback.evaluate(query)
         try:
             sql, arity = self._compile(query)
         except _SQLUnsupported:
@@ -235,6 +269,20 @@ class SQLiteEngine:
         sql = compiler.compile_output(query.output)
         arity = len(query.output.items)
         return sql, arity
+
+
+def _contains_repetition(query: Query) -> bool:
+    """True when any pattern in the query has a repetition operator."""
+    for node in iter_queries(query):
+        if isinstance(node, GraphPattern):
+            for sub in iter_subpatterns(node.output.pattern):
+                if isinstance(sub, Repetition):
+                    return True
+    return False
+
+
+def make_sqlite_engine(database: Database, *, max_repetitions: Optional[int] = None, **_options):
+    return SQLiteEngine(database, max_repetitions=max_repetitions)
 
 
 class _SQLUnsupported(Exception):
@@ -372,12 +420,16 @@ class _PatternSQL:
         if not pattern.is_unbounded:
             return self._bounded_repetition(pair_sql, pattern.lower, int(pattern.upper)), ()
         lower = pattern.lower
+        # Depth cap: a pair of psi^{lower..inf} is first reachable at some
+        # depth < lower + |N| (an exactly-`lower` prefix composed with a
+        # simple reachability path), so the walk must extend that far —
+        # capping at |N| alone loses matches with lower >= 2 on cycles.
         cte = (
             "WITH RECURSIVE walk(src, tgt, steps) AS ("
             f" SELECT n.c1, n.c1, 0 FROM {self.view.nodes} AS n"
             f" UNION SELECT walk.src, pair.tgt, walk.steps + 1"
             f" FROM walk JOIN ({pair_sql}) AS pair ON walk.tgt = pair.src"
-            f" WHERE walk.steps < (SELECT COUNT(*) FROM {self.view.nodes})"
+            f" WHERE walk.steps < {lower} + (SELECT COUNT(*) FROM {self.view.nodes})"
             ") "
             f"SELECT DISTINCT src AS src, tgt AS tgt FROM walk WHERE steps >= {lower}"
         )

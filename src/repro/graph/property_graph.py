@@ -48,12 +48,53 @@ class PropertyGraph:
         self._edges: Dict[Identifier, Edge] = {}
         self._labels: Dict[Identifier, Set[str]] = {}
         self._properties: Dict[Tuple[Identifier, str], Any] = {}
-        self._outgoing: Dict[Identifier, Set[Identifier]] = {}
-        self._incoming: Dict[Identifier, Set[Identifier]] = {}
+        # Adjacency indexes; ``None`` means "build on first use" (bulk
+        # construction defers them — the set-at-a-time evaluators never
+        # navigate per node).
+        self._outgoing: Optional[Dict[Identifier, Set[Identifier]]] = {}
+        self._incoming: Optional[Dict[Identifier, Set[Identifier]]] = {}
+
+    def _ensure_adjacency(self) -> None:
+        if self._outgoing is None:
+            outgoing = {node: set() for node in self._nodes}
+            incoming = {node: set() for node in self._nodes}
+            for edge in self._edges.values():
+                outgoing[edge.source].add(edge.ident)
+                incoming[edge.target].add(edge.ident)
+            self._outgoing = outgoing
+            self._incoming = incoming
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_validated(
+        cls,
+        nodes: Iterable[Identifier],
+        edges: Mapping[Identifier, Tuple[Identifier, Identifier]],
+        labels: Mapping[Identifier, Iterable[str]],
+        properties: Mapping[Tuple[Identifier, str], Any],
+    ) -> "PropertyGraph":
+        """Trusted bulk constructor for pre-validated components.
+
+        The caller guarantees the Definition 2.1 invariants (canonical
+        identifier tuples, disjoint node/edge sets, endpoints in ``N``,
+        labels/properties on existing elements) — ``pgView`` does, because
+        it runs the conditions (1)-(4) first.  Skipping the per-element
+        re-checks of the incremental API makes view materialization linear
+        with small constants.
+        """
+        graph = cls()
+        graph._nodes = set(nodes)
+        graph._edges = {
+            ident: Edge(ident, source, target) for ident, (source, target) in edges.items()
+        }
+        graph._outgoing = None
+        graph._incoming = None
+        graph._labels = {element: set(element_labels) for element, element_labels in labels.items()}
+        graph._properties = dict(properties)
+        return graph
+
     def add_node(
         self,
         ident: Any,
@@ -70,8 +111,9 @@ class PropertyGraph:
         if node in self._edges:
             raise GraphError(f"identifier {node!r} is already used by an edge")
         self._nodes.add(node)
-        self._outgoing.setdefault(node, set())
-        self._incoming.setdefault(node, set())
+        if self._outgoing is not None:
+            self._outgoing.setdefault(node, set())
+            self._incoming.setdefault(node, set())
         for label in labels:
             self.add_label(node, label)
         for key, value in (properties or {}).items():
@@ -107,6 +149,7 @@ class PropertyGraph:
                 f"edge {edge!r} already exists with different endpoints "
                 f"({existing.source!r} -> {existing.target!r})"
             )
+        self._ensure_adjacency()
         self._edges[edge] = Edge(edge, src, tgt)
         self._outgoing[src].add(edge)
         self._incoming[tgt].add(edge)
@@ -173,6 +216,20 @@ class PropertyGraph:
         """Return True when ``prop`` is defined on ``(element, key)``."""
         return (as_identifier(element), str(key)) in self._properties
 
+    def property_index(self, key: str) -> Dict[Identifier, Any]:
+        """All elements carrying property ``key``, as an element -> value map.
+
+        Bulk counterpart of :meth:`property` used by the planner's output
+        projection: one pass over ``prop`` replaces a per-row lookup pair
+        (``has_property`` + ``property``).
+        """
+        key = str(key)
+        return {
+            owner: value
+            for (owner, owner_key), value in self._properties.items()
+            if owner_key == key
+        }
+
     def properties(self, element: Any) -> Dict[str, Any]:
         """All key/value properties of one element, as a plain dict."""
         ident = as_identifier(element)
@@ -197,10 +254,12 @@ class PropertyGraph:
 
     def out_edges(self, node: Any) -> FrozenSet[Identifier]:
         """Edges whose source is ``node``."""
+        self._ensure_adjacency()
         return frozenset(self._outgoing.get(as_identifier(node), set()))
 
     def in_edges(self, node: Any) -> FrozenSet[Identifier]:
         """Edges whose target is ``node``."""
+        self._ensure_adjacency()
         return frozenset(self._incoming.get(as_identifier(node), set()))
 
     def successors(self, node: Any) -> FrozenSet[Identifier]:

@@ -21,6 +21,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.errors import PatternError
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
+from repro.matching import fixpoint
 from repro.matching.mappings import EMPTY_MAPPING, Mapping, compatible, freeze, thaw, union
 from repro.patterns.ast import (
     Concatenation,
@@ -67,9 +68,24 @@ class EvaluationCounters:
 class EndpointEvaluator:
     """Evaluates patterns under the endpoint semantics of Figure 2."""
 
-    def __init__(self, graph: PropertyGraph, *, counters: Optional[EvaluationCounters] = None):
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        *,
+        counters: Optional[EvaluationCounters] = None,
+        max_repetitions: Optional[int] = None,
+    ):
         self.graph = graph
         self.counters = counters if counters is not None else EvaluationCounters()
+        #: Resource guard: when set, a repetition whose matches need more
+        #: than this many body iterations raises :class:`PatternError`.
+        #: ``None`` keeps the paper's semantics (saturation always
+        #: terminates within ``|N|`` rounds, Corollary 6.4).  The guarded
+        #: kernels are shared with the planner (:mod:`repro.matching.fixpoint`).
+        self.max_repetitions = max_repetitions
+
+    def _count_round(self) -> None:
+        self.counters.fixpoint_rounds += 1
 
     # ------------------------------------------------------------------ #
     # Pattern semantics
@@ -166,21 +182,6 @@ class EndpointEvaluator:
     # ------------------------------------------------------------------ #
     # Pair-relation helpers for repetition
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _compose_pairs(
-        pairs: Set[Tuple[Identifier, Identifier]],
-        base: Set[Tuple[Identifier, Identifier]],
-    ) -> Set[Tuple[Identifier, Identifier]]:
-        """One composition step: pairs . base (relational composition)."""
-        by_source: Dict[Identifier, List[Identifier]] = {}
-        for (source, target) in base:
-            by_source.setdefault(source, []).append(target)
-        result = set()
-        for (source, midpoint) in pairs:
-            for target in by_source.get(midpoint, ()):
-                result.add((source, target))
-        return result
-
     def _pairs_bounded(
         self,
         base: Set[Tuple[Identifier, Identifier]],
@@ -189,17 +190,14 @@ class EndpointEvaluator:
         identity: Set[Tuple[Identifier, Identifier]],
     ) -> Set[Tuple[Identifier, Identifier]]:
         """Endpoint pairs of ``psi^{lower..upper}`` for finite bounds."""
-        result: Set[Tuple[Identifier, Identifier]] = set()
-        current = set(identity)  # pairs for exactly 0 repetitions
-        for count in range(0, upper + 1):
-            if count >= lower:
-                result |= current
-            if count < upper:
-                current = self._compose_pairs(current, base)
-                self.counters.fixpoint_rounds += 1
-                if not current:
-                    break
-        return result
+        return fixpoint.bounded_pairs(
+            fixpoint.adjacency_of(base),
+            lower,
+            upper,
+            identity,
+            max_repetitions=self.max_repetitions,
+            on_round=self._count_round,
+        )
 
     def _pairs_at_least(
         self,
@@ -210,28 +208,38 @@ class EndpointEvaluator:
         """Endpoint pairs of ``psi^{lower..inf}``.
 
         Computed as (pairs for exactly ``lower`` repetitions) composed with
-        the reflexive-transitive closure of the base pair relation.
+        the reflexive-transitive closure of the base pair relation.  When a
+        ``max_repetitions`` bound is configured, the shared delta-iteration
+        kernel runs instead so the depth at which each pair is first
+        derivable is known and the bound check is exact (and agrees with
+        the planner's fixpoint operator by construction).
         """
+        if self.max_repetitions is not None:
+            return fixpoint.unbounded_pairs_delta(
+                fixpoint.adjacency_of(base),
+                lower,
+                identity,
+                max_repetitions=self.max_repetitions,
+                on_round=self._count_round,
+            )
+        adjacency = fixpoint.adjacency_of(base)
         exact_lower = set(identity)
         for _ in range(lower):
-            exact_lower = self._compose_pairs(exact_lower, base)
+            exact_lower = fixpoint.compose(exact_lower, adjacency)
             self.counters.fixpoint_rounds += 1
             if not exact_lower:
                 return set()
-        closure = self._reflexive_transitive_closure(base)
+        closure = self._reflexive_transitive_closure(adjacency)
         return self._compose_with_closure(exact_lower, closure)
 
     def _reflexive_transitive_closure(
-        self, base: Set[Tuple[Identifier, Identifier]]
+        self, adjacency: Dict[Identifier, List[Identifier]]
     ) -> Dict[Identifier, Set[Identifier]]:
         """Reachability map of the base pair relation, including 0 steps.
 
         Semi-naive iteration: each round only extends from newly discovered
         targets, so the work is proportional to the closure size.
         """
-        adjacency: Dict[Identifier, Set[Identifier]] = {}
-        for (source, target) in base:
-            adjacency.setdefault(source, set()).add(target)
         reachable: Dict[Identifier, Set[Identifier]] = {}
         nodes = set(self.graph.nodes) | set(adjacency)
         for start in nodes:

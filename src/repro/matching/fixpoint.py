@@ -1,0 +1,137 @@
+"""Shared pair-relation fixpoint kernels for repetition operators.
+
+Both pattern-matching backends — the naive oracle
+(:class:`~repro.matching.endpoint.EndpointEvaluator`) and the planner's
+:class:`~repro.planner.physical.PlanExecutor` — evaluate repetition on the
+body's endpoint-pair relation.  The depth-guarded kernels live here once,
+so the ``max_repetitions`` error behavior cannot drift between engines:
+
+* :func:`bounded_pairs` — ``psi^{lower..upper}`` for finite bounds;
+* :func:`unbounded_pairs_delta` — ``psi^{lower..inf}`` by frontier-based
+  semi-naive delta iteration (each round extends only the pairs first
+  derived in the previous round).
+
+The guard fires exactly when a *match* would need more than
+``max_repetitions`` body iterations: a pair first reaching a valid depth
+(``>= lower``) at some depth beyond the bound.  Re-deriving known matches
+around a cycle is not new work and must not raise, and pairs below the
+pattern's lower bound are not matches yet.  Both kernels apply the same
+rule, so tightening ``psi^{n..inf}`` to ``psi^{n..m}`` (or vice versa)
+never flips the error behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PatternError
+from repro.graph.identifiers import Identifier
+
+#: A pair of path endpoints.
+Pair = Tuple[Identifier, Identifier]
+#: The body pair relation as an adjacency map (source -> targets).
+Adjacency = Dict[Identifier, Sequence[Identifier]]
+
+#: Round callback: invoked once per composition round (instrumentation).
+OnRound = Optional[Callable[[], None]]
+
+
+def adjacency_of(pairs) -> Adjacency:
+    """Index a pair set by source, for repeated composition."""
+    adjacency: Dict[Identifier, List[Identifier]] = {}
+    for (source, target) in pairs:
+        adjacency.setdefault(source, []).append(target)
+    return adjacency
+
+
+def compose(pairs: Set[Pair], adjacency: Adjacency) -> Set[Pair]:
+    """One composition step: ``pairs . body`` (relational composition)."""
+    return {
+        (source, successor)
+        for (source, midpoint) in pairs
+        for successor in adjacency.get(midpoint, ())
+    }
+
+
+def check_depth(depth: int, produced: bool, max_repetitions: Optional[int]) -> None:
+    """Raise when matches require more body repetitions than allowed."""
+    if produced and max_repetitions is not None and depth > max_repetitions:
+        raise PatternError(
+            f"repetition requires more than max_repetitions={max_repetitions} "
+            f"iterations of its body (matches exist at depth {depth})"
+        )
+
+
+def bounded_pairs(
+    adjacency: Adjacency,
+    lower: int,
+    upper: int,
+    identity: Set[Pair],
+    *,
+    max_repetitions: Optional[int] = None,
+    on_round: OnRound = None,
+) -> Set[Pair]:
+    """Endpoint pairs of ``psi^{lower..upper}`` for finite bounds."""
+    result: Set[Pair] = set()
+    current = set(identity)  # pairs for exactly 0 repetitions
+    for count in range(0, upper + 1):
+        if count >= lower:
+            result |= current
+        if count < upper:
+            current = compose(current, adjacency)
+            if on_round is not None:
+                on_round()
+            # ``result`` holds every match found so far, so a pair beyond
+            # it at a valid depth is a match first reachable here.
+            depth = count + 1
+            check_depth(depth, depth >= lower and not current <= result, max_repetitions)
+            if not current:
+                break
+    return result
+
+
+def unbounded_pairs_delta(
+    adjacency: Adjacency,
+    lower: int,
+    identity: Set[Pair],
+    *,
+    max_repetitions: Optional[int] = None,
+    on_round: OnRound = None,
+    on_delta: Optional[Callable[[int], None]] = None,
+) -> Set[Pair]:
+    """Endpoint pairs of ``psi^{lower..inf}`` by semi-naive iteration.
+
+    ``exact`` holds the pairs for exactly ``lower`` repetitions; the
+    fixpoint then only composes the newly discovered delta with the body
+    relation each round, so the total work is proportional to the closure
+    size times the average out-degree, not (rounds) x (closure size).
+    """
+    exact = set(identity)
+    for depth in range(1, lower + 1):
+        exact = compose(exact, adjacency)
+        if on_round is not None:
+            on_round()
+        # Pairs below ``lower`` are not matches yet; only the pairs that
+        # complete the prefix (depth == lower) can trip the guard.
+        check_depth(depth, depth >= lower and bool(exact), max_repetitions)
+        if not exact:
+            return set()
+    result: Set[Pair] = set(exact)
+    delta = exact
+    depth = lower
+    while delta:
+        depth += 1
+        if on_round is not None:
+            on_round()
+        fresh: Set[Pair] = set()
+        for (source, midpoint) in delta:
+            for successor in adjacency.get(midpoint, ()):
+                pair = (source, successor)
+                if pair not in result:
+                    result.add(pair)
+                    fresh.add(pair)
+        check_depth(depth, bool(fresh), max_repetitions)
+        if on_delta is not None:
+            on_delta(len(fresh))
+        delta = fresh
+    return result

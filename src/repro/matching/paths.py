@@ -94,11 +94,24 @@ PathMatchSet = FrozenSet[PathMatch]
 class PathEvaluator:
     """Evaluates patterns under the path semantics of Figure 6."""
 
-    def __init__(self, graph: PropertyGraph, *, max_repetitions: Optional[int] = None):
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        *,
+        max_repetitions: Optional[int] = None,
+        strict: bool = False,
+    ):
         self.graph = graph
         if max_repetitions is None:
             max_repetitions = max(graph.node_count(), 1)
         self.max_repetitions = max_repetitions
+        #: With ``strict=True``, an unbounded repetition whose path set is
+        #: still growing when the bound is hit raises :class:`PatternError`
+        #: instead of silently truncating.  This is the path-semantics
+        #: counterpart of the engines' ``max_repetitions`` guard (the
+        #: engines evaluate under the endpoint semantics and enforce the
+        #: bound in their fixpoint operators).
+        self.strict = strict
 
     def evaluate(self, pattern: Pattern) -> PathMatchSet:
         """Compute ``[[pattern]]^path_G``."""
@@ -175,11 +188,11 @@ class PathEvaluator:
         current: Set[Path] = {Path.single(node) for node in self.graph.nodes}
         if pattern.lower == 0:
             matches.update((path, empty) for path in current)
+        by_source: Dict[Identifier, List[Path]] = {}
+        for (body_path, _mu) in body:
+            by_source.setdefault(body_path.source, []).append(body_path)
         for count in range(1, upper + 1):
             next_paths: Set[Path] = set()
-            by_source: Dict[Identifier, List[Path]] = {}
-            for (body_path, _mu) in body:
-                by_source.setdefault(body_path.source, []).append(body_path)
             for prefix in current:
                 for body_path in by_source.get(prefix.target, ()):
                     next_paths.add(prefix.concat(body_path))
@@ -188,6 +201,25 @@ class PathEvaluator:
                 break
             if count >= pattern.lower:
                 matches.update((path, empty) for path in current)
+        if self.strict and pattern.is_unbounded and current:
+            # The enumeration stopped at the bound with paths still alive;
+            # probe one more round to see whether it actually truncated.
+            # Only an extension producing a path not already enumerated is
+            # truncation — zero-length body paths concatenate to a no-op,
+            # and mixed-length bodies can re-derive known paths.
+            matched_paths = {path for (path, _mu) in matches}
+            for prefix in current:
+                for body_path in by_source.get(prefix.target, ()):
+                    if prefix.concat(body_path) not in matched_paths:
+                        # upper is the effective enumeration depth; it can
+                        # exceed max_repetitions when the pattern's lower
+                        # bound is larger.
+                        raise PatternError(
+                            f"unbounded repetition still produces new paths "
+                            f"after {upper} iterations "
+                            f"(max_repetitions={self.max_repetitions}); raise "
+                            f"the bound or use the endpoint semantics"
+                        )
         return frozenset(matches)
 
     def evaluate_output(self, output: OutputPattern) -> FrozenSet[Tuple]:

@@ -10,7 +10,7 @@ then evaluates the output pattern on that graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Protocol, Tuple
 
 from repro.errors import ArityError, QueryError
 from repro.matching.endpoint import EndpointEvaluator, EvaluationCounters
@@ -34,6 +34,20 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 
 
+class PatternMatcher(Protocol):
+    """The oracle interface every pattern-matching backend implements.
+
+    A matcher is constructed per materialized graph view and must compute
+    ``[[psi_Omega]]_G`` — the exact output-row set of the endpoint
+    semantics.  The naive :class:`~repro.matching.endpoint.EndpointEvaluator`
+    is the reference implementation; the planner's
+    :class:`~repro.planner.physical.PlanExecutor` is the optimized one.
+    """
+
+    def evaluate_output(self, output) -> frozenset:  # pragma: no cover - protocol
+        ...
+
+
 @dataclass
 class EvaluationStatistics:
     """Aggregated statistics of one query evaluation.
@@ -54,21 +68,73 @@ class EvaluationStatistics:
 
 
 class PGQEvaluator:
-    """Evaluates PGQ queries against a fixed database instance."""
+    """Evaluates PGQ queries against a fixed database instance.
 
-    def __init__(self, database: Database, *, collect_statistics: bool = False):
+    The relational operators and the view-building phase are shared by
+    every backend; the pattern-matching phase is pluggable through the
+    :meth:`_make_matcher` hook.  The default matcher is the naive
+    :class:`~repro.matching.endpoint.EndpointEvaluator`, which serves as
+    the semantics oracle; :class:`~repro.engine.planned.PlannedEngine`
+    overrides the hook with the planner's executor.
+
+    ``max_repetitions`` bounds how many body iterations any repetition
+    operator may need; when a match would require more, the matcher raises
+    :class:`~repro.errors.PatternError` (``None`` = unbounded, the paper's
+    semantics — unbounded repetition still terminates by saturation).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        collect_statistics: bool = False,
+        max_repetitions: Optional[int] = None,
+    ):
         self.database = database
         self.statistics = EvaluationStatistics() if collect_statistics else None
+        self.max_repetitions = max_repetitions
+        self._memo: Optional[Dict[Query, Relation]] = None
+
+    def _make_matcher(self, graph) -> "PatternMatcher":
+        """Oracle-interface hook: build the pattern matcher for one view."""
+        if self.statistics is not None:
+            return EndpointEvaluator(
+                graph,
+                counters=self.statistics.pattern_counters,
+                max_repetitions=self.max_repetitions,
+            )
+        return EndpointEvaluator(graph, max_repetitions=self.max_repetitions)
 
     # ------------------------------------------------------------------ #
     def evaluate(self, query: Query) -> Relation:
         """Evaluate ``query`` on the database and return its result relation."""
-        result = self._eval(query)
+        # Common-subexpression memo for the duration of one evaluation:
+        # structurally identical subqueries (frequent in the view encodings,
+        # e.g. the same Select feeding several view subqueries) run once.
+        self._memo = {}
+        try:
+            result = self._eval(query)
+        finally:
+            self._memo = None
         if self.statistics is not None:
             self.statistics.intermediate_rows += len(result)
         return result
 
     def _eval(self, query: Query) -> Relation:
+        memo = self._memo
+        if memo is None:
+            return self._eval_node(query)
+        try:
+            cached = memo.get(query)
+        except TypeError:  # unhashable constants in a condition
+            return self._eval_node(query)
+        if cached is not None:
+            return cached
+        result = self._eval_node(query)
+        memo[query] = result
+        return result
+
+    def _eval_node(self, query: Query) -> Relation:
         if isinstance(query, BaseRelation):
             return self.database.relation(query.name)
         if isinstance(query, Constant):
@@ -122,9 +188,7 @@ class PGQEvaluator:
             self.statistics.views_built += 1
             self.statistics.view_nodes += graph.node_count()
             self.statistics.view_edges += graph.edge_count()
-            matcher = EndpointEvaluator(graph, counters=self.statistics.pattern_counters)
-        else:
-            matcher = EndpointEvaluator(graph)
+        matcher = self._make_matcher(graph)
         rows = matcher.evaluate_output(query.output)
         arity = output_arity(query.output, identifier_arity)
         for row in rows:
@@ -132,7 +196,9 @@ class PGQEvaluator:
                 raise ArityError(
                     f"output row {row!r} has arity {len(row)}, expected {arity}"
                 )
-        return Relation(arity, rows)
+        # The arity of every row was just checked and matcher outputs are
+        # flat tuples of atomic values, so skip the per-row re-validation.
+        return Relation._trusted(arity, rows)
 
 
 def evaluate(query: Query, database: Database) -> Relation:

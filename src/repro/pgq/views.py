@@ -20,7 +20,7 @@ with a message naming the violated condition.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ViewError
 from repro.graph.identifiers import Identifier
@@ -93,11 +93,18 @@ def infer_identifier_arity(relations: Sequence[Relation]) -> int:
 
 def _split_pair(row: Row, arity: int) -> Tuple[Identifier, Identifier]:
     """Split a 2n-ary row into its (edge, node) identifier halves."""
-    return tuple(row[:arity]), tuple(row[arity:])
+    # relation rows are tuples, so the slices already are identifiers
+    return row[:arity], row[arity:]
 
 
-def _check_conditions(relations: Sequence[Relation], arity: int) -> None:
-    """Check conditions (1)-(4) of Definition 3.1 / 5.1 for the given arity."""
+def _check_conditions(
+    relations: Sequence[Relation], arity: int
+) -> Tuple[Dict[Identifier, Identifier], Dict[Identifier, Identifier]]:
+    """Check conditions (1)-(4) of Definition 3.1 / 5.1 for the given arity.
+
+    Returns the source and target maps (edge -> node) so the graph builder
+    does not have to split the R3/R4 rows a second time.
+    """
     r1, r2, r3, r4, r5, r6 = relations
 
     expected = {
@@ -127,32 +134,42 @@ def _check_conditions(relations: Sequence[Relation], arity: int) -> None:
 
     elements = nodes | edges
 
-    # Condition (2): R3, R4 encode total functions R2 -> R1.
+    # Condition (2): R3, R4 encode total functions R2 -> R1.  Checked with
+    # bulk set operations; the per-row diagnostics run only on failure.
+    maps: List[Dict[Identifier, Identifier]] = []
     for name, relation in (("R3 (source)", r3), ("R4 (target)", r4)):
-        mapping: Dict[Identifier, Identifier] = {}
-        for row in relation.rows:
-            edge, node = _split_pair(row, arity)
-            if edge not in edges:
-                raise ViewError(
-                    f"condition (2) violated: {name} mentions {edge!r}, which is not an edge"
-                )
-            if node not in nodes:
-                raise ViewError(
-                    f"condition (2) violated: {name} maps edge {edge!r} to {node!r}, "
-                    f"which is not a node"
-                )
-            if edge in mapping and mapping[edge] != node:
-                raise ViewError(
-                    f"condition (2) violated: {name} maps edge {edge!r} to both "
-                    f"{mapping[edge]!r} and {node!r}"
-                )
-            mapping[edge] = node
-        missing = edges - set(mapping)
+        pairs = [_split_pair(row, arity) for row in relation.rows]
+        mapping: Dict[Identifier, Identifier] = dict(pairs)
+        mentioned = {edge for edge, _node in pairs}
+        bad_edges = mentioned - edges
+        if bad_edges:
+            raise ViewError(
+                f"condition (2) violated: {name} mentions "
+                f"{sorted(bad_edges, key=repr)[0]!r}, which is not an edge"
+            )
+        bad_nodes = {node for _edge, node in pairs} - nodes
+        if bad_nodes:
+            witness = next((e, n) for (e, n) in pairs if n in bad_nodes)
+            raise ViewError(
+                f"condition (2) violated: {name} maps edge {witness[0]!r} to "
+                f"{witness[1]!r}, which is not a node"
+            )
+        if len(mapping) != len(pairs):  # some edge mapped to two nodes
+            seen: Dict[Identifier, Identifier] = {}
+            for edge, node in pairs:
+                if edge in seen and seen[edge] != node:
+                    raise ViewError(
+                        f"condition (2) violated: {name} maps edge {edge!r} to both "
+                        f"{seen[edge]!r} and {node!r}"
+                    )
+                seen[edge] = node
+        missing = edges - mentioned
         if missing:
             raise ViewError(
                 f"condition (2) violated: {name} is not total, edges without image: "
                 f"{sorted(missing, key=repr)[:3]}"
             )
+        maps.append(mapping)
 
     # Condition (3): labels attach to graph elements only.
     for row in r5.rows:
@@ -180,29 +197,26 @@ def _check_conditions(relations: Sequence[Relation], arity: int) -> None:
             )
         seen[(element, key)] = value
 
+    return maps[0], maps[1]
 
-def _build_graph(relations: Sequence[Relation], arity: int) -> PropertyGraph:
-    r1, r2, r3, r4, r5, r6 = relations
-    graph = PropertyGraph()
-    for row in r1.rows:
-        graph.add_node(row)
-    source_of: Dict[Identifier, Identifier] = {}
-    target_of: Dict[Identifier, Identifier] = {}
-    for row in r3.rows:
-        edge, node = _split_pair(row, arity)
-        source_of[edge] = node
-    for row in r4.rows:
-        edge, node = _split_pair(row, arity)
-        target_of[edge] = node
-    for row in r2.rows:
-        graph.add_edge(row, source_of[row], target_of[row])
+
+def _build_graph(
+    relations: Sequence[Relation],
+    arity: int,
+    source_of: Dict[Identifier, Identifier],
+    target_of: Dict[Identifier, Identifier],
+) -> PropertyGraph:
+    # The six relations passed conditions (1)-(4), so the graph can be
+    # assembled through the trusted bulk constructor: relation rows are
+    # already canonical identifier tuples and the source/target maps come
+    # straight from the condition check.
+    r1, r2, _r3, _r4, r5, r6 = relations
+    edges = {row: (source_of[row], target_of[row]) for row in r2.rows}
+    labels: Dict[Identifier, set] = {}
     for row in r5.rows:
-        element, label = tuple(row[:arity]), row[arity]
-        graph.add_label(element, label)
-    for row in r6.rows:
-        element, key, value = tuple(row[:arity]), row[arity], row[arity + 1]
-        graph.set_property(element, key, value)
-    return graph
+        labels.setdefault(row[:arity], set()).add(str(row[arity]))
+    properties = {(row[:arity], str(row[arity])): row[arity + 1] for row in r6.rows}
+    return PropertyGraph._from_validated(r1.rows, edges, labels, properties)
 
 
 def pg_view_exact(relations: Sequence[Relation], arity: int) -> PropertyGraph:
@@ -211,8 +225,8 @@ def pg_view_exact(relations: Sequence[Relation], arity: int) -> PropertyGraph:
         raise ViewError(f"identifier arity must be >= 1, got {arity}")
     if len(relations) != 6:
         raise ViewError(f"a property graph view needs exactly 6 relations, got {len(relations)}")
-    _check_conditions(relations, arity)
-    return _build_graph(relations, arity)
+    source_of, target_of = _check_conditions(relations, arity)
+    return _build_graph(relations, arity, source_of, target_of)
 
 
 def pg_view(relations: Sequence[Relation]) -> PropertyGraph:

@@ -1,0 +1,54 @@
+"""Query planner: logical plan IR, rewrite rules, physical execution.
+
+The planner is the layer between the surface/formal query languages and
+the execution backends:
+
+* :mod:`repro.planner.logical` — the plan IR and pattern lowering;
+* :mod:`repro.planner.rules` — the rule-based optimizer (filter and
+  label pushdown, variable pruning, repetition rewriting);
+* :mod:`repro.planner.physical` — hash-join execution, the semi-naive
+  repetition fixpoint, and the compiled-plan memo.
+
+The :class:`~repro.planner.physical.PlanExecutor` plugs into
+:class:`~repro.pgq.evaluator.PGQEvaluator` through the matcher oracle
+interface, which is how :class:`~repro.engine.planned.PlannedEngine`
+reuses the relational and view-building layers unchanged.
+"""
+
+from repro.planner.logical import (
+    BindEndpoint,
+    EdgeScan,
+    FilterStep,
+    FixpointStep,
+    JoinStep,
+    LogicalPlan,
+    NodeScan,
+    UnionStep,
+    build_logical_plan,
+    describe,
+    plan_size,
+)
+from repro.planner.physical import PLAN_CACHE, PlanCache, PlanCounters, PlanExecutor
+from repro.planner.rules import optimize, prune_variables, push_down_filters, simplify
+
+__all__ = [
+    "BindEndpoint",
+    "EdgeScan",
+    "FilterStep",
+    "FixpointStep",
+    "JoinStep",
+    "LogicalPlan",
+    "NodeScan",
+    "PLAN_CACHE",
+    "PlanCache",
+    "PlanCounters",
+    "PlanExecutor",
+    "UnionStep",
+    "build_logical_plan",
+    "describe",
+    "optimize",
+    "plan_size",
+    "prune_variables",
+    "push_down_filters",
+    "simplify",
+]

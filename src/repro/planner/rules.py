@@ -1,0 +1,212 @@
+"""Rule-based logical-plan optimizer.
+
+Three rewrite passes, each semantics-preserving under the endpoint
+semantics of Figure 2:
+
+1. **Filter pushdown** (:func:`push_down_filters`): a filter condition is
+   split into conjuncts and each conjunct is pushed as deep as possible —
+   through joins into the side that binds all its variables, through
+   unions into both branches (disjunction branches bind equal variable
+   sets, Figure 1), and into leaf scans.  A ``HasLabel`` conjunct on a
+   scan becomes part of the scan's label set; other single-variable
+   conditions become the scan's per-element condition, so they are
+   checked once per node/edge instead of once per produced match.
+
+2. **Variable pruning** (:func:`prune_variables`): bindings that no
+   enclosing operator consumes (output items, residual filters, shared
+   join keys) are dropped from scans.  This shrinks binding tables — in
+   particular inside repetition bodies, whose bindings are erased by the
+   repetition anyway — without changing the projected result, because
+   projection distributes over the set semantics.
+
+3. **Simplification** (:func:`simplify`): joins against unfiltered node
+   scans degenerate — unbound scans vanish, bound ones become free
+   endpoint bindings (:class:`~repro.planner.logical.BindEndpoint`).
+
+Pushdown through a join is sound because every row of a sub-plan binds
+exactly the sub-plan's variable set: if the conjunct's variables are all
+bound on one side, its truth value is decided there and filtering early
+removes only rows the filter would remove later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import FrozenSet, List, Optional
+
+from repro.patterns.conditions import AndCondition, HasLabel, PatternCondition
+from repro.planner.logical import (
+    BindEndpoint,
+    EdgeScan,
+    FilterStep,
+    FixpointStep,
+    JoinStep,
+    LogicalPlan,
+    NodeScan,
+    UnionStep,
+)
+
+
+def optimize(plan: LogicalPlan, needed: FrozenSet[str]) -> LogicalPlan:
+    """Run all rewrite passes; ``needed`` are the output-pattern variables."""
+    plan = push_down_filters(plan)
+    plan = prune_variables(plan, frozenset(needed))
+    plan = simplify(plan)
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# Pass 1: filter pushdown
+# --------------------------------------------------------------------------- #
+def split_conjuncts(condition: PatternCondition) -> List[PatternCondition]:
+    """Flatten a tree of ``AndCondition`` into its conjuncts."""
+    if isinstance(condition, AndCondition):
+        return split_conjuncts(condition.left) + split_conjuncts(condition.right)
+    return [condition]
+
+
+def conjoin(conditions: List[PatternCondition]) -> PatternCondition:
+    result = conditions[0]
+    for condition in conditions[1:]:
+        result = AndCondition(result, condition)
+    return result
+
+
+def push_down_filters(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, FilterStep):
+        operand = push_down_filters(plan.operand)
+        residual: List[PatternCondition] = []
+        for conjunct in split_conjuncts(plan.condition):
+            pushed = _try_push(operand, conjunct)
+            if pushed is None:
+                residual.append(conjunct)
+            else:
+                operand = pushed
+        return FilterStep(operand, conjoin(residual)) if residual else operand
+    if isinstance(plan, JoinStep):
+        return JoinStep(push_down_filters(plan.left), push_down_filters(plan.right))
+    if isinstance(plan, UnionStep):
+        return UnionStep(push_down_filters(plan.left), push_down_filters(plan.right))
+    if isinstance(plan, FixpointStep):
+        return FixpointStep(push_down_filters(plan.body), plan.lower, plan.upper)
+    return plan
+
+
+def _absorb_into_scan(scan, conjunct: PatternCondition):
+    """Fold a single-variable conjunct into a leaf scan."""
+    if isinstance(conjunct, HasLabel):
+        return replace(scan, labels=scan.labels | {conjunct.label})
+    condition = (
+        conjunct if scan.condition is None else AndCondition(scan.condition, conjunct)
+    )
+    return replace(scan, condition=condition)
+
+
+def _try_push(plan: LogicalPlan, conjunct: PatternCondition) -> Optional[LogicalPlan]:
+    """Push one conjunct into ``plan``; None when it must stay above."""
+    variables = conjunct.variables()
+    if isinstance(plan, (NodeScan, EdgeScan)):
+        if plan.variable is not None and variables == {plan.variable}:
+            return _absorb_into_scan(plan, conjunct)
+        return None
+    if isinstance(plan, JoinStep):
+        if variables <= plan.left.variables():
+            pushed = _try_push(plan.left, conjunct)
+            left = pushed if pushed is not None else FilterStep(plan.left, conjunct)
+            return JoinStep(left, plan.right)
+        if variables <= plan.right.variables():
+            pushed = _try_push(plan.right, conjunct)
+            right = pushed if pushed is not None else FilterStep(plan.right, conjunct)
+            return JoinStep(plan.left, right)
+        return None
+    if isinstance(plan, UnionStep):
+        if not variables <= plan.variables():
+            return None
+        sides = []
+        for side in (plan.left, plan.right):
+            pushed = _try_push(side, conjunct)
+            sides.append(pushed if pushed is not None else FilterStep(side, conjunct))
+        return UnionStep(sides[0], sides[1])
+    if isinstance(plan, FilterStep):
+        pushed = _try_push(plan.operand, conjunct)
+        if pushed is not None:
+            return FilterStep(pushed, plan.condition)
+        return None
+    # FixpointStep: its body binds no outward-visible variables, so a
+    # conjunct can never reference anything inside it.
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# Pass 2: variable pruning
+# --------------------------------------------------------------------------- #
+def prune_variables(plan: LogicalPlan, needed: FrozenSet[str]) -> LogicalPlan:
+    if isinstance(plan, (NodeScan, EdgeScan)):
+        if plan.variable is not None and plan.variable not in needed and plan.bound:
+            return replace(plan, bound=False)
+        return plan
+    if isinstance(plan, JoinStep):
+        # Shared variables are join keys: they stay bound on both sides even
+        # when nothing above consumes them.
+        shared = plan.left.variables() & plan.right.variables()
+        left = prune_variables(plan.left, (needed & plan.left.variables()) | shared)
+        right = prune_variables(plan.right, (needed & plan.right.variables()) | shared)
+        return JoinStep(left, right)
+    if isinstance(plan, UnionStep):
+        keep = needed & plan.variables()
+        return UnionStep(
+            prune_variables(plan.left, keep), prune_variables(plan.right, keep)
+        )
+    if isinstance(plan, FilterStep):
+        return FilterStep(
+            prune_variables(plan.operand, needed | plan.condition.variables()),
+            plan.condition,
+        )
+    if isinstance(plan, FixpointStep):
+        # Repetition erases bindings: nothing outside the fixpoint can need
+        # them, so the body is pruned down to what its own filters consume.
+        return FixpointStep(
+            prune_variables(plan.body, frozenset()), plan.lower, plan.upper
+        )
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# Pass 3: simplification
+# --------------------------------------------------------------------------- #
+def _is_plain_scan(plan: LogicalPlan) -> bool:
+    """An unfiltered node scan produces exactly the identity pair relation
+    over ``N``; joining with it never changes the row set because every
+    row's endpoints are nodes (src/tgt are total into ``N``, Definition
+    2.1) — it can at most *name* an endpoint."""
+    return isinstance(plan, NodeScan) and not plan.labels and plan.condition is None
+
+
+def simplify(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, JoinStep):
+        left, right = simplify(plan.left), simplify(plan.right)
+        # Joining an unfiltered node scan degenerates: unbound scans vanish,
+        # bound ones become a free endpoint binding (unless the variable is
+        # shared with the other side, where the join equates occurrences).
+        if _is_plain_scan(right) and not (right.variables() & left.variables()):
+            if not right.variables():
+                return left
+            return BindEndpoint(left, right.variable, use_source=False)
+        if _is_plain_scan(left) and not (left.variables() & right.variables()):
+            if not left.variables():
+                return right
+            return BindEndpoint(right, left.variable, use_source=True)
+        return JoinStep(left, right)
+    if isinstance(plan, BindEndpoint):
+        return BindEndpoint(simplify(plan.operand), plan.variable, plan.use_source)
+    if isinstance(plan, UnionStep):
+        return UnionStep(simplify(plan.left), simplify(plan.right))
+    if isinstance(plan, FilterStep):
+        return FilterStep(simplify(plan.operand), plan.condition)
+    if isinstance(plan, FixpointStep):
+        # Degenerate bounds (e.g. psi^{1..1}) are NOT collapsed to the
+        # body: the fixpoint operator is where the runtime
+        # ``max_repetitions`` guard lives, and plans are compiled without
+        # knowing the bound.
+        return FixpointStep(simplify(plan.body), plan.lower, plan.upper)
+    return plan

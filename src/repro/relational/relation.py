@@ -7,6 +7,7 @@ are addressed positionally (``$1 .. $k``) rather than by attribute names.
 
 from __future__ import annotations
 
+import operator
 from typing import Any, Callable, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import ArityError, SchemaError
@@ -82,6 +83,20 @@ class Relation:
         return cls(arity, (), name=name)
 
     @classmethod
+    def _trusted(cls, arity: int, rows: Iterable[Row], *, name: Optional[str] = None) -> "Relation":
+        """Internal fast constructor for rows known to be valid.
+
+        The relational operators below only ever recombine components of
+        already-validated rows, so re-running the per-row ``as_row``
+        normalization would be pure overhead on large intermediate results.
+        """
+        relation = cls.__new__(cls)
+        relation._arity = arity
+        relation._rows = frozenset(rows)
+        relation._name = name
+        return relation
+
+    @classmethod
     def unary(cls, values: Iterable[Any], *, name: Optional[str] = None) -> "Relation":
         """A unary relation from an iterable of scalar values."""
         return cls(1, ((v,) for v in values), name=name)
@@ -136,20 +151,20 @@ class Relation:
 
     def union(self, other: "Relation") -> "Relation":
         self._require_same_arity(other, "union")
-        return Relation(self._arity, self._rows | other._rows)
+        return Relation._trusted(self._arity, self._rows | other._rows)
 
     def difference(self, other: "Relation") -> "Relation":
         self._require_same_arity(other, "difference")
-        return Relation(self._arity, self._rows - other._rows)
+        return Relation._trusted(self._arity, self._rows - other._rows)
 
     def intersection(self, other: "Relation") -> "Relation":
         self._require_same_arity(other, "intersection")
-        return Relation(self._arity, self._rows & other._rows)
+        return Relation._trusted(self._arity, self._rows & other._rows)
 
     def product(self, other: "Relation") -> "Relation":
         """Cartesian product; the result arity is the sum of the arities."""
         rows = (left + right for left in self._rows for right in other._rows)
-        return Relation(self._arity + other._arity, rows)
+        return Relation._trusted(self._arity + other._arity, rows)
 
     def project(self, positions: Iterable[int]) -> "Relation":
         """Positional projection ``pi_{$i1,...,$ik}`` (1-based positions)."""
@@ -161,12 +176,16 @@ class Relation:
                 raise ArityError(
                     f"projection position ${position} out of range for arity {self._arity}"
                 )
-        rows = (tuple(row[p - 1] for p in positions) for row in self._rows)
-        return Relation(len(positions), rows)
+        if len(positions) == 1:
+            only = positions[0] - 1
+            rows = ((row[only],) for row in self._rows)
+        else:
+            rows = map(operator.itemgetter(*(p - 1 for p in positions)), self._rows)
+        return Relation._trusted(len(positions), rows)
 
     def select(self, predicate: Callable[[Row], bool]) -> "Relation":
         """Selection by an arbitrary per-row predicate."""
-        return Relation(self._arity, (row for row in self._rows if predicate(row)))
+        return Relation._trusted(self._arity, (row for row in self._rows if predicate(row)))
 
     def rename(self, name: str) -> "Relation":
         """Return the same relation carrying a different display name."""

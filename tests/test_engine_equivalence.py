@@ -1,0 +1,350 @@
+"""Cross-engine equivalence: naive oracle vs planned vs SQLite.
+
+The naive engine implements the paper's semantics directly; the planned
+and SQLite backends must return *identical* row sets on every query.  The
+property-based tests below draw random graphs from
+:mod:`repro.datasets.random_graphs` and check the three engines agree on
+queries from all three fragments (PGQro, PGQrw, PGQext).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import GRAPH_VIEW_SCHEMA, erdos_renyi, pair_graph_database
+from repro.engine import (
+    NaiveEngine,
+    PGQSession,
+    PlannedEngine,
+    QueryResult,
+    SQLiteEngine,
+    available_engines,
+    create_engine,
+    register_engine,
+    unregister_engine,
+)
+from repro.errors import EngineError
+from repro.patterns.builder import (
+    back_edge,
+    either,
+    edge,
+    label,
+    node,
+    output,
+    plus,
+    prop,
+    prop_cmp,
+    repeat,
+    seq,
+    star,
+    where,
+)
+from repro.pgq import BaseRelation, Project, Select, Union, graph_pattern_on_relations
+from repro.pgq.queries import GraphPattern
+from repro.relational import ColumnEqualsConstant
+from repro.separations import pair_reachability_query
+
+VIEW = GRAPH_VIEW_SCHEMA
+ENGINES = (NaiveEngine, PlannedEngine, SQLiteEngine)
+
+
+def _assert_engines_agree(database, query):
+    reference = None
+    for engine_cls in ENGINES:
+        engine = engine_cls(database)
+        result = engine.evaluate(query)
+        if hasattr(engine, "close"):
+            engine.close()
+        if reference is None:
+            reference = result
+        else:
+            assert result.arity == reference.arity, engine_cls.__name__
+            assert result.rows == reference.rows, engine_cls.__name__
+
+
+#: PGQro: pattern matching over the six base relations.
+def _ro_queries():
+    step = seq(edge(), node())
+    return [
+        graph_pattern_on_relations(output(seq(node("x"), edge("t"), node("y")), "x", "y"), VIEW),
+        graph_pattern_on_relations(
+            output(where(seq(node("x"), edge(), node("y")), label("x", "Red")), "x", "y"), VIEW
+        ),
+        graph_pattern_on_relations(
+            output(
+                seq(node("x"), where(edge("t"), prop_cmp("t", "w", ">", 50)), node("y")),
+                "x", prop("t", "w"), "y",
+            ),
+            VIEW,
+        ),
+        graph_pattern_on_relations(
+            output(
+                either(seq(node("x"), edge(), node("y")), seq(node("x"), back_edge(), node("y"))),
+                "x", "y",
+            ),
+            VIEW,
+        ),
+        graph_pattern_on_relations(output(seq(node("x"), star(step), node("y")), "x", "y"), VIEW),
+        graph_pattern_on_relations(output(seq(node("x"), plus(step), node("y")), "x", "y"), VIEW),
+        graph_pattern_on_relations(
+            output(seq(node("x"), repeat(step, 2, 4), node("y")), "x", "y"), VIEW
+        ),
+        # lower >= 2 with an unbounded upper: regression for the SQLite
+        # recursive-CTE depth cap, which must extend past |N| on cycles.
+        graph_pattern_on_relations(
+            output(seq(node("x"), repeat(step, 3), node("y")), "x", "y"), VIEW
+        ),
+        graph_pattern_on_relations(
+            output(
+                seq(node("x"), plus(seq(where(edge("t"), prop_cmp("t", "w", "<", 60)), node())), node("y")),
+                "x", "y",
+            ),
+            VIEW,
+        ),
+    ]
+
+
+#: PGQrw: relational operators around and inside pattern matching.
+def _rw_queries():
+    reach = graph_pattern_on_relations(
+        output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y"), VIEW
+    )
+    filtered_labels = GraphPattern(
+        output(where(seq(node("x"), edge(), node("y")), label("x", "Red")), "x", "y"),
+        (
+            BaseRelation("N"),
+            BaseRelation("E"),
+            BaseRelation("S"),
+            BaseRelation("T"),
+            Select(BaseRelation("L"), ColumnEqualsConstant(2, "Red")),
+            BaseRelation("P"),
+        ),
+    )
+    return [
+        Project(reach, (2, 1)),
+        Union(reach, Project(reach, (2, 1))),
+        reach.difference(Project(reach, (2, 1))),
+        filtered_labels,
+    ]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    nodes=st.integers(min_value=2, max_value=9),
+    probability=st.sampled_from([0.1, 0.2, 0.35]),
+    index=st.integers(min_value=0, max_value=len(_ro_queries()) - 1),
+)
+def test_pgqro_equivalence_on_random_graphs(seed, nodes, probability, index):
+    database = erdos_renyi(nodes, probability, seed=seed, labels=("Red", "Blue"), property_key="w")
+    _assert_engines_agree(database, _ro_queries()[index])
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    nodes=st.integers(min_value=2, max_value=7),
+    index=st.integers(min_value=0, max_value=len(_rw_queries()) - 1),
+)
+def test_pgqrw_equivalence_on_random_graphs(seed, nodes, index):
+    database = erdos_renyi(nodes, 0.3, seed=seed, labels=("Red", "Blue"), property_key="w")
+    _assert_engines_agree(database, _rw_queries()[index])
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    values=st.integers(min_value=2, max_value=4),
+)
+def test_pgqext_equivalence_on_pair_graphs(seed, values):
+    # n-ary identifiers: SQLite falls back to the oracle, the planner runs
+    # its fixpoint on tuple identifiers natively.
+    database = pair_graph_database(values, seed=seed, edge_probability=0.2)
+    _assert_engines_agree(database, pair_reachability_query())
+
+
+# --------------------------------------------------------------------------- #
+# Session-level equivalence through the SQL/PGQ surface
+# --------------------------------------------------------------------------- #
+DDL = """
+CREATE PROPERTY GRAPH Transfers (
+  NODES TABLE Account KEY (iban) LABEL Account,
+  EDGES TABLE Transfer KEY (t_id)
+    SOURCE KEY src_iban REFERENCES Account
+    TARGET KEY tgt_iban REFERENCES Account
+    LABELS Transfer PROPERTIES (ts, amount))
+"""
+
+QUERIES = [
+    """SELECT * FROM GRAPH_TABLE ( Transfers
+         MATCH (x) -[t:Transfer]-> (y) COLUMNS (x.iban, t.amount, y.iban) )""",
+    """SELECT * FROM GRAPH_TABLE ( Transfers
+         MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > 100 COLUMNS (x.iban, y.iban) )""",
+    """SELECT * FROM GRAPH_TABLE ( Transfers
+         MATCH (x) -[t:Transfer]->{2,3} (y) COLUMNS (x.iban, y.iban) )""",
+]
+
+
+def _transfer_session(engine: str, seed: int) -> PGQSession:
+    import random
+
+    rng = random.Random(seed)
+    accounts = [f"A{i}" for i in range(8)]
+    session = PGQSession(engine=engine)
+    session.register_table("Account", ["iban"], [(a,) for a in accounts])
+    session.register_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(accounts), rng.choice(accounts), i, rng.randint(1, 500))
+            for i in range(20)
+        ],
+    )
+    session.execute(DDL)
+    return session
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), index=st.integers(0, len(QUERIES) - 1))
+def test_session_equivalence_across_engines(seed, index):
+    results = {}
+    for engine in ("naive", "planned", "sqlite"):
+        with _transfer_session(engine, seed) as session:
+            results[engine] = session.execute(QUERIES[index])
+    assert results["naive"].equals_unordered(results["planned"])
+    assert results["naive"].equals_unordered(results["sqlite"])
+
+
+# --------------------------------------------------------------------------- #
+# Registry behavior
+# --------------------------------------------------------------------------- #
+class TestTargetedEquivalence:
+    def test_sqlite_unbounded_repetition_with_high_lower_on_cycle(self):
+        # A 2-cycle: (n0, n0) with lower=3 is first reachable at depth 4,
+        # past the node count — the CTE depth cap must not drop it.
+        from repro.datasets import cycle
+
+        db = cycle(2)
+        step = seq(edge(), node())
+        query = graph_pattern_on_relations(
+            output(seq(node("x"), repeat(step, 3), node("y")), "x", "y"), VIEW
+        )
+        _assert_engines_agree(db, query)
+
+    def test_sqlite_bound_keeps_sql_path_for_repetition_free_queries(self):
+        # The max_repetitions fallback only applies to queries that contain
+        # a repetition; plain pattern queries must still run on SQL.
+        db = erdos_renyi(6, 0.3, seed=4)
+        engine = SQLiteEngine(db, max_repetitions=5)
+        query = graph_pattern_on_relations(
+            output(seq(node("x"), edge(), node("y")), "x", "y"), VIEW
+        )
+        result = engine.evaluate(query)
+        assert engine._connection is not None  # SQL path was used
+        assert result.rows == NaiveEngine(db).evaluate(query).rows
+        engine.close()
+
+    @pytest.mark.parametrize("engine", ["naive", "planned", "sqlite"])
+    def test_exact_once_quantifier_honours_bound(self, engine):
+        # psi^{1..1} must keep its fixpoint (and hence the depth guard):
+        # every engine raises with max_repetitions=0.
+        from repro.errors import PatternError
+
+        session = _transfer_session(engine, seed=3)
+        session.use_engine(engine, max_repetitions=0)
+        with pytest.raises(PatternError, match="max_repetitions=0"):
+            session.execute(
+                """SELECT * FROM GRAPH_TABLE ( Transfers
+                     MATCH (x) -[t:Transfer]->{1,1} (y) COLUMNS (x.iban, y.iban) )"""
+            )
+
+
+class TestSessionCatalog:
+    def test_graphs_survive_later_table_registration(self):
+        session = _transfer_session("planned", seed=11)
+        before = session.execute(QUERIES[0])
+        session.register_table("Audit", ["entry"], [("e1",)])
+        assert session.graph_names() == ("Transfers",)
+        after = session.execute(QUERIES[0])
+        assert before.equals_unordered(after)
+
+    def test_breaking_schema_change_reports_graph_name(self):
+        session = _transfer_session("naive", seed=11)
+        session.register_table("Transfer", ["t_id"], [("T1",)])  # drops key columns
+        with pytest.raises(EngineError, match="Transfers"):
+            session.execute(QUERIES[0])
+
+    def test_unrelated_statements_survive_a_broken_graph(self):
+        session = _transfer_session("naive", seed=11)
+        session.register_table("Transfer", ["t_id"], [("T1",)])  # breaks Transfers
+        # Unrelated DDL and queries still work...
+        session.execute(
+            """CREATE PROPERTY GRAPH Audit (
+                 NODES TABLE Account KEY (iban) LABEL Account,
+                 EDGES TABLE Transfer KEY (t_id)
+                   SOURCE KEY t_id REFERENCES Account
+                   TARGET KEY t_id REFERENCES Account )"""
+        )
+        # The broken graph stays discoverable so callers can find and drop
+        # it; dropping clears the error entirely.
+        assert "Transfers" in session.graph_names()
+        session.drop_graph("Transfers")
+        assert "Transfers" not in session.graph_names()
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_engines()) >= {"naive", "planned", "sqlite"}
+
+    def test_unknown_engine_is_an_engine_error(self):
+        with pytest.raises(EngineError, match="unknown engine"):
+            PGQSession(engine="duckdb")
+
+    def test_duplicate_registration_requires_replace(self):
+        with pytest.raises(EngineError, match="already registered"):
+            register_engine("naive", lambda db, **_: None)
+
+    def test_custom_engine_roundtrip(self):
+        class EchoEngine(NaiveEngine):
+            name = "echo"
+
+        try:
+            register_engine("echo", lambda db, **opts: EchoEngine(db))
+            database = erdos_renyi(3, 0.5, seed=1)
+            engine = create_engine("echo", database)
+            assert engine.name == "echo"
+            query = graph_pattern_on_relations(
+                output(seq(node("x"), edge(), node("y")), "x", "y"), VIEW
+            )
+            assert engine.evaluate(query).rows == NaiveEngine(database).evaluate(query).rows
+        finally:
+            unregister_engine("echo")
+
+    def test_session_engine_switch(self):
+        session = _transfer_session("naive", seed=7)
+        naive = session.execute(QUERIES[1])
+        session.use_engine("planned")
+        assert session.engine_name == "planned"
+        planned = session.execute(QUERIES[1])
+        assert naive.equals_unordered(planned)
+
+
+# --------------------------------------------------------------------------- #
+# QueryResult helpers (satellite)
+# --------------------------------------------------------------------------- #
+class TestQueryResult:
+    def test_to_list_and_repr(self):
+        result = QueryResult(("a", "b"), (("x", 1), ("y", 2)))
+        assert result.to_list() == [("x", 1), ("y", 2)]
+        text = repr(result)
+        assert "a" in text and "(2 rows)" in text
+
+    def test_equals_unordered(self):
+        left = QueryResult(("a",), ((1,), (2,)))
+        right = QueryResult(("col1",), ((2,), (1,)))
+        assert left.equals_unordered(right)
+        assert left.equals_unordered([(2,), (1,)])
+        assert not left.equals_unordered(QueryResult(("a",), ((1,),)))
+
+    def test_repr_truncates_long_results(self):
+        result = QueryResult(("n",), tuple((i,) for i in range(50)))
+        assert "more rows" in repr(result)
