@@ -69,9 +69,13 @@ class QueryResult:
         other_rows = other.rows if isinstance(other, QueryResult) else tuple(other)
         return Counter(self.rows) == Counter(tuple(row) for row in other_rows)
 
+    #: Rows shown by ``__repr__`` before truncating with a ``(+N more
+    #: rows)`` footer.
+    _REPR_LIMIT = 20
+
     def __repr__(self) -> str:
         header = [str(column) for column in self.columns]
-        body = [[repr(value) for value in row] for row in self.rows[:20]]
+        body = [[repr(value) for value in row] for row in self.rows[: self._REPR_LIMIT]]
         widths = [
             max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
             for i in range(len(header))
@@ -83,8 +87,8 @@ class QueryResult:
         lines += [
             " | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in body
         ]
-        if len(self.rows) > 20:
-            lines.append(f"... ({len(self.rows) - 20} more rows)")
+        if len(self.rows) > self._REPR_LIMIT:
+            lines.append(f"... (+{len(self.rows) - self._REPR_LIMIT} more rows)")
         lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
         return "\n".join(lines)
 
@@ -169,10 +173,20 @@ class PGQSession:
             )
 
     def drop_graph(self, name: str) -> None:
-        """Forget a registered property-graph definition."""
+        """Forget a registered property-graph definition.
+
+        Dropping succeeds for broken graphs too (ones a later
+        ``register_table`` stopped compiling) — that is the documented way
+        to clear their error.  The engine is released so cached view
+        materializations for the dropped graph do not outlive it; dropping
+        an unknown name is a no-op and keeps warm caches intact.
+        """
+        known = name in self._graph_statements or name in self._invalid_graphs
         self._graph_statements.pop(name, None)
         self._invalid_graphs.pop(name, None)
-        self._catalog = None
+        if known:
+            self._catalog = None
+            self._invalidate_engine()
 
     def graph_names(self) -> Tuple[str, ...]:
         """All registered graphs, including ones a schema change broke

@@ -16,6 +16,7 @@ class supports that uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.errors import GraphError
@@ -53,6 +54,9 @@ class PropertyGraph:
         # navigate per node).
         self._outgoing: Optional[Dict[Identifier, Set[Identifier]]] = {}
         self._incoming: Optional[Dict[Identifier, Set[Identifier]]] = {}
+        # Lazy label -> elements partition backing ``elements_with_label``;
+        # invalidated whenever a label is attached.
+        self._label_index: Optional[Dict[str, FrozenSet[Identifier]]] = None
 
     def _ensure_adjacency(self) -> None:
         if self._outgoing is None:
@@ -165,6 +169,7 @@ class PropertyGraph:
         if not self.has_element(ident):
             raise GraphError(f"cannot label unknown element {ident!r}")
         self._labels.setdefault(ident, set()).add(str(label))
+        self._label_index = None
 
     def set_property(self, element: Any, key: str, value: Any) -> None:
         """Set property ``key`` of an existing node or edge to ``value``."""
@@ -274,11 +279,34 @@ class PropertyGraph:
         """Iterate over all edges as :class:`Edge` records."""
         return iter(self._edges.values())
 
+    def label_index(self) -> Mapping[str, FrozenSet[Identifier]]:
+        """The full label -> elements partition, built lazily and cached.
+
+        One pass over ``lab`` serves every labeled scan afterwards; the
+        index is dropped whenever a label is attached, so incremental
+        mutation stays correct.  Returned read-only so callers cannot
+        corrupt the cached partition.
+        """
+        if self._label_index is None:
+            partition: Dict[str, Set[Identifier]] = {}
+            for ident, labels in self._labels.items():
+                for label in labels:
+                    partition.setdefault(label, set()).add(ident)
+            self._label_index = {
+                label: frozenset(elements) for label, elements in partition.items()
+            }
+        return MappingProxyType(self._label_index)
+
     def elements_with_label(self, label: str) -> FrozenSet[Identifier]:
         """All nodes and edges carrying ``label``."""
-        return frozenset(
-            ident for ident, labels in self._labels.items() if label in labels
-        )
+        return self.label_index().get(label, frozenset())
+
+    def property_key_counts(self) -> Dict[str, int]:
+        """Number of elements carrying each property key (statistics)."""
+        counts: Dict[str, int] = {}
+        for _owner, key in self._properties:
+            counts[key] = counts.get(key, 0) + 1
+        return counts
 
     # ------------------------------------------------------------------ #
     # Metrics & invariants

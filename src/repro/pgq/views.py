@@ -240,20 +240,35 @@ def pg_view_n(relations: Sequence[Relation], max_arity: int) -> PropertyGraph:
     The applicable ``i`` is determined by the relations' arities; it must
     not exceed ``max_arity``.
     """
-    if max_arity < 1:
-        raise ViewError(f"max identifier arity must be >= 1, got {max_arity}")
-    arity = infer_identifier_arity(relations)
-    if arity > max_arity:
-        raise ViewError(
-            f"relations require identifier arity {arity}, but the fragment allows at most {max_arity}"
-        )
-    return pg_view_exact(relations, arity)
+    graph, _arity = materialize_graph(relations, max_arity)
+    return graph
 
 
 def pg_view_ext(relations: Sequence[Relation]) -> PropertyGraph:
     """``pgView_ext``: the union of ``pgView_=n`` over all ``n >= 1``."""
     arity = infer_identifier_arity(relations)
     return pg_view_exact(relations, arity)
+
+
+def materialize_graph(
+    relations: Sequence[Relation], max_arity: Optional[int] = None
+) -> Tuple[PropertyGraph, int]:
+    """Build the graph of the appropriate ``pgView`` member in one step.
+
+    Returns ``(graph, identifier arity)`` so callers that need the arity
+    (output-row validation, view caching) infer it exactly once instead of
+    re-deriving it alongside ``pg_view_n``/``pg_view_ext``.  ``max_arity``
+    selects ``pgView_n`` semantics (the inferred arity must not exceed the
+    fragment bound); ``None`` selects ``pgView_ext``.
+    """
+    if max_arity is not None and max_arity < 1:
+        raise ViewError(f"max identifier arity must be >= 1, got {max_arity}")
+    arity = infer_identifier_arity(relations)
+    if max_arity is not None and arity > max_arity:
+        raise ViewError(
+            f"relations require identifier arity {arity}, but the fragment allows at most {max_arity}"
+        )
+    return pg_view_exact(relations, arity), arity
 
 
 def graph_to_view(graph: PropertyGraph) -> ViewRelations:

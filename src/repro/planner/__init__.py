@@ -6,6 +6,9 @@ the execution backends:
 * :mod:`repro.planner.logical` — the plan IR and pattern lowering;
 * :mod:`repro.planner.rules` — the rule-based optimizer (filter and
   label pushdown, variable pruning, repetition rewriting);
+* :mod:`repro.planner.stats` — per-graph statistics collection;
+* :mod:`repro.planner.cost` — the cardinality model and the cost-based
+  join-ordering pass driven by those statistics;
 * :mod:`repro.planner.physical` — hash-join execution, the semi-naive
   repetition fixpoint, and the compiled-plan memo.
 
@@ -28,14 +31,17 @@ from repro.planner.logical import (
     describe,
     plan_size,
 )
+from repro.planner.cost import condition_selectivity, estimate_cardinality, order_joins
 from repro.planner.physical import PLAN_CACHE, PlanCache, PlanCounters, PlanExecutor
 from repro.planner.rules import optimize, prune_variables, push_down_filters, simplify
+from repro.planner.stats import GraphStatistics, collect_graph_statistics
 
 __all__ = [
     "BindEndpoint",
     "EdgeScan",
     "FilterStep",
     "FixpointStep",
+    "GraphStatistics",
     "JoinStep",
     "LogicalPlan",
     "NodeScan",
@@ -45,8 +51,12 @@ __all__ = [
     "PlanExecutor",
     "UnionStep",
     "build_logical_plan",
+    "collect_graph_statistics",
+    "condition_selectivity",
     "describe",
+    "estimate_cardinality",
     "optimize",
+    "order_joins",
     "plan_size",
     "prune_variables",
     "push_down_filters",

@@ -1,0 +1,232 @@
+"""Cost-based join ordering over the logical plan IR.
+
+Concatenation is associative but not commutative: ``psi1 psi2`` constrains
+``tgt(psi1) = src(psi2)``, so the planner may not swap operands, but it is
+free to choose the *association* in which a chain ``psi1 psi2 ... psik``
+is joined — the classic chain-query ordering problem.  The pass here:
+
+1. flattens every ``JoinStep`` tree into its in-order chain of operands,
+2. estimates the cardinality of each operand from
+   :class:`~repro.planner.stats.GraphStatistics`,
+3. greedily joins the *adjacent* pair with the smallest estimated output
+   until one operator remains.
+
+Greedy adjacent-pair selection keeps the leaf order intact (soundness) and
+builds bushy trees that evaluate the most selective concatenations first,
+so intermediate binding tables stay small.  Every variable-equality
+constraint of the original chain is still enforced: a variable shared by
+two operands becomes a hash-join key at the first join whose two sides
+both bind it, which exists in every association.
+
+The estimates are deliberately crude — uniform midpoints, fixed default
+selectivities, a saturation-capped closure guess — because they only need
+to *rank* alternative associations of short chains, not predict run times.
+When no statistics are available the optimizer keeps the lowered
+(left-deep) order, which is the pre-cost behavior.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.patterns.conditions import (
+    AndCondition,
+    HasLabel,
+    NotCondition,
+    OrCondition,
+    PatternCondition,
+    PropertyCompare,
+    PropertyComparesProperty,
+    PropertyEquals,
+)
+from repro.planner.logical import (
+    BindEndpoint,
+    EdgeScan,
+    FilterStep,
+    FixpointStep,
+    JoinStep,
+    LogicalPlan,
+    NodeScan,
+    UnionStep,
+)
+from repro.planner.stats import GraphStatistics
+
+#: Default selectivity of a comparison when nothing better is known.
+DEFAULT_COMPARISON_SELECTIVITY = 1 / 3
+#: Equality comparisons are assumed more selective than range comparisons.
+EQUALITY_SELECTIVITY = 0.1
+
+
+def condition_selectivity(
+    condition: Optional[PatternCondition], stats: GraphStatistics, *, on_edges: bool
+) -> float:
+    """Estimated fraction of candidate rows satisfying ``condition``.
+
+    ``on_edges`` says whether the condition is checked against edge or
+    node elements (label fractions differ).  Comparisons are bounded above
+    by the fraction of elements that carry the property key at all.
+    """
+    if condition is None:
+        return 1.0
+    if isinstance(condition, AndCondition):
+        return condition_selectivity(
+            condition.left, stats, on_edges=on_edges
+        ) * condition_selectivity(condition.right, stats, on_edges=on_edges)
+    if isinstance(condition, OrCondition):
+        left = condition_selectivity(condition.left, stats, on_edges=on_edges)
+        right = condition_selectivity(condition.right, stats, on_edges=on_edges)
+        return min(1.0, left + right - left * right)
+    if isinstance(condition, NotCondition):
+        return 1.0 - condition_selectivity(condition.operand, stats, on_edges=on_edges)
+    if isinstance(condition, HasLabel):
+        total = stats.edge_count if on_edges else stats.node_count
+        carriers = (
+            stats.labeled_edge_count(condition.label)
+            if on_edges
+            else stats.labeled_node_count(condition.label)
+        )
+        return carriers / total if total else 0.0
+    if isinstance(condition, PropertyCompare):
+        base = EQUALITY_SELECTIVITY if condition.operator == "=" else DEFAULT_COMPARISON_SELECTIVITY
+        return min(base, stats.property_key_fraction(condition.key))
+    if isinstance(condition, PropertyComparesProperty):
+        base = EQUALITY_SELECTIVITY if condition.operator == "=" else DEFAULT_COMPARISON_SELECTIVITY
+        bound = min(
+            stats.property_key_fraction(condition.left_key),
+            stats.property_key_fraction(condition.right_key),
+        )
+        return min(base, bound)
+    if isinstance(condition, PropertyEquals):
+        bound = min(
+            stats.property_key_fraction(condition.left_key),
+            stats.property_key_fraction(condition.right_key),
+        )
+        return min(EQUALITY_SELECTIVITY, bound)
+    return DEFAULT_COMPARISON_SELECTIVITY
+
+
+def _scan_estimate(base: int, labeled_counts: List[int]) -> float:
+    """Cardinality of a scan with pushed-down labels: labels intersect, so
+    the tightest single-label count bounds the result."""
+    estimate = float(base)
+    for count in labeled_counts:
+        estimate = min(estimate, float(count))
+    return estimate
+
+
+def estimate_cardinality(plan: LogicalPlan, stats: GraphStatistics) -> float:
+    """Estimated number of binding-table rows ``plan`` produces."""
+    if isinstance(plan, NodeScan):
+        estimate = _scan_estimate(
+            stats.node_count, [stats.labeled_node_count(label) for label in plan.labels]
+        )
+        return estimate * condition_selectivity(plan.condition, stats, on_edges=False)
+    if isinstance(plan, EdgeScan):
+        estimate = _scan_estimate(
+            stats.edge_count, [stats.labeled_edge_count(label) for label in plan.labels]
+        )
+        return estimate * condition_selectivity(plan.condition, stats, on_edges=True)
+    if isinstance(plan, BindEndpoint):
+        return estimate_cardinality(plan.operand, stats)
+    if isinstance(plan, FilterStep):
+        # Residual filters are cross-variable conditions; node elements are
+        # the common case for surviving endpoint bindings.
+        return estimate_cardinality(plan.operand, stats) * condition_selectivity(
+            plan.condition, stats, on_edges=False
+        )
+    if isinstance(plan, JoinStep):
+        left = estimate_cardinality(plan.left, stats)
+        right = estimate_cardinality(plan.right, stats)
+        # Hash keys: the midpoint node plus every shared variable.  Each key
+        # column divides the cross product by its (uniformly assumed)
+        # distinct count — the node count is the domain of both midpoints
+        # and endpoint bindings, the dominant shared-variable kind.
+        shared = len(plan.left.variables() & plan.right.variables())
+        denominator = float(max(1, stats.node_count)) ** (1 + shared)
+        return left * right / denominator
+    if isinstance(plan, UnionStep):
+        return estimate_cardinality(plan.left, stats) + estimate_cardinality(
+            plan.right, stats
+        )
+    if isinstance(plan, FixpointStep):
+        body = estimate_cardinality(plan.body, stats)
+        saturation = float(stats.node_count) ** 2
+        if body <= 0:
+            # An empty body still yields the identity pairs when lower == 0.
+            return float(stats.node_count) if plan.lower == 0 else 0.0
+        expansion = max(1.0, stats.average_out_degree)
+        if plan.is_unbounded:
+            # Sparse-graph closure guess: each of the |body| base pairs
+            # fans out by the expansion factor until saturation.
+            return min(saturation, max(float(stats.node_count), body * expansion))
+        steps = max(0, int(plan.upper) - 1)
+        return min(saturation, body * expansion**steps)
+    return float(max(1, stats.node_count))
+
+
+def _flatten_join_chain(plan: LogicalPlan) -> List[LogicalPlan]:
+    """In-order concatenation operands of a ``JoinStep`` tree."""
+    if isinstance(plan, JoinStep):
+        return _flatten_join_chain(plan.left) + _flatten_join_chain(plan.right)
+    return [plan]
+
+
+def _greedy_associate(chain: List[LogicalPlan], stats: GraphStatistics) -> LogicalPlan:
+    """Re-associate a concatenation chain, cheapest adjacent join first.
+
+    Ties break toward the leftmost pair, which keeps the pass
+    deterministic and degenerates to the left-deep rule order on uniform
+    estimates.  Per-operand cardinalities and variable sets are cached and
+    only the merged entry is recomputed each round, so ordering a chain of
+    ``k`` operands costs O(k^2) shallow arithmetic instead of re-walking
+    subtrees per candidate.
+    """
+    operands = list(chain)
+    estimates = [estimate_cardinality(operand, stats) for operand in operands]
+    variables = [operand.variables() for operand in operands]
+    node_domain = float(max(1, stats.node_count))
+
+    def join_cost(index: int) -> float:
+        # Mirrors estimate_cardinality(JoinStep(...)) on cached child values.
+        shared = len(variables[index] & variables[index + 1])
+        return estimates[index] * estimates[index + 1] / node_domain ** (1 + shared)
+
+    while len(operands) > 1:
+        best_index = 0
+        best_cost = None
+        for index in range(len(operands) - 1):
+            cost = join_cost(index)
+            if best_cost is None or cost < best_cost:
+                best_index, best_cost = index, cost
+        operands[best_index : best_index + 2] = [
+            JoinStep(operands[best_index], operands[best_index + 1])
+        ]
+        estimates[best_index : best_index + 2] = [best_cost]
+        variables[best_index : best_index + 2] = [
+            variables[best_index] | variables[best_index + 1]
+        ]
+    return operands[0]
+
+
+def order_joins(plan: LogicalPlan, stats: GraphStatistics) -> LogicalPlan:
+    """Cost-based association of every concatenation chain in the plan.
+
+    Runs between filter pushdown (so scans carry their selectivities) and
+    variable pruning (so the pruner computes join keys for the reordered
+    tree).  Only the association changes; the in-order operand sequence —
+    and with it the endpoint semantics — is preserved.
+    """
+    if isinstance(plan, JoinStep):
+        chain = [order_joins(operand, stats) for operand in _flatten_join_chain(plan)]
+        if len(chain) <= 2:
+            return JoinStep(chain[0], chain[1])
+        return _greedy_associate(chain, stats)
+    if isinstance(plan, UnionStep):
+        return UnionStep(order_joins(plan.left, stats), order_joins(plan.right, stats))
+    if isinstance(plan, FilterStep):
+        return FilterStep(order_joins(plan.operand, stats), plan.condition)
+    if isinstance(plan, FixpointStep):
+        return FixpointStep(order_joins(plan.body, stats), plan.lower, plan.upper)
+    if isinstance(plan, BindEndpoint):
+        return BindEndpoint(order_joins(plan.operand, stats), plan.variable, plan.use_source)
+    return plan

@@ -27,7 +27,9 @@ The executor is the planner's *matcher*: it satisfies the same
 tests check both produce identical row sets on every query.
 
 Compiled plans are memoized in :class:`PlanCache` keyed by
-``(pattern, needed variables)``; executed sub-plan tables are memoized per
+``(pattern, needed variables, graph-stats fingerprint)`` — costed plans
+are ordered for a concrete graph shape, so the fingerprint keeps plans for
+differently-shaped graphs apart; executed sub-plan tables are memoized per
 executor, i.e. per graph, so the effective memo key is (graph, pattern).
 """
 
@@ -35,7 +37,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import PatternError
 from repro.graph.identifiers import Identifier
@@ -54,6 +56,9 @@ from repro.planner.logical import (
     build_logical_plan,
 )
 from repro.planner.rules import optimize
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.planner.stats import GraphStatistics
 
 #: A binding-table row: ``(src, tgt, extra_1, ..., extra_k)``.
 Row = Tuple
@@ -86,32 +91,54 @@ class PlanCounters:
 
 
 class PlanCache:
-    """LRU memo of optimized logical plans, keyed by (pattern, needed vars).
+    """LRU memo of optimized logical plans.
 
-    Plans are graph-independent — the physical executor binds the graph at
-    run time — so one compiled plan serves every view the same pattern is
-    matched against.  Patterns with unhashable condition constants are
-    compiled but not cached.
+    Keys are ``(pattern, needed vars, stats fingerprint)``.  Rule-only
+    plans (no statistics) are graph-independent — the physical executor
+    binds the graph at run time — so one compiled plan serves every view
+    the same pattern is matched against.  Costed plans are ordered for a
+    concrete data distribution, which the
+    :meth:`~repro.planner.stats.GraphStatistics.fingerprint` component of
+    the key captures: the same pattern planned against differently-shaped
+    graphs occupies separate entries instead of aliasing.
+
+    Patterns with unhashable condition constants are compiled but not
+    cached; those compiles are counted separately (``uncacheable``) so the
+    hit-rate arithmetic ``hits / (hits + misses)`` stays truthful about
+    the keys the cache actually manages.
+
+    Repetition bounds are *not* part of the key on purpose: compiled plans
+    never bake in ``max_repetitions`` — the bound is enforced by the
+    executor at run time — so executors with conflicting bounds can share
+    one cache (see the cross-session regression tests).
     """
 
     def __init__(self, maxsize: int = 512):
         self.maxsize = maxsize
-        self._plans: "OrderedDict[Tuple[Pattern, FrozenSet[str]], LogicalPlan]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple, LogicalPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.uncacheable = 0
 
-    def plan_for(self, pattern: Pattern, needed: FrozenSet[str]) -> LogicalPlan:
-        key = (pattern, frozenset(needed))
+    def plan_for(
+        self,
+        pattern: Pattern,
+        needed: FrozenSet[str],
+        stats: Optional["GraphStatistics"] = None,
+    ) -> LogicalPlan:
+        needed = frozenset(needed)
+        key = (pattern, needed, stats.fingerprint() if stats is not None else None)
         try:
             cached = self._plans.get(key)
         except TypeError:  # unhashable constant somewhere in a condition
-            return optimize(build_logical_plan(pattern), frozenset(needed))
+            self.uncacheable += 1
+            return optimize(build_logical_plan(pattern), needed, stats)
         if cached is not None:
             self.hits += 1
             self._plans.move_to_end(key)
             return cached
         self.misses += 1
-        plan = optimize(build_logical_plan(pattern), frozenset(needed))
+        plan = optimize(build_logical_plan(pattern), needed, stats)
         self._plans[key] = plan
         if len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)
@@ -121,12 +148,22 @@ class PlanCache:
         self._plans.clear()
         self.hits = 0
         self.misses = 0
+        self.uncacheable = 0
 
     def info(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._plans)}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "uncacheable": self.uncacheable,
+            "size": len(self._plans),
+        }
 
 
-#: Process-wide compiled-plan memo used by the planned engine.
+#: Process-wide compiled-plan memo.  Engines now default to a private
+#: per-engine cache (costed plans are graph-shaped, and per-engine caches
+#: keep one engine's eviction pressure from another's hit rate); this
+#: shared instance remains for bare :class:`PlanExecutor` users who opt
+#: into cross-executor sharing explicitly.
 PLAN_CACHE = PlanCache()
 
 
@@ -145,14 +182,21 @@ class PlanExecutor:
         max_repetitions: Optional[int] = None,
         counters: Optional[PlanCounters] = None,
         plan_cache: Optional[PlanCache] = None,
+        graph_stats: Optional["GraphStatistics"] = None,
     ):
         self.graph = graph
         self.max_repetitions = max_repetitions
         self.counters = counters if counters is not None else PlanCounters()
         self.plan_cache = plan_cache
+        #: Statistics of ``graph``; when present the optimizer cost-orders
+        #: concatenation chains and the plan cache keys on the fingerprint.
+        self.graph_stats = graph_stats
         # Sub-plan tables computed against this graph; together with the
         # pattern-keyed PlanCache this memoizes work by (graph, pattern).
         self._tables: Dict[LogicalPlan, Tuple[ColumnMap, Set[Row]]] = {}
+        # Label scan partitions, resolved once per label set and reused by
+        # every scan of a session's repeated queries on this graph.
+        self._label_partitions: Dict[FrozenSet[str], Optional[FrozenSet[Identifier]]] = {}
 
     # ------------------------------------------------------------------ #
     # Oracle interface
@@ -162,9 +206,9 @@ class PlanExecutor:
         output.validate()
         needed = frozenset(output.output_variables())
         if self.plan_cache is not None:
-            plan = self.plan_cache.plan_for(output.pattern, needed)
+            plan = self.plan_cache.plan_for(output.pattern, needed, self.graph_stats)
         else:
-            plan = optimize(build_logical_plan(output.pattern), needed)
+            plan = optimize(build_logical_plan(output.pattern), needed, self.graph_stats)
         return self.execute_output(plan, output)
 
     def execute_output(self, plan: LogicalPlan, output: OutputPattern) -> FrozenSet[Tuple]:
@@ -256,17 +300,27 @@ class PlanExecutor:
             return self._execute_fixpoint(plan)
         raise PatternError(f"unknown physical operator for {plan!r}")
 
-    def _label_allowed(self, labels: FrozenSet[str]) -> Optional[Set[Identifier]]:
-        """Elements carrying every label of the set, or None for no filter."""
+    def _label_allowed(self, labels: FrozenSet[str]) -> Optional[FrozenSet[Identifier]]:
+        """Elements carrying every label of the set, or None for no filter.
+
+        Partitions are memoized per label set: an executor kept alive for a
+        session resolves each labeled scan once per graph, not once per
+        query execution.
+        """
         if not labels:
             return None
-        allowed: Optional[Set[Identifier]] = None
+        cached = self._label_partitions.get(labels)
+        if cached is not None:
+            return cached
+        allowed: Optional[FrozenSet[Identifier]] = None
         for label in labels:
             matching = self.graph.elements_with_label(label)
-            allowed = set(matching) if allowed is None else allowed & matching
+            allowed = matching if allowed is None else allowed & matching
             if not allowed:
                 break
-        return allowed if allowed is not None else set()
+        result = allowed if allowed is not None else frozenset()
+        self._label_partitions[labels] = result
+        return result
 
     def _execute_node_scan(self, plan: NodeScan) -> Tuple[ColumnMap, Set[Row]]:
         allowed = self._label_allowed(plan.labels)

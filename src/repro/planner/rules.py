@@ -23,6 +23,14 @@ semantics of Figure 2:
    scans degenerate — unbound scans vanish, bound ones become free
    endpoint bindings (:class:`~repro.planner.logical.BindEndpoint`).
 
+When per-graph statistics are supplied, the **cost-based join ordering**
+pass of :mod:`repro.planner.cost` runs between pushdown and pruning: it
+re-associates concatenation chains so the most selective joins evaluate
+first.  It sits after pushdown (scans must carry their label sets and
+conditions to be costed) and before pruning (the pruner derives join keys
+from the final tree shape).  Without statistics the optimizer keeps the
+lowered left-deep order, the pre-cost behavior.
+
 Pushdown through a join is sound because every row of a sub-plan binds
 exactly the sub-plan's variable set: if the conjunct's variables are all
 bound on one side, its truth value is decided there and filtering early
@@ -32,7 +40,7 @@ removes only rows the filter would remove later.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import FrozenSet, List, Optional
+from typing import TYPE_CHECKING, FrozenSet, List, Optional
 
 from repro.patterns.conditions import AndCondition, HasLabel, PatternCondition
 from repro.planner.logical import (
@@ -46,10 +54,25 @@ from repro.planner.logical import (
     UnionStep,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.planner.stats import GraphStatistics
 
-def optimize(plan: LogicalPlan, needed: FrozenSet[str]) -> LogicalPlan:
-    """Run all rewrite passes; ``needed`` are the output-pattern variables."""
+
+def optimize(
+    plan: LogicalPlan,
+    needed: FrozenSet[str],
+    stats: "Optional[GraphStatistics]" = None,
+) -> LogicalPlan:
+    """Run all rewrite passes; ``needed`` are the output-pattern variables.
+
+    ``stats`` enables the cost-based join-ordering pass; ``None`` falls
+    back to the purely rule-based pipeline.
+    """
     plan = push_down_filters(plan)
+    if stats is not None:
+        from repro.planner.cost import order_joins
+
+        plan = order_joins(plan, stats)
     plan = prune_variables(plan, frozenset(needed))
     plan = simplify(plan)
     return plan

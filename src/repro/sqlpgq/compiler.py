@@ -35,7 +35,6 @@ from repro.patterns.ast import (
     Pattern,
     PropertyRef,
     Repetition,
-    fresh_variable,
 )
 from repro.patterns.conditions import (
     AndCondition,
@@ -117,6 +116,23 @@ class _QueryCompiler:
         self.query = query
         self.top_level_variables: Set[str] = set()
         self.quantified_variables: Dict[str, int] = {}  # variable -> segment index
+        self._anonymous_counter = 0
+
+    def _fresh(self, prefix: str) -> str:
+        """Deterministic name for an anonymous pattern element.
+
+        A SQL identifier cannot start with a digit, so the leading ``0``
+        makes collision with a user variable impossible (while keeping the
+        name a valid suffix for the SQLite backend's ``v_<name>`` column
+        aliases); numbering restarts per query so re-parsing the same
+        statement yields a *structurally identical* pattern.  That
+        determinism is what lets the plan cache and the executor's memoized
+        tables serve repeated SQL text — a process-wide gensym (the old
+        behavior) made every parse a cache miss.
+        """
+        name = f"0{prefix}{self._anonymous_counter}"
+        self._anonymous_counter += 1
+        return name
 
     # ------------------------------------------------------------------ #
     def build_output_pattern(self) -> OutputPattern:
@@ -228,21 +244,21 @@ class _QueryCompiler:
         for kind, payload in segments:
             if kind == "node":
                 element = payload
-                variable = element.variable or fresh_variable("n")
+                variable = element.variable or self._fresh("n")
                 extend(NodePattern(variable))
                 for label in element.labels:
                     inline_conditions.append(HasLabel(variable, label))
             elif kind == "edge":
                 element = payload
-                variable = element.variable or fresh_variable("e")
+                variable = element.variable or self._fresh("e")
                 extend(EdgePattern(variable, forward=element.forward))
                 for label in element.labels:
                     inline_conditions.append(HasLabel(variable, label))
             else:  # quantified segment
                 segment_counter += 1
                 edge_element = payload
-                edge_variable = edge_element.variable or fresh_variable("e")
-                inner_node = fresh_variable("n")
+                edge_variable = edge_element.variable or self._fresh("e")
+                inner_node = self._fresh("n")
                 body: Pattern = Concatenation(
                     EdgePattern(edge_variable, forward=edge_element.forward),
                     NodePattern(inner_node),

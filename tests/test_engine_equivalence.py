@@ -345,6 +345,16 @@ class TestQueryResult:
         assert left.equals_unordered([(2,), (1,)])
         assert not left.equals_unordered(QueryResult(("a",), ((1,),)))
 
-    def test_repr_truncates_long_results(self):
+    def test_repr_truncates_long_results_with_counted_footer(self):
         result = QueryResult(("n",), tuple((i,) for i in range(50)))
-        assert "more rows" in repr(result)
+        text = repr(result)
+        assert "... (+30 more rows)" in text  # 50 rows, 20 shown
+        # 24 lines: header, rule, 20 body rows, footer, row-count total.
+        assert text.count("\n") == 23
+        assert "(50 rows)" in text
+
+    def test_repr_of_short_results_has_no_truncation_footer(self):
+        result = QueryResult(("n",), tuple((i,) for i in range(20)))
+        text = repr(result)
+        assert "more rows" not in text
+        assert "(20 rows)" in text

@@ -136,6 +136,130 @@ class TestSession:
 
 
 # --------------------------------------------------------------------------- #
+# Session-scoped view materialization cache
+# --------------------------------------------------------------------------- #
+class TestViewCache:
+    def make_query(self):
+        return graph_pattern_on_relations(
+            output(seq(node("x"), plus(seq(edge(), node())), node("y")), "x", "y"), VIEW
+        )
+
+    def test_repeated_queries_reuse_materialized_views(self):
+        from repro.engine import PlannedEngine
+
+        engine = PlannedEngine(erdos_renyi(8, 0.3, seed=6), collect_statistics=True)
+        query = self.make_query()
+        first = engine.evaluate(query)
+        second = engine.evaluate(query)
+        assert first.rows == second.rows
+        assert engine.statistics.views_built == 1
+        assert engine.statistics.views_reused == 1
+
+    def test_view_cache_shared_across_different_patterns_on_same_view(self):
+        from repro.engine import PlannedEngine
+
+        engine = PlannedEngine(erdos_renyi(8, 0.3, seed=6), collect_statistics=True)
+        engine.evaluate(self.make_query())
+        engine.evaluate(
+            graph_pattern_on_relations(
+                output(seq(node("x"), edge(), node("y")), "x", "y"), VIEW
+            )
+        )
+        assert engine.statistics.views_built == 1
+        assert engine.statistics.views_reused == 1
+
+    def test_reuse_can_be_disabled(self):
+        from repro.engine import PlannedEngine
+
+        engine = PlannedEngine(
+            erdos_renyi(8, 0.3, seed=6), collect_statistics=True, reuse_views=False
+        )
+        query = self.make_query()
+        engine.evaluate(query)
+        engine.evaluate(query)
+        assert engine.statistics.views_built == 2
+        assert engine.statistics.views_reused == 0
+
+    def test_naive_oracle_also_reuses_views(self):
+        from repro.engine import NaiveEngine
+
+        engine = NaiveEngine(erdos_renyi(6, 0.3, seed=2), collect_statistics=True)
+        query = self.make_query()
+        engine.evaluate(query)
+        engine.evaluate(query)
+        assert engine.statistics.views_built == 1
+        assert engine.statistics.views_reused == 1
+
+    def test_register_table_invalidates_cached_views(self):
+        # The data visible through the view changes; the session must not
+        # serve results computed against the stale materialization.
+        session = make_bank_session()
+        session.use_engine("planned")
+        before = session.execute(BANK_QUERY)
+        assert ("A3", "A1") not in before.to_set()  # A3->A4 leg is only 50
+        session.register_table(
+            "Transfer",
+            ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+            [
+                ("T1", "A1", "A2", 1, 250),
+                ("T2", "A2", "A3", 2, 500),
+                ("T3", "A3", "A4", 3, 950),  # now above the threshold
+                ("T4", "A4", "A1", 4, 700),
+            ],
+        )
+        after = session.execute(BANK_QUERY)
+        assert ("A3", "A1") in after.to_set()
+
+    def test_drop_graph_releases_engine_and_cached_views(self):
+        session = make_bank_session()
+        session.execute(BANK_QUERY)
+        assert session._engine is not None
+        session.drop_graph("Transfers")
+        assert session._engine is None
+
+
+# --------------------------------------------------------------------------- #
+# Broken-graph DDL replay (satellite)
+# --------------------------------------------------------------------------- #
+class TestBrokenGraphReplay:
+    def _broken_session(self) -> PGQSession:
+        session = make_bank_session()
+        # Re-registering Transfer without the key columns breaks the
+        # Transfers definition on catalog replay.
+        session.register_table("Transfer", ["t_id"], [("T1",)])
+        return session
+
+    def test_referencing_broken_graph_raises_documented_error(self):
+        session = self._broken_session()
+        with pytest.raises(EngineError, match="no longer valid after a schema change"):
+            session.execute(BANK_QUERY)
+        with pytest.raises(EngineError, match="drop_graph"):
+            session.graph_definition("Transfers")
+
+    def test_drop_graph_on_broken_graph_succeeds_end_to_end(self):
+        session = self._broken_session()
+        assert "Transfers" in session.graph_names()
+        session.drop_graph("Transfers")  # must not raise
+        assert "Transfers" not in session.graph_names()
+        # After the drop the graph is simply unknown, not "broken".
+        with pytest.raises(Exception) as excinfo:
+            session.execute(BANK_QUERY)
+        assert "no longer valid" not in str(excinfo.value)
+
+    def test_recreating_the_graph_after_drop_works(self):
+        session = self._broken_session()
+        session.drop_graph("Transfers")
+        session.register_table(
+            "Transfer",
+            ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+            [("T1", "A1", "A2", 1, 250)],
+        )
+        session.execute(BANK_DDL)
+        result = session.execute(BANK_QUERY)
+        assert result.to_set() == {("A1", "A2")}
+
+
+# --------------------------------------------------------------------------- #
 # SQLite engine
 # --------------------------------------------------------------------------- #
 class TestSQLiteEngine:

@@ -257,13 +257,45 @@ class TestPlanCache:
         first = cache.plan_for(out.pattern, needed)
         second = cache.plan_for(out.pattern, needed)
         assert first is second
-        assert cache.info() == {"hits": 1, "misses": 1, "size": 1}
+        assert cache.info() == {"hits": 1, "misses": 1, "uncacheable": 0, "size": 1}
 
     def test_eviction_respects_maxsize(self):
         cache = PlanCache(maxsize=2)
         for i in range(4):
             cache.plan_for(node(f"v{i}"), frozenset({f"v{i}"}))
         assert cache.info()["size"] == 2
+
+    def test_uncacheable_compiles_are_counted(self):
+        # An unhashable condition constant makes the key unhashable: the
+        # compile must still succeed, be counted (previously those calls
+        # silently skewed the hit rate), and never populate the cache.
+        cache = PlanCache()
+        pattern = seq(
+            node("x"), where(edge("t"), prop_cmp("t", "w", "=", [1, 2])), node("y")
+        )
+        needed = frozenset({"x", "y"})
+        for _ in range(2):
+            plan = cache.plan_for(pattern, needed)
+            assert plan is not None
+        assert cache.info() == {"hits": 0, "misses": 0, "uncacheable": 2, "size": 0}
+        cache.clear()
+        assert cache.info()["uncacheable"] == 0
+
+    def test_cache_keys_include_stats_fingerprint(self):
+        from repro.planner import collect_graph_statistics
+
+        sparse = graph_from(erdos_renyi(6, 0.1, seed=1, labels=("Red",)))
+        dense = graph_from(erdos_renyi(9, 0.6, seed=2, labels=("Red",)))
+        cache = PlanCache()
+        out = output(seq(node("x"), edge(), node("y"), edge(), node("z")), "x", "z")
+        needed = frozenset({"x", "z"})
+        cache.plan_for(out.pattern, needed, collect_graph_statistics(sparse))
+        cache.plan_for(out.pattern, needed, collect_graph_statistics(dense))
+        cache.plan_for(out.pattern, needed)  # rule-only entry
+        assert cache.info()["misses"] == 3 and cache.info()["size"] == 3
+        # Same graph shape again: a hit, not a fourth entry.
+        cache.plan_for(out.pattern, needed, collect_graph_statistics(sparse))
+        assert cache.info()["hits"] == 1 and cache.info()["size"] == 3
 
     def test_planned_engine_reuses_cached_plans(self):
         cache = PlanCache()
@@ -275,6 +307,82 @@ class TestPlanCache:
         engine.evaluate(query)
         engine.evaluate(query)
         assert cache.hits >= 1
+
+    def test_engines_default_to_private_caches(self):
+        db = erdos_renyi(5, 0.3, seed=8)
+        first, second = PlannedEngine(db), PlannedEngine(db)
+        assert first.plan_cache is not second.plan_cache
+        from repro.planner import PLAN_CACHE
+
+        assert first.plan_cache is not PLAN_CACHE
+
+
+# --------------------------------------------------------------------------- #
+# Plan-cache sharing across conflicting repetition bounds (satellite)
+# --------------------------------------------------------------------------- #
+class TestSharedCacheAcrossBounds:
+    """Repetition bounds must be bound at execution, never baked into a
+    cached plan: executors (and sessions) with conflicting
+    ``max_repetitions`` can share one compiled-plan cache."""
+
+    def _long_chain_sessions(self):
+        from repro.engine import PGQSession
+
+        rows_accounts = [(f"A{i}",) for i in range(8)]
+        rows_transfers = [(f"T{i}", f"A{i}", f"A{i + 1}", i, 500) for i in range(7)]
+        sessions = []
+        for bound in (2, None):
+            session = PGQSession(engine="planned", max_repetitions=bound)
+            session.register_table("Account", ["iban"], rows_accounts)
+            session.register_table(
+                "Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], rows_transfers
+            )
+            session.execute(
+                """
+                CREATE PROPERTY GRAPH Transfers (
+                  NODES TABLE Account KEY (iban) LABEL Account,
+                  EDGES TABLE Transfer KEY (t_id)
+                    SOURCE KEY src_iban REFERENCES Account
+                    TARGET KEY tgt_iban REFERENCES Account
+                    LABELS Transfer PROPERTIES (ts, amount))
+                """
+            )
+            sessions.append(session)
+        return sessions
+
+    QUERY = (
+        "SELECT * FROM GRAPH_TABLE ( Transfers MATCH (x) -[t:Transfer]->+ (y) "
+        "COLUMNS (x.iban, y.iban) )"
+    )
+
+    def test_conflicting_session_bounds_never_leak_through_cached_plans(self):
+        bounded, unbounded = self._long_chain_sessions()
+        # Bounded session compiles (and caches) the plan first, then the
+        # unbounded session reuses the pattern; the bounded one must still
+        # raise afterwards — in any interleaving.
+        with pytest.raises(PatternError, match="max_repetitions=2"):
+            bounded.execute(self.QUERY)
+        result = unbounded.execute(self.QUERY)
+        assert len(result) > 0
+        with pytest.raises(PatternError, match="max_repetitions=2"):
+            bounded.execute(self.QUERY)
+        assert unbounded.execute(self.QUERY).equals_unordered(result)
+
+    def test_shared_plan_cache_between_conflicting_executors(self):
+        from repro.datasets import chain
+
+        cache = PlanCache()
+        graph = graph_from(chain(8))
+        out = output(seq(node("x"), plus(seq(edge(), node())), node("y")), "x", "y")
+        strict = PlanExecutor(graph, max_repetitions=3, plan_cache=cache)
+        free = PlanExecutor(graph, plan_cache=cache)
+        with pytest.raises(PatternError, match="max_repetitions=3"):
+            strict.evaluate_output(out)
+        rows = free.evaluate_output(out)
+        assert rows  # the shared cache served a plan without the bound
+        assert cache.hits >= 1  # the second executor really hit the cache
+        with pytest.raises(PatternError, match="max_repetitions=3"):
+            strict.evaluate_output(out)
 
 
 # --------------------------------------------------------------------------- #

@@ -200,3 +200,55 @@ class TestCatalog:
         """
         with pytest.raises(SchemaError):
             compile_graph_definition(parse_create_property_graph(text), SCHEMA)
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic compilation (plan-cache friendliness)
+# --------------------------------------------------------------------------- #
+class TestDeterministicCompilation:
+    def _catalog(self):
+        catalog = GraphCatalog(SCHEMA)
+        catalog.register(parse_create_property_graph(DDL))
+        return catalog
+
+    def test_recompiling_the_same_statement_yields_equal_queries(self):
+        # Anonymous pattern elements get deterministic per-query names, so
+        # re-parsed statements hash to the same plan-cache key.  A
+        # process-global gensym here made every parse a cache miss.
+        from repro.sqlpgq.compiler import compile_query
+
+        catalog = self._catalog()
+        first = compile_query(parse_graph_query(QUERY), catalog)
+        second = compile_query(parse_graph_query(QUERY), catalog)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_anonymous_names_cannot_collide_with_user_variables(self):
+        # SQL identifiers cannot start with a digit; anonymous names do.
+        from repro.sqlpgq.compiler import compile_query
+
+        query = parse_graph_query(
+            "SELECT * FROM GRAPH_TABLE ( Transfers MATCH (x) -[]-> () "
+            "COLUMNS (x.iban) )"
+        )
+        compiled = compile_query(query, self._catalog())
+        anonymous = compiled.output.pattern.free_variables() - {"x"}
+        assert anonymous and all(name[0].isdigit() for name in anonymous)
+
+    def test_repeated_sql_text_hits_the_plan_cache(self):
+        from repro.engine import PGQSession
+
+        session = PGQSession(engine="planned")
+        session.register_table("Account", ["iban"], [("A1",), ("A2",)])
+        session.register_table(
+            "Transfer",
+            ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+            [("T1", "A1", "A2", 1, 250)],
+        )
+        session.execute(DDL.strip().rstrip(";"))
+        statement = QUERY.strip().rstrip(";")
+        first = session.execute(statement)
+        second = session.execute(statement)
+        assert first.equals_unordered(second)
+        info = session._get_engine().plan_cache.info()
+        assert info["hits"] >= 1 and info["size"] == 1
