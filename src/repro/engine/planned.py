@@ -22,6 +22,15 @@ On top of the PR-1 pipeline the engine is **cost-based** and
   ``PlanExecutor`` alive per materialized graph, so its sub-plan tables
   and label partitions persist across a session's repeated queries.
 
+Since PR 3 the engine's default executor is **columnar**: every view's
+compact integer encoding (dense node/edge IDs, CSR adjacency, label
+bitsets, property columns — :mod:`repro.graph.compact`) backs the
+physical operators, with identifiers decoded only at output projection
+and unbounded repetition closures optionally sharded onto a worker pool
+(opt-in via ``fixpoint_shards``, gated to graphs past
+``parallel_threshold`` nodes; serial propagation is the default).
+``compact=False`` restores the boxed PR-2 operators.
+
 Result sets are identical to the oracle on every query — that is checked
 by the cross-engine equivalence tests — while repetition-heavy workloads
 run an order of magnitude faster and repeated-query sessions skip the
@@ -83,6 +92,9 @@ class PlannedEngine(PGQEvaluator):
         plan_cache: Optional[PlanCache] = None,
         cost_based: bool = True,
         reuse_views: bool = True,
+        compact: bool = True,
+        fixpoint_shards: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
     ):
         super().__init__(
             database,
@@ -90,28 +102,43 @@ class PlannedEngine(PGQEvaluator):
             max_repetitions=max_repetitions,
             reuse_views=reuse_views,
         )
+        private_cache = plan_cache is None
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.cost_based = cost_based
         self.plan_counters = PlanCounters()
+        #: Columnar execution toggle (``False`` restores the PR-2 boxed
+        #: path) and the sharded-fixpoint knobs, threaded to every
+        #: executor this engine builds.
+        self.compact = compact
+        self.fixpoint_shards = fixpoint_shards
+        self.parallel_threshold = parallel_threshold
+        # Surface the execution counters through PlanCache.info() so a
+        # session can observe shard/encode activity without the harness —
+        # only on the engine's own private cache: a user-shared cache
+        # serves several engines, and pinning one engine's counters there
+        # would misreport the others' work.
+        if private_cache:
+            self.plan_cache.counters = self.plan_counters
+
+    def _executor_options(self, graph) -> dict:
+        return dict(
+            max_repetitions=self.max_repetitions,
+            counters=self.plan_counters,
+            plan_cache=self.plan_cache,
+            graph_stats=collect_graph_statistics(graph) if self.cost_based else None,
+            compact=self.compact,
+            fixpoint_shards=self.fixpoint_shards,
+            parallel_threshold=self.parallel_threshold,
+        )
 
     def _make_matcher(self, graph) -> PlanExecutor:
-        graph_stats = collect_graph_statistics(graph) if self.cost_based else None
         if self.statistics is not None:
             return _InstrumentedExecutor(
                 graph,
                 pattern_counters=self.statistics.pattern_counters,
-                max_repetitions=self.max_repetitions,
-                counters=self.plan_counters,
-                plan_cache=self.plan_cache,
-                graph_stats=graph_stats,
+                **self._executor_options(graph),
             )
-        return PlanExecutor(
-            graph,
-            max_repetitions=self.max_repetitions,
-            counters=self.plan_counters,
-            plan_cache=self.plan_cache,
-            graph_stats=graph_stats,
-        )
+        return PlanExecutor(graph, **self._executor_options(graph))
 
     def close(self) -> None:
         """Nothing to release; present for the Engine protocol."""
@@ -124,6 +151,9 @@ def make_planned_engine(
     plan_cache: Optional[PlanCache] = None,
     cost_based: bool = True,
     reuse_views: bool = True,
+    compact: bool = True,
+    fixpoint_shards: Optional[int] = None,
+    parallel_threshold: Optional[int] = None,
     **_options,
 ):
     return PlannedEngine(
@@ -132,4 +162,7 @@ def make_planned_engine(
         plan_cache=plan_cache,
         cost_based=cost_based,
         reuse_views=reuse_views,
+        compact=compact,
+        fixpoint_shards=fixpoint_shards,
+        parallel_threshold=parallel_threshold,
     )

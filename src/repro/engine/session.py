@@ -101,8 +101,13 @@ class PGQSession:
         *,
         engine: str = "naive",
         max_repetitions: Optional[int] = None,
+        **engine_options,
     ) -> None:
+        """``engine_options`` are forwarded to the backend factory verbatim
+        (e.g. ``compact=False`` or ``fixpoint_shards=8`` for the planned
+        engine); factories ignore options that do not apply to them."""
         engine_factory(engine)  # fail fast on unknown backend names
+        self._engine_options = dict(engine_options)
         self._relations: Dict[str, Relation] = {}
         self._columns: Dict[str, Tuple[str, ...]] = {}
         self._catalog: Optional[GraphCatalog] = None
@@ -235,6 +240,7 @@ class PGQSession:
                 self._engine_name,
                 self.database,
                 max_repetitions=self._max_repetitions,
+                **self._engine_options,
             )
         return self._engine
 
@@ -273,12 +279,36 @@ class PGQSession:
         return compile_query(statement, self.catalog)
 
     def explain(self, statement_text: str) -> str:
-        """The optimized logical plan a GRAPH_TABLE query lowers to."""
+        """The optimized logical plan a GRAPH_TABLE query lowers to.
+
+        For planner-backed engines the rendering is followed by the
+        engine's execution counters (plan-cache hit rate, columnar encode
+        time, fixpoint shard/parallel-round counts), so columnar and
+        sharded-fixpoint activity is observable straight from a session —
+        no benchmark harness required.
+        """
         statement = parse_statement(statement_text)
         if not isinstance(statement, GraphTableQuery):
             raise EngineError("explain() expects a SELECT ... FROM GRAPH_TABLE(...) statement")
         self._check_graph_valid(statement.graph_name)
-        return compile_to_plan(statement, self.catalog).describe()
+        text = compile_to_plan(statement, self.catalog).describe()
+        engine = self._engine
+        counters = getattr(engine, "plan_counters", None)
+        if counters is not None:
+            text += (
+                "\n-- engine counters: "
+                f"fixpoint_shards={counters.fixpoint_shards} "
+                f"parallel_rounds={counters.parallel_rounds} "
+                f"compact_encode_s={counters.compact_encode_s:.6f}"
+            )
+            cache = getattr(engine, "plan_cache", None)
+            if cache is not None:
+                info = cache.info()
+                text += (
+                    f"\n-- plan cache: hits={info['hits']} misses={info['misses']} "
+                    f"size={info['size']}"
+                )
+        return text
 
     def evaluate(self, query: Query) -> Relation:
         """Evaluate a programmatic PGQ query on the session's backend."""

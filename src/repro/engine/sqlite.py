@@ -98,6 +98,12 @@ class SQLiteEngine:
         self.max_repetitions = max_repetitions
         self._connection: Optional[sqlite3.Connection] = None
         self._temp_counter = itertools.count()
+        #: Temp tables created while compiling the current query; dropped
+        #: by :meth:`evaluate` after the result is fetched so repeated
+        #: queries in a long-lived session do not accumulate tables
+        #: (``compile_to_sql`` callers keep them — the returned SQL
+        #: references them).
+        self._temp_tables_in_flight: List[str] = []
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -157,14 +163,27 @@ class SQLiteEngine:
         if self.max_repetitions is not None and _contains_repetition(query):
             fallback = PGQEvaluator(self.database, max_repetitions=self.max_repetitions)
             return fallback.evaluate(query)
+        self._temp_tables_in_flight = []
         try:
-            sql, arity = self._compile(query)
-        except _SQLUnsupported:
-            return PGQEvaluator(self.database).evaluate(query)
-        rows = self.connection.execute(sql).fetchall()
+            try:
+                sql, arity = self._compile(query)
+            except _SQLUnsupported:
+                return PGQEvaluator(self.database).evaluate(query)
+            rows = self.connection.execute(sql).fetchall()
+        finally:
+            self._drop_in_flight_temp_tables()
         return Relation(arity, [tuple(row) for row in rows]) if arity > 0 else Relation(
             0, [()] if rows else []
         )
+
+    def _drop_in_flight_temp_tables(self) -> None:
+        tables, self._temp_tables_in_flight = self._temp_tables_in_flight, []
+        if not tables or self._connection is None:
+            return
+        cursor = self._connection.cursor()
+        for table in tables:
+            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+        self._connection.commit()
 
     def evaluate_sql(self, sql: str) -> List[Tuple]:
         """Run a raw SQL statement against the engine (for tests/examples)."""
@@ -240,6 +259,11 @@ class SQLiteEngine:
     # ------------------------------------------------------------------ #
     # Pattern matching
     # ------------------------------------------------------------------ #
+    #: Index columns per view-table position (nodes, .., properties): the
+    #: pattern SQL joins sources/targets on the edge column and probes
+    #: labels/properties by (element, key), so those lookups must not scan.
+    _VIEW_INDEX_COLUMNS = ("c1", None, "c1", "c1", "c1, c2", "c1, c2")
+
     def _compile_graph_pattern(self, query: GraphPattern) -> Tuple[str, int]:
         # Materialize the six view relations as temporary tables; this keeps
         # the pattern SQL readable and lets the recursive CTE reference them.
@@ -254,6 +278,7 @@ class SQLiteEngine:
         for index, relation in enumerate(view_relations):
             table = f"__view{next(self._temp_counter)}_{index}"
             names.append(table)
+            self._temp_tables_in_flight.append(table)
             columns = ", ".join(f"c{i}" for i in range(1, max(relation.arity, 1) + 1))
             cursor.execute(f"DROP TABLE IF EXISTS {table}")
             cursor.execute(f"CREATE TEMP TABLE {table} ({columns})")
@@ -263,12 +288,35 @@ class SQLiteEngine:
                     f"INSERT INTO {table} VALUES ({placeholders})",
                     [tuple(row) for row in relation.rows],
                 )
+            index_columns = self._VIEW_INDEX_COLUMNS[index]
+            if index_columns is not None and relation.arity:
+                cursor.execute(f"CREATE INDEX idx_{table} ON {table}({index_columns})")
         self.connection.commit()
         view = _ViewTables(*names)
-        compiler = _PatternSQL(view)
+        compiler = _PatternSQL(view, materialize=self._materialize_pair_table)
         sql = compiler.compile_output(query.output)
         arity = len(query.output.items)
         return sql, arity
+
+    def _materialize_pair_table(self, pair_sql: str) -> str:
+        """Materialize a repetition body's (src, tgt) relation, indexed.
+
+        The recursive CTE previously re-evaluated the body subquery (label
+        and property EXISTS probes included) on every extension step; as a
+        temp table the per-step conditions run exactly once, and the
+        ``src``/``tgt`` indexes turn each closure step into index lookups
+        instead of scans — this is what removed the super-linear blowup on
+        the transfer workloads.
+        """
+        table = f"__pairs{next(self._temp_counter)}"
+        self._temp_tables_in_flight.append(table)
+        cursor = self.connection.cursor()
+        cursor.execute(f"DROP TABLE IF EXISTS {table}")
+        cursor.execute(f"CREATE TEMP TABLE {table} AS {pair_sql}")
+        cursor.execute(f"CREATE INDEX idx_{table}_src ON {table}(src)")
+        cursor.execute(f"CREATE INDEX idx_{table}_tgt ON {table}(tgt)")
+        self.connection.commit()
+        return table
 
 
 def _contains_repetition(query: Query) -> bool:
@@ -339,9 +387,13 @@ class _PatternSQL:
     column ``v_<name>`` per free variable.
     """
 
-    def __init__(self, view: _ViewTables):
+    def __init__(self, view: _ViewTables, materialize=None):
         self.view = view
         self._alias_counter = itertools.count()
+        #: Optional callback materializing a repetition body's pair
+        #: relation into an indexed temp table (``sql -> table name``);
+        #: without it the pair relation is inlined as a subquery.
+        self._materialize = materialize
 
     def _alias(self) -> str:
         return f"p{next(self._alias_counter)}"
@@ -416,39 +468,63 @@ class _PatternSQL:
     def _compile_repetition(self, pattern: Repetition) -> Tuple[str, Tuple[str, ...]]:
         body_sql, _variables = self.compile(pattern.body)
         # The repetition erases bindings; only (src, tgt) pairs matter.
+        # Materializing them (indexed on src/tgt) evaluates the body's
+        # per-step label/property conditions exactly once — the CTE then
+        # walks a plain indexed edge relation instead of re-deriving the
+        # conditions from the pattern on every extension.
         pair_sql = f"SELECT DISTINCT src, tgt FROM ({body_sql})"
+        if self._materialize is not None:
+            pair_ref = self._materialize(pair_sql)
+        else:
+            pair_ref = f"({pair_sql})"
         if not pattern.is_unbounded:
-            return self._bounded_repetition(pair_sql, pattern.lower, int(pattern.upper)), ()
-        lower = pattern.lower
-        # Depth cap: a pair of psi^{lower..inf} is first reachable at some
-        # depth < lower + |N| (an exactly-`lower` prefix composed with a
-        # simple reachability path), so the walk must extend that far —
-        # capping at |N| alone loses matches with lower >= 2 on cycles.
+            return self._bounded_repetition(pair_ref, pattern.lower, int(pattern.upper)), ()
+        # psi^{lower..inf} = (exactly `lower` steps) composed with psi^*:
+        # seeding the recursion with the exact-`lower` prefix keeps the
+        # CTE's working set at (src, tgt) pairs closed by saturation — no
+        # step counter, so a pair is derived once instead of once per
+        # depth (the walk(src, tgt, steps) formulation was quadratic in
+        # practice: every pair re-entered the queue at up to
+        # lower + |N| depths).
+        prefix = self._exact_prefix(pair_ref, pattern.lower)
         cte = (
-            "WITH RECURSIVE walk(src, tgt, steps) AS ("
-            f" SELECT n.c1, n.c1, 0 FROM {self.view.nodes} AS n"
-            f" UNION SELECT walk.src, pair.tgt, walk.steps + 1"
-            f" FROM walk JOIN ({pair_sql}) AS pair ON walk.tgt = pair.src"
-            f" WHERE walk.steps < {lower} + (SELECT COUNT(*) FROM {self.view.nodes})"
+            "WITH RECURSIVE reach(src, tgt) AS ("
+            f" SELECT src, tgt FROM ({prefix})"
+            f" UNION SELECT reach.src, pair.tgt"
+            f" FROM reach JOIN {pair_ref} AS pair ON reach.tgt = pair.src"
             ") "
-            f"SELECT DISTINCT src AS src, tgt AS tgt FROM walk WHERE steps >= {lower}"
+            "SELECT src AS src, tgt AS tgt FROM reach"
         )
         return cte, ()
 
-    def _bounded_repetition(self, pair_sql: str, lower: int, upper: int) -> str:
+    def _exact_prefix(self, pair_ref: str, lower: int) -> str:
+        """SQL for the pairs reachable in exactly ``lower`` body steps."""
+        if lower == 0:
+            return f"SELECT n.c1 AS src, n.c1 AS tgt FROM {self.view.nodes} AS n"
+        current = f"SELECT src, tgt FROM {pair_ref}"
+        for _ in range(lower - 1):
+            previous_alias, pair_alias = self._alias(), self._alias()
+            current = (
+                f"SELECT {previous_alias}.src AS src, {pair_alias}.tgt AS tgt "
+                f"FROM ({current}) AS {previous_alias} "
+                f"JOIN {pair_ref} AS {pair_alias} ON {previous_alias}.tgt = {pair_alias}.src"
+            )
+        return f"SELECT DISTINCT src, tgt FROM ({current})"
+
+    def _bounded_repetition(self, pair_ref: str, lower: int, upper: int) -> str:
         selects = []
         if lower == 0:
             selects.append(f"SELECT n.c1 AS src, n.c1 AS tgt FROM {self.view.nodes} AS n")
         current = None
         for count in range(1, upper + 1):
             if current is None:
-                current = f"SELECT src, tgt FROM ({pair_sql})"
+                current = f"SELECT src, tgt FROM {pair_ref}"
             else:
                 previous_alias, pair_alias = self._alias(), self._alias()
                 current = (
                     f"SELECT {previous_alias}.src AS src, {pair_alias}.tgt AS tgt "
                     f"FROM ({current}) AS {previous_alias} "
-                    f"JOIN ({pair_sql}) AS {pair_alias} ON {previous_alias}.tgt = {pair_alias}.src"
+                    f"JOIN {pair_ref} AS {pair_alias} ON {previous_alias}.tgt = {pair_alias}.src"
                 )
             if count >= max(lower, 1):
                 selects.append(current)

@@ -1,5 +1,6 @@
 """Property graph data model (Definition 2.1 and Section 5 of the paper)."""
 
+from repro.graph.compact import CompactGraph, closure_masks
 from repro.graph.identifiers import (
     Identifier,
     as_identifier,
@@ -10,8 +11,10 @@ from repro.graph.identifiers import (
 from repro.graph.property_graph import Edge, PropertyGraph
 
 __all__ = [
+    "CompactGraph",
     "Identifier",
     "as_identifier",
+    "closure_masks",
     "identifier_arity",
     "same_arity",
     "unwrap_if_unary",

@@ -1,0 +1,413 @@
+"""Compact integer encoding of a property graph (the columnar core).
+
+The executors of :mod:`repro.planner.physical` spend their time hashing and
+comparing boxed :class:`~repro.graph.identifiers.Identifier` tuples.  This
+module interns a :class:`~repro.graph.property_graph.PropertyGraph` into
+dense integer IDs once, so the hot operators can run over plain ``int``
+columns and decode back to identifiers only at output projection:
+
+* **ID interning** — nodes are numbered ``0..n-1`` and edges ``0..m-1``;
+  ``node_ids``/``edge_ids`` decode an ID back to its identifier tuple and
+  ``node_index``/``edge_index`` intern the other way;
+* **CSR adjacency** — forward and backward neighbor lists in compressed
+  sparse row form (``array``-backed offsets/targets/edge columns), plus
+  flat per-edge ``edge_src``/``edge_tgt`` columns for edge scans;
+* **label bitsets** — one big-int bitmask per label over node IDs and one
+  over edge IDs, so a labeled scan is bit iteration instead of frozenset
+  intersection;
+* **property columns** — per-key dense value columns (one list per ID
+  space, built lazily), replacing per-row dictionary probes at projection
+  time.
+
+Instances are immutable snapshots: :meth:`PropertyGraph.compact` caches
+one per graph and rebuilds it when the graph's mutation version moves, so
+executors never observe a stale encoding.
+
+The module also hosts the **sharded reachability closure** used by the
+planner's repetition fixpoint: per-source frontier BFS over successor
+bitmasks, optionally partitioned into source strips evaluated on a
+``concurrent.futures`` worker pool.  Shards share the read-only adjacency
+masks, so the partitioning is safe under CPython's memory model; the gain
+is bounded by the GIL today but the strip decomposition is exactly the
+layout a free-threaded build (or a process pool over serialized masks)
+parallelizes without code changes.
+"""
+
+from __future__ import annotations
+
+from array import array
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.graph.identifiers import Identifier
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.graph.property_graph import PropertyGraph
+
+#: Sentinel for "property undefined on this element" inside dense columns
+#: (``None`` is a legal property value).
+MISSING = object()
+
+#: Bit offsets set within each possible byte value: decoding a bitmask is
+#: one table lookup per non-zero byte instead of per-bit big-int twiddling.
+BYTE_POSITIONS = tuple(
+    tuple(offset for offset in range(8) if (byte >> offset) & 1) for byte in range(256)
+)
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in increasing order."""
+    while mask:
+        low = mask & -mask
+        mask ^= low
+        yield low.bit_length() - 1
+
+
+class CompactGraph:
+    """Immutable integer-ID snapshot of one property graph.
+
+    Built through :meth:`PropertyGraph.compact`, which caches the snapshot
+    and invalidates it on graph mutation; ``version`` records the graph
+    version the snapshot encodes and ``encode_seconds`` what building it
+    cost (surfaced as the ``compact_encode_s`` counter).
+    """
+
+    __slots__ = (
+        "graph",
+        "version",
+        "encode_seconds",
+        "node_ids",
+        "node_index",
+        "edge_ids",
+        "_edge_index",
+        "edge_src",
+        "edge_tgt",
+        "_fwd_csr",
+        "_bwd_csr",
+        "_node_label_masks",
+        "_edge_label_masks",
+        "_property_columns",
+    )
+
+    def __init__(self, graph: "PropertyGraph", *, version: int = 0):
+        start = perf_counter()
+        self.graph = graph
+        self.version = version
+
+        self.node_ids: List[Identifier] = list(graph.nodes)
+        self.node_index: Dict[Identifier, int] = {
+            ident: i for i, ident in enumerate(self.node_ids)
+        }
+        edges = list(graph.edge_tuples())
+        self.edge_ids: List[Identifier] = [edge.ident for edge in edges]
+        # The edge interning map is only consulted by label bitsets and
+        # edge property columns; built on first use.
+        self._edge_index: Optional[Dict[Identifier, int]] = None
+        node_index = self.node_index
+        self.edge_src = array("q", (node_index[edge.source] for edge in edges))
+        self.edge_tgt = array("q", (node_index[edge.target] for edge in edges))
+
+        # CSR adjacency is derived from the flat edge columns on first
+        # navigation; scans and the fixpoint run off the columns directly,
+        # so eager construction would tax every encode.
+        self._fwd_csr = None
+        self._bwd_csr = None
+
+        # Label bitsets and per-key property columns are built on first
+        # use: unlabeled scans and property-free queries never pay for
+        # them, and queries that do touch a label/key pay exactly once.
+        self._node_label_masks: Optional[Dict[str, int]] = None
+        self._edge_label_masks: Optional[Dict[str, int]] = None
+        self._property_columns: Dict[Tuple[str, str], List[Any]] = {}
+        self.encode_seconds = perf_counter() - start
+
+    def _build_label_masks(self) -> None:
+        node_masks: Dict[str, int] = {}
+        edge_masks: Dict[str, int] = {}
+        node_index, edge_index = self.node_index, self.edge_index
+        for label, elements in self.graph.label_index().items():
+            node_mask = 0
+            edge_mask = 0
+            for element in elements:
+                position = node_index.get(element)
+                if position is not None:
+                    node_mask |= 1 << position
+                else:
+                    position = edge_index.get(element)
+                    if position is not None:
+                        edge_mask |= 1 << position
+            node_masks[label] = node_mask
+            edge_masks[label] = edge_mask
+        self._node_label_masks = node_masks
+        self._edge_label_masks = edge_masks
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def node_count(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self.edge_ids)
+
+    @property
+    def edge_index(self) -> Dict[Identifier, int]:
+        """Edge identifier -> dense ID interning map, built on first use."""
+        if self._edge_index is None:
+            self._edge_index = {ident: i for i, ident in enumerate(self.edge_ids)}
+        return self._edge_index
+
+    # ------------------------------------------------------------------ #
+    # Labels
+    # ------------------------------------------------------------------ #
+    def node_label_mask(self, label: str) -> int:
+        """Bitmask over node IDs carrying ``label`` (0 when absent)."""
+        if self._node_label_masks is None:
+            self._build_label_masks()
+        return self._node_label_masks.get(label, 0)
+
+    def edge_label_mask(self, label: str) -> int:
+        """Bitmask over edge IDs carrying ``label`` (0 when absent)."""
+        if self._edge_label_masks is None:
+            self._build_label_masks()
+        return self._edge_label_masks.get(label, 0)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    def property_column(self, key: str, kind: str) -> List[Any]:
+        """Dense value column of property ``key`` over one ID space.
+
+        ``kind`` is ``"node"`` or ``"edge"``; absent values hold the
+        :data:`MISSING` sentinel.  Columns are built once per (key, kind)
+        and shared by every projection afterwards.
+        """
+        cached = self._property_columns.get((key, kind))
+        if cached is not None:
+            return cached
+        if kind == "node":
+            index, size = self.node_index, len(self.node_ids)
+        else:
+            index, size = self.edge_index, len(self.edge_ids)
+        column: List[Any] = [MISSING] * size
+        for ident, value in self.graph.property_index(key).items():
+            position = index.get(ident)
+            if position is not None:
+                column[position] = value
+        self._property_columns[(key, kind)] = column
+        return column
+
+    # ------------------------------------------------------------------ #
+    # CSR navigation
+    # ------------------------------------------------------------------ #
+    @property
+    def forward_csr(self) -> Tuple[array, array, array]:
+        """``(offsets, targets, edge IDs)`` of the forward adjacency."""
+        if self._fwd_csr is None:
+            self._fwd_csr = _build_csr(
+                len(self.node_ids), len(self.edge_ids), self.edge_src, self.edge_tgt
+            )
+        return self._fwd_csr
+
+    @property
+    def backward_csr(self) -> Tuple[array, array, array]:
+        """``(offsets, sources, edge IDs)`` of the reversed adjacency."""
+        if self._bwd_csr is None:
+            self._bwd_csr = _build_csr(
+                len(self.node_ids), len(self.edge_ids), self.edge_tgt, self.edge_src
+            )
+        return self._bwd_csr
+
+    def successors(self, node: int) -> Sequence[int]:
+        """Target node IDs of the forward edges leaving ``node``."""
+        offsets, targets, _edges = self.forward_csr
+        return targets[offsets[node] : offsets[node + 1]]
+
+    def predecessors(self, node: int) -> Sequence[int]:
+        """Source node IDs of the edges entering ``node``."""
+        offsets, sources, _edges = self.backward_csr
+        return sources[offsets[node] : offsets[node + 1]]
+
+    def out_edges(self, node: int) -> Sequence[int]:
+        """Edge IDs leaving ``node`` (parallel to :meth:`successors`)."""
+        offsets, _targets, edges = self.forward_csr
+        return edges[offsets[node] : offsets[node + 1]]
+
+    def in_edges(self, node: int) -> Sequence[int]:
+        """Edge IDs entering ``node`` (parallel to :meth:`predecessors`)."""
+        offsets, _sources, edges = self.backward_csr
+        return edges[offsets[node] : offsets[node + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompactGraph(nodes={len(self.node_ids)}, edges={len(self.edge_ids)}, "
+            f"version={self.version})"
+        )
+
+
+def _build_csr(
+    node_count: int, edge_count: int, sources: Sequence[int], targets: Sequence[int]
+) -> Tuple[array, array, array]:
+    """Compressed sparse rows: ``(offsets, neighbor column, edge column)``.
+
+    ``offsets`` has ``node_count + 1`` entries; node ``i``'s neighbors live
+    at ``neighbors[offsets[i]:offsets[i + 1]]`` with the edge that carries
+    each neighbor at the same slot of the edge column.
+    """
+    counts = [0] * (node_count + 1)
+    for source in sources:
+        counts[source + 1] += 1
+    for i in range(1, node_count + 1):
+        counts[i] += counts[i - 1]
+    offsets = array("q", counts)
+    neighbors = array("q", bytes(8 * edge_count))
+    edge_column = array("q", bytes(8 * edge_count))
+    cursor = list(offsets[:node_count]) if node_count else []
+    for edge_id in range(edge_count):
+        source = sources[edge_id]
+        slot = cursor[source]
+        neighbors[slot] = targets[edge_id]
+        edge_column[slot] = edge_id
+        cursor[source] = slot + 1
+    return offsets, neighbors, edge_column
+
+
+# --------------------------------------------------------------------------- #
+# Reachability closure over successor bitmasks (serial and sharded)
+# --------------------------------------------------------------------------- #
+def bfs_closure_strip(
+    successor_masks: Sequence[int], sources: Iterable[int]
+) -> Tuple[List[int], int]:
+    """Per-source frontier BFS over successor bitmasks.
+
+    Returns one reachability mask per source (``>= 0`` steps, so the
+    source's own bit is always set) and the deepest frontier round any
+    source needed — the strip's round count for instrumentation.
+    """
+    masks: List[int] = []
+    deepest = 0
+    append = masks.append
+    for source in sources:
+        reach = 1 << source
+        frontier = reach
+        depth = 0
+        while frontier:
+            depth += 1
+            step = 0
+            remaining = frontier
+            while remaining:
+                low = remaining & -remaining
+                remaining ^= low
+                step |= successor_masks[low.bit_length() - 1]
+            frontier = step & ~reach
+            reach |= frontier
+        append(reach)
+        if depth > deepest:
+            deepest = depth
+    return masks, deepest
+
+
+def propagate_closure(successor_masks: Sequence[int]) -> Tuple[List[int], int]:
+    """Serial closure by worklist-driven OR propagation (word-parallel).
+
+    Every node's reach mask absorbs its successors' masks until nothing
+    changes; rounds merge whole masks, so each step is a big-int OR —
+    which beats per-source BFS whenever the closure is dense relative to
+    the edge count (the common case for the repetition-heavy workloads).
+    A predecessor worklist keeps later rounds incremental: only nodes with
+    a successor whose reach just grew are recomputed, instead of sweeping
+    every edge until global convergence.
+    """
+    node_count = len(successor_masks)
+    reach = [(1 << i) | successor_masks[i] for i in range(node_count)]
+    predecessors: Dict[int, List[int]] = {}
+    setdefault = predecessors.setdefault
+    changed = set()
+    seeded = changed.add
+    for i, mask in enumerate(successor_masks):
+        if mask:
+            seeded(i)  # the seeding pass above grew these
+            for j in iter_bits(mask):
+                setdefault(j, []).append(i)
+    rounds = 1
+    while changed:
+        rounds += 1
+        next_changed = set()
+        grew = next_changed.add
+        for j in changed:
+            parents = predecessors.get(j)
+            if not parents:
+                continue
+            reach_j = reach[j]
+            for i in parents:
+                reach_i = reach[i]
+                merged = reach_i | reach_j
+                if merged != reach_i:
+                    reach[i] = merged
+                    grew(i)
+        changed = next_changed
+    return reach, rounds
+
+
+def closure_masks(
+    successor_masks: Sequence[int], *, shards: int = 1
+) -> Tuple[List[int], int, int]:
+    """Reachability masks for every node, optionally sharded.
+
+    With ``shards > 1`` the source range is partitioned into contiguous
+    strips and each strip's BFS runs as one worker-pool task; callers gate
+    on graph size so small fixpoints never pay the pool setup.  Returns
+    ``(masks, rounds, shards_used)`` where ``rounds`` is the deepest strip
+    (strips run concurrently, so the deepest one bounds the wall clock).
+    """
+    node_count = len(successor_masks)
+    shards = max(1, min(shards, node_count))  # never more strips than sources
+    if shards <= 1:
+        masks, rounds = propagate_closure(successor_masks)
+        return masks, rounds, 1
+    strip_size = -(-node_count // shards)  # ceil division
+    strips = [
+        range(start, min(start + strip_size, node_count))
+        for start in range(0, node_count, strip_size)
+    ]
+    with ThreadPoolExecutor(max_workers=len(strips)) as pool:
+        results = list(
+            pool.map(lambda strip: bfs_closure_strip(successor_masks, strip), strips)
+        )
+    masks = []
+    rounds = 0
+    for strip_masks, strip_rounds in results:
+        masks.extend(strip_masks)
+        if strip_rounds > rounds:
+            rounds = strip_rounds
+    return masks, rounds, len(strips)
+
+
+def compose_frontier(
+    successor_masks: Sequence[int], frontier: int, steps: int
+) -> int:
+    """Advance a frontier bitmask ``steps`` composition rounds forward."""
+    for _ in range(steps):
+        if not frontier:
+            break
+        step = 0
+        remaining = frontier
+        while remaining:
+            low = remaining & -remaining
+            remaining ^= low
+            step |= successor_masks[low.bit_length() - 1]
+        frontier = step
+    return frontier

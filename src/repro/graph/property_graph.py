@@ -15,19 +15,34 @@ class supports that uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import GraphError
 from repro.graph.identifiers import Identifier, as_identifier
 
+if False:  # pragma: no cover - type hints only (import cycle guard)
+    from repro.graph.compact import CompactGraph
 
-@dataclass(frozen=True)
-class Edge:
+
+class Edge(NamedTuple):
     """A directed edge together with its endpoints.
 
     ``ident``, ``source`` and ``target`` are canonical identifier tuples.
+    A named tuple rather than a dataclass: bulk view materialization
+    constructs one per edge, and tuple allocation is several times cheaper
+    than a frozen dataclass ``__init__``.
     """
 
     ident: Identifier
@@ -57,6 +72,11 @@ class PropertyGraph:
         # Lazy label -> elements partition backing ``elements_with_label``;
         # invalidated whenever a label is attached.
         self._label_index: Optional[Dict[str, FrozenSet[Identifier]]] = None
+        # Mutation version and the compact integer snapshot built for it;
+        # ``compact()`` rebuilds whenever the version moves, so executors
+        # never run on a stale encoding.
+        self._version: int = 0
+        self._compact: Optional["CompactGraph"] = None
 
     def _ensure_adjacency(self) -> None:
         if self._outgoing is None:
@@ -76,8 +96,8 @@ class PropertyGraph:
         cls,
         nodes: Iterable[Identifier],
         edges: Mapping[Identifier, Tuple[Identifier, Identifier]],
-        labels: Mapping[Identifier, Iterable[str]],
-        properties: Mapping[Tuple[Identifier, str], Any],
+        labels: Dict[Identifier, Set[str]],
+        properties: Dict[Tuple[Identifier, str], Any],
     ) -> "PropertyGraph":
         """Trusted bulk constructor for pre-validated components.
 
@@ -87,6 +107,10 @@ class PropertyGraph:
         it runs the conditions (1)-(4) first.  Skipping the per-element
         re-checks of the incremental API makes view materialization linear
         with small constants.
+
+        ``labels`` (a dict of label-string sets) and ``properties`` are
+        **adopted**, not copied: the caller hands over ownership and must
+        not mutate them afterwards.
         """
         graph = cls()
         graph._nodes = set(nodes)
@@ -95,8 +119,8 @@ class PropertyGraph:
         }
         graph._outgoing = None
         graph._incoming = None
-        graph._labels = {element: set(element_labels) for element, element_labels in labels.items()}
-        graph._properties = dict(properties)
+        graph._labels = labels
+        graph._properties = properties
         return graph
 
     def add_node(
@@ -114,6 +138,7 @@ class PropertyGraph:
         node = as_identifier(ident)
         if node in self._edges:
             raise GraphError(f"identifier {node!r} is already used by an edge")
+        self._version += 1
         self._nodes.add(node)
         if self._outgoing is not None:
             self._outgoing.setdefault(node, set())
@@ -154,6 +179,7 @@ class PropertyGraph:
                 f"({existing.source!r} -> {existing.target!r})"
             )
         self._ensure_adjacency()
+        self._version += 1
         self._edges[edge] = Edge(edge, src, tgt)
         self._outgoing[src].add(edge)
         self._incoming[tgt].add(edge)
@@ -168,6 +194,7 @@ class PropertyGraph:
         ident = as_identifier(element)
         if not self.has_element(ident):
             raise GraphError(f"cannot label unknown element {ident!r}")
+        self._version += 1
         self._labels.setdefault(ident, set()).add(str(label))
         self._label_index = None
 
@@ -176,6 +203,7 @@ class PropertyGraph:
         ident = as_identifier(element)
         if not self.has_element(ident):
             raise GraphError(f"cannot set property on unknown element {ident!r}")
+        self._version += 1
         self._properties[(ident, str(key))] = value
 
     # ------------------------------------------------------------------ #
@@ -301,12 +329,41 @@ class PropertyGraph:
         """All nodes and edges carrying ``label``."""
         return self.label_index().get(label, frozenset())
 
+    def mutation_version(self) -> int:
+        """Counter bumped by every mutator; caches key on it to detect
+        staleness (:meth:`compact`, the planner's executor memos).
+
+        A plain method, not a ``@property`` — this class defines its own
+        ``property(element, key)`` accessor (``prop`` of Definition 2.1),
+        which shadows the builtin inside the class body.
+        """
+        return self._version
+
+    def compact(self) -> "CompactGraph":
+        """The dense integer-ID encoding of this graph, built lazily.
+
+        The snapshot (ID interning, CSR adjacency, label bitsets, property
+        columns — see :class:`~repro.graph.compact.CompactGraph`) is cached
+        and keyed on the graph's mutation version: any ``add_node`` /
+        ``add_edge`` / ``add_label`` / ``set_property`` call invalidates it,
+        so callers always observe the current graph.
+        """
+        from repro.graph.compact import CompactGraph
+
+        cached = self._compact
+        if cached is not None and cached.version == self._version:
+            return cached
+        built = CompactGraph(self, version=self._version)
+        self._compact = built
+        return built
+
     def property_key_counts(self) -> Dict[str, int]:
         """Number of elements carrying each property key (statistics)."""
-        counts: Dict[str, int] = {}
-        for _owner, key in self._properties:
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        from collections import Counter
+        from operator import itemgetter
+
+        # Counter over a C-level key extractor: one pass, no Python loop.
+        return dict(Counter(map(itemgetter(1), self._properties)))
 
     # ------------------------------------------------------------------ #
     # Metrics & invariants

@@ -18,6 +18,7 @@ landscape, but they are part of the concrete SQL/PGQ surface.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet
 
@@ -28,14 +29,18 @@ from repro.graph.property_graph import PropertyGraph
 #: A variable mapping assigns graph element identifiers to pattern variables.
 Mapping = Dict[str, Identifier]
 
-_COMPARATORS = {
-    "=": lambda a, b: a == b,
-    "!=": lambda a, b: a != b,
-    "<": lambda a, b: a < b,
-    "<=": lambda a, b: a <= b,
-    ">": lambda a, b: a > b,
-    ">=": lambda a, b: a >= b,
+#: Comparator dispatch shared with the planner's columnar scan
+#: predicates (:mod:`repro.planner.physical`) — one table, so the boxed
+#: and compact evaluation paths can never diverge on an operator.
+COMPARATORS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
 }
+_COMPARATORS = COMPARATORS
 
 
 class PatternCondition:

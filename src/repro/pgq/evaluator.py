@@ -199,7 +199,9 @@ class PGQEvaluator:
                 f"selection condition refers to ${query.condition.max_position()} "
                 f"but the operand has arity {relation.arity}"
             )
-        return relation.select(query.condition.evaluate)
+        # Compile the condition once per selection: per-row evaluation is a
+        # plain closure instead of a tree walk with per-row bounds checks.
+        return relation.select(query.condition.compile(relation.arity))
 
     def _view_cache_key(self, query: GraphPattern) -> Optional[Tuple]:
         """Cache key of a graph pattern's materialized view, or None when
@@ -238,13 +240,18 @@ class PGQEvaluator:
                     self._views.popitem(last=False)
         rows = matcher.evaluate_output(query.output)
         arity = output_arity(query.output, identifier_arity)
-        for row in rows:
-            if len(row) != arity:
-                raise ArityError(
-                    f"output row {row!r} has arity {len(row)}, expected {arity}"
-                )
-        # The arity of every row was just checked and matcher outputs are
-        # flat tuples of atomic values, so skip the per-row re-validation.
+        # Matchers that build every output row from a fixed projection
+        # layout (the planner) declare ``trusted_output_arity`` and skip
+        # the per-row length scan; the naive oracle keeps it, so arity
+        # drift would still surface in the cross-engine equivalence tests.
+        if not getattr(matcher, "trusted_output_arity", False):
+            for row in rows:
+                if len(row) != arity:
+                    raise ArityError(
+                        f"output row {row!r} has arity {len(row)}, expected {arity}"
+                    )
+        # Matcher outputs are flat tuples of atomic values with the arity
+        # established above, so skip the per-row re-validation.
         return Relation._trusted(arity, rows)
 
 

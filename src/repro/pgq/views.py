@@ -99,11 +99,18 @@ def _split_pair(row: Row, arity: int) -> Tuple[Identifier, Identifier]:
 
 def _check_conditions(
     relations: Sequence[Relation], arity: int
-) -> Tuple[Dict[Identifier, Identifier], Dict[Identifier, Identifier]]:
+) -> Tuple[
+    Dict[Identifier, Identifier],
+    Dict[Identifier, Identifier],
+    Dict[Identifier, Set[str]],
+    Dict[Tuple[Identifier, str], object],
+]:
     """Check conditions (1)-(4) of Definition 3.1 / 5.1 for the given arity.
 
-    Returns the source and target maps (edge -> node) so the graph builder
-    does not have to split the R3/R4 rows a second time.
+    Returns the source/target maps (edge -> node), the per-element label
+    sets, and the property assignment map — the exact structures the graph
+    builder needs, so the R3-R6 rows are split exactly once for both the
+    check and the build.
     """
     r1, r2, r3, r4, r5, r6 = relations
 
@@ -132,31 +139,39 @@ def _check_conditions(
             f"e.g. {sorted(overlap, key=repr)[:3]}"
         )
 
-    elements = nodes | edges
+    # The node/edge union is only consulted by conditions (3) and (4);
+    # label- and property-free views (common for derived pair graphs)
+    # never build it.
+    elements: Optional[Set[Identifier]] = None
 
-    # Condition (2): R3, R4 encode total functions R2 -> R1.  Checked with
-    # bulk set operations; the per-row diagnostics run only on failure.
+    # Conditions (2)-(4) run as bulk comprehensions plus whole-set algebra;
+    # the per-row diagnostics below re-scan only on failure, so the passing
+    # path (every query) does no per-row Python-level branching.
+
+    # Condition (2): R3, R4 encode total functions R2 -> R1.
     maps: List[Dict[Identifier, Identifier]] = []
     for name, relation in (("R3 (source)", r3), ("R4 (target)", r4)):
-        pairs = [_split_pair(row, arity) for row in relation.rows]
-        mapping: Dict[Identifier, Identifier] = dict(pairs)
-        mentioned = {edge for edge, _node in pairs}
+        mapping: Dict[Identifier, Identifier] = {
+            row[:arity]: row[arity:] for row in relation.rows
+        }
+        mentioned = set(mapping)
         bad_edges = mentioned - edges
         if bad_edges:
             raise ViewError(
                 f"condition (2) violated: {name} mentions "
                 f"{sorted(bad_edges, key=repr)[0]!r}, which is not an edge"
             )
-        bad_nodes = {node for _edge, node in pairs} - nodes
+        bad_nodes = set(mapping.values()) - nodes
         if bad_nodes:
-            witness = next((e, n) for (e, n) in pairs if n in bad_nodes)
+            witness = next((e, n) for e, n in mapping.items() if n in bad_nodes)
             raise ViewError(
                 f"condition (2) violated: {name} maps edge {witness[0]!r} to "
                 f"{witness[1]!r}, which is not a node"
             )
-        if len(mapping) != len(pairs):  # some edge mapped to two nodes
+        if len(mapping) != len(relation.rows):  # some edge mapped to two nodes
             seen: Dict[Identifier, Identifier] = {}
-            for edge, node in pairs:
+            for row in relation.rows:
+                edge, node = _split_pair(row, arity)
                 if edge in seen and seen[edge] != node:
                     raise ViewError(
                         f"condition (2) violated: {name} maps edge {edge!r} to both "
@@ -171,33 +186,49 @@ def _check_conditions(
             )
         maps.append(mapping)
 
-    # Condition (3): labels attach to graph elements only.
-    for row in r5.rows:
-        element = tuple(row[:arity])
-        if element not in elements:
-            raise ViewError(
-                f"condition (3) violated: label row {row!r} refers to {element!r}, "
-                f"which is neither a node nor an edge"
-            )
+    # Condition (3): labels attach to graph elements only.  The grouping
+    # built for the check doubles as the graph's label map.
+    labels: Dict[Identifier, Set[str]] = {}
+    if r5.rows:
+        elements = nodes | edges
+        for row in r5.rows:
+            element = row[:arity]
+            label_set = labels.get(element)
+            if label_set is None:
+                if element not in elements:
+                    raise ViewError(
+                        f"condition (3) violated: label row {row!r} refers to "
+                        f"{element!r}, which is neither a node nor an edge"
+                    )
+                labels[element] = label_set = set()
+            label_set.add(str(row[arity]))
 
     # Condition (4): properties encode a partial function (element, key) -> value.
-    seen: Dict[Tuple[Identifier, object], object] = {}
-    for row in r6.rows:
-        element = tuple(row[:arity])
-        key, value = row[arity], row[arity + 1]
-        if element not in elements:
+    assignments: Dict[Tuple[Identifier, str], object] = {
+        (row[:arity], row[arity]): row[arity + 1] for row in r6.rows
+    }
+    if assignments:
+        if elements is None:
+            elements = nodes | edges
+        unknown = {element for element, _key in assignments} - elements
+        if unknown:
+            witness = next(row for row in r6.rows if row[:arity] in unknown)
             raise ViewError(
-                f"condition (4) violated: property row {row!r} refers to {element!r}, "
-                f"which is neither a node nor an edge"
+                f"condition (4) violated: property row {witness!r} refers to "
+                f"{witness[:arity]!r}, which is neither a node nor an edge"
             )
-        if (element, key) in seen and seen[(element, key)] != value:
-            raise ViewError(
-                f"condition (4) violated: property {key!r} of {element!r} has two values "
-                f"({seen[(element, key)]!r} and {value!r})"
-            )
-        seen[(element, key)] = value
+        if len(assignments) != len(r6.rows):  # some (element, key) has two values
+            seen_values: Dict[Tuple[Identifier, object], object] = {}
+            for row in r6.rows:
+                element, key, value = row[:arity], row[arity], row[arity + 1]
+                if (element, key) in seen_values and seen_values[(element, key)] != value:
+                    raise ViewError(
+                        f"condition (4) violated: property {key!r} of {element!r} has two "
+                        f"values ({seen_values[(element, key)]!r} and {value!r})"
+                    )
+                seen_values[(element, key)] = value
 
-    return maps[0], maps[1]
+    return maps[0], maps[1], labels, assignments
 
 
 def _build_graph(
@@ -205,17 +236,26 @@ def _build_graph(
     arity: int,
     source_of: Dict[Identifier, Identifier],
     target_of: Dict[Identifier, Identifier],
+    labels: Dict[Identifier, Set[str]],
+    assignments: Dict[Tuple[Identifier, str], object],
 ) -> PropertyGraph:
     # The six relations passed conditions (1)-(4), so the graph can be
     # assembled through the trusted bulk constructor: relation rows are
-    # already canonical identifier tuples and the source/target maps come
-    # straight from the condition check.
-    r1, r2, _r3, _r4, r5, r6 = relations
-    edges = {row: (source_of[row], target_of[row]) for row in r2.rows}
-    labels: Dict[Identifier, set] = {}
-    for row in r5.rows:
-        labels.setdefault(row[:arity], set()).add(str(row[arity]))
-    properties = {(row[:arity], str(row[arity])): row[arity + 1] for row in r6.rows}
+    # already canonical identifier tuples and the maps come straight from
+    # the condition check (split exactly once there).
+    r1 = relations[0]
+    # ``source_of`` is keyed by exactly R2 (condition (2) totality), so one
+    # probe into ``target_of`` per edge suffices.
+    edges = {edge: (source, target_of[edge]) for edge, source in source_of.items()}
+    # Property keys are strings in the graph model (``prop``'s domain);
+    # adopt the checked assignment map as-is when the keys already are.
+    if all(type(key) is str for _element, key in assignments):
+        properties = assignments
+    else:
+        properties = {
+            (element, str(key)): value
+            for (element, key), value in assignments.items()
+        }
     return PropertyGraph._from_validated(r1.rows, edges, labels, properties)
 
 
@@ -225,8 +265,8 @@ def pg_view_exact(relations: Sequence[Relation], arity: int) -> PropertyGraph:
         raise ViewError(f"identifier arity must be >= 1, got {arity}")
     if len(relations) != 6:
         raise ViewError(f"a property graph view needs exactly 6 relations, got {len(relations)}")
-    source_of, target_of = _check_conditions(relations, arity)
-    return _build_graph(relations, arity, source_of, target_of)
+    source_of, target_of, labels, assignments = _check_conditions(relations, arity)
+    return _build_graph(relations, arity, source_of, target_of, labels, assignments)
 
 
 def pg_view(relations: Sequence[Relation]) -> PropertyGraph:

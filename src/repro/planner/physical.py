@@ -37,12 +37,38 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.errors import PatternError
+from repro.graph import compact as compact_encoding
+from repro.graph.compact import (
+    BYTE_POSITIONS as _BYTE_POSITIONS,
+    MISSING as _COMPACT_MISSING,
+    iter_bits,
+)
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
 from repro.matching import fixpoint
+from repro.patterns.conditions import (
+    COMPARATORS,
+    AndCondition,
+    HasLabel,
+    NotCondition,
+    OrCondition,
+    PatternCondition,
+    PropertyCompare,
+    PropertyComparesProperty,
+    PropertyEquals,
+)
 from repro.patterns.ast import OutputPattern, Pattern, PropertyRef
 from repro.planner.logical import (
     BindEndpoint,
@@ -69,22 +95,34 @@ Pair = Tuple[Identifier, Identifier]
 
 _MISSING = object()
 
-#: Bit offsets set within each possible byte value, for fast bitmask
-#: decoding (one table lookup per non-zero byte instead of per-bit
-#: twiddling on big integers).
-_BYTE_POSITIONS = tuple(
-    tuple(offset for offset in range(8) if (byte >> offset) & 1) for byte in range(256)
-)
+#: Below this many nodes a requested sharding is ignored and the closure
+#: stays serial: worker-pool setup costs more than the whole fixpoint on
+#: small graphs.  Sharding itself is **opt-in** (``fixpoint_shards=K``):
+#: under the GIL the strip workers serialize, and the per-source BFS they
+#: run is algorithmically weaker than the serial word-parallel propagation
+#: kernel on dense closures — measured up to ~50x slower at 1000 nodes.
+#: The strip decomposition exists for free-threaded builds (workers only
+#: read the shared masks), not as a default.
+PARALLEL_FIXPOINT_MIN_NODES = 512
 
 
 @dataclass
 class PlanCounters:
-    """Instrumentation mirroring the naive evaluator's counters."""
+    """Instrumentation mirroring the naive evaluator's counters.
+
+    ``fixpoint_shards`` / ``parallel_rounds`` count worker-pool strips and
+    the deepest concurrent BFS round of sharded repetition closures;
+    ``compact_encode_s`` accumulates the wall-clock cost of building the
+    compact integer graph encodings the columnar path runs on.
+    """
 
     rows_produced: int = 0
     join_probes: int = 0
     fixpoint_rounds: int = 0
     delta_pairs: int = 0
+    fixpoint_shards: int = 0
+    parallel_rounds: int = 0
+    compact_encode_s: float = 0.0
 
     def total_operations(self) -> int:
         return self.rows_produced + self.join_probes + self.fixpoint_rounds + self.delta_pairs
@@ -119,6 +157,11 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        #: Execution counters of the engine this cache serves (attached by
+        #: :class:`~repro.engine.planned.PlannedEngine`); when present,
+        #: :meth:`info` surfaces the columnar/parallel-fixpoint counters so
+        #: speedups are observable without the benchmark harness.
+        self.counters: Optional[PlanCounters] = None
 
     def plan_for(
         self,
@@ -150,13 +193,20 @@ class PlanCache:
         self.misses = 0
         self.uncacheable = 0
 
-    def info(self) -> Dict[str, int]:
-        return {
+    def info(self) -> Dict[str, float]:
+        """Cache statistics; counts are ints, ``compact_encode_s`` (when
+        engine counters are attached) is wall-clock seconds."""
+        info = {
             "hits": self.hits,
             "misses": self.misses,
             "uncacheable": self.uncacheable,
             "size": len(self._plans),
         }
+        if self.counters is not None:
+            info["fixpoint_shards"] = self.counters.fixpoint_shards
+            info["parallel_rounds"] = self.counters.parallel_rounds
+            info["compact_encode_s"] = self.counters.compact_encode_s
+        return info
 
 
 #: Process-wide compiled-plan memo.  Engines now default to a private
@@ -167,13 +217,54 @@ class PlanCache:
 PLAN_CACHE = PlanCache()
 
 
+class _CompactUnsupported(Exception):
+    """Internal: the plan cannot run on the integer columns; fall back to
+    the boxed-identifier operators (same semantics, slower)."""
+
+
+class CompactTable(NamedTuple):
+    """A binding table over integer IDs.
+
+    ``columns`` maps variables to row indices exactly like the boxed
+    representation; ``kinds`` records each variable's ID space (``"node"``
+    or ``"edge"``) so values decode through the right interning table.
+    When ``masks`` is set the table is an endpoint-pair relation held as
+    per-source reachability bitmasks (bit ``j`` of ``masks[i]`` = row
+    ``(i, j)``) — the repetition fixpoint's native format, expanded into
+    real rows only by consumers that need them (the projection fast path
+    decodes masks straight into output tuples).
+    """
+
+    columns: ColumnMap
+    kinds: Dict[str, str]
+    rows: Set
+    masks: Optional[List[int]] = None
+
+
 class PlanExecutor:
     """Executes logical plans against one property graph.
 
     Satisfies the matcher oracle interface (``evaluate_output``) used by
     :class:`~repro.pgq.evaluator.PGQEvaluator`, so it can be swapped in for
     the naive endpoint evaluator behind a graph view.
+
+    By default plans run on the **columnar path**: the graph's compact
+    integer encoding (:meth:`~repro.graph.property_graph.PropertyGraph.compact`)
+    supplies dense node/edge IDs, scans emit int rows, hash joins key on
+    packed ints, and the repetition fixpoint walks successor bitmasks —
+    identifiers are decoded only at output projection, so results are
+    identical to the boxed path (``compact=False``) and to the naive
+    oracle.  Passing ``fixpoint_shards`` opts unbounded repetition
+    closures into worker-pool evaluation over source-partitioned strips,
+    gated to graphs of at least ``parallel_threshold`` nodes; by default
+    the serial word-parallel propagation kernel runs (see
+    :data:`PARALLEL_FIXPOINT_MIN_NODES` for why).
     """
+
+    #: Output rows are built from a fixed projection layout, so their
+    #: arity is correct by construction; the evaluator skips its per-row
+    #: length scan (the naive oracle keeps it as the semantic check).
+    trusted_output_arity = True
 
     def __init__(
         self,
@@ -183,6 +274,9 @@ class PlanExecutor:
         counters: Optional[PlanCounters] = None,
         plan_cache: Optional[PlanCache] = None,
         graph_stats: Optional["GraphStatistics"] = None,
+        compact: bool = True,
+        fixpoint_shards: Optional[int] = None,
+        parallel_threshold: Optional[int] = None,
     ):
         self.graph = graph
         self.max_repetitions = max_repetitions
@@ -191,12 +285,28 @@ class PlanExecutor:
         #: Statistics of ``graph``; when present the optimizer cost-orders
         #: concatenation chains and the plan cache keys on the fingerprint.
         self.graph_stats = graph_stats
+        #: Columnar execution toggle (``False`` restores the boxed path).
+        self.compact = compact
+        #: Worker-pool strips for the repetition closure; ``None`` (the
+        #: default) = serial — sharding is opt-in, see
+        #: :data:`PARALLEL_FIXPOINT_MIN_NODES`.
+        self.fixpoint_shards = fixpoint_shards
+        #: Node count below which the closure stays serial; ``None`` uses
+        #: the module default.
+        self.parallel_threshold = (
+            PARALLEL_FIXPOINT_MIN_NODES if parallel_threshold is None else parallel_threshold
+        )
         # Sub-plan tables computed against this graph; together with the
         # pattern-keyed PlanCache this memoizes work by (graph, pattern).
         self._tables: Dict[LogicalPlan, Tuple[ColumnMap, Set[Row]]] = {}
+        self._compact_tables: Dict[LogicalPlan, CompactTable] = {}
         # Label scan partitions, resolved once per label set and reused by
         # every scan of a session's repeated queries on this graph.
         self._label_partitions: Dict[FrozenSet[str], Optional[FrozenSet[Identifier]]] = {}
+        # Last compact encoding observed, for encode-time accounting.
+        self._encoded = None
+        # Graph version the memoized tables were computed against.
+        self._graph_version = graph.mutation_version()
 
     # ------------------------------------------------------------------ #
     # Oracle interface
@@ -204,11 +314,36 @@ class PlanExecutor:
     def evaluate_output(self, output: OutputPattern) -> FrozenSet[Tuple]:
         """Plan, execute and project one output pattern on the graph."""
         output.validate()
+        self._invalidate_if_mutated()
         needed = frozenset(output.output_variables())
         if self.plan_cache is not None:
             plan = self.plan_cache.plan_for(output.pattern, needed, self.graph_stats)
         else:
             plan = optimize(build_logical_plan(output.pattern), needed, self.graph_stats)
+        if self.compact:
+            counters = self.counters
+            snapshot = (
+                counters.rows_produced,
+                counters.join_probes,
+                counters.fixpoint_rounds,
+                counters.delta_pairs,
+                counters.fixpoint_shards,
+                counters.parallel_rounds,
+            )
+            try:
+                return self._execute_output_compact(plan, output)
+            except _CompactUnsupported:
+                # Discard the aborted attempt's counts: the boxed re-run
+                # below counts the same work, and the counters mirror the
+                # oracle's per-query instrumentation.
+                (
+                    counters.rows_produced,
+                    counters.join_probes,
+                    counters.fixpoint_rounds,
+                    counters.delta_pairs,
+                    counters.fixpoint_shards,
+                    counters.parallel_rounds,
+                ) = snapshot
         return self.execute_output(plan, output)
 
     def execute_output(self, plan: LogicalPlan, output: OutputPattern) -> FrozenSet[Tuple]:
@@ -579,3 +714,599 @@ class PlanExecutor:
                         add((source, nodes[base + offset]))
                 base += 8
         return pairs
+
+    # ------------------------------------------------------------------ #
+    # Columnar (compact-ID) execution
+    # ------------------------------------------------------------------ #
+    def _compact_graph(self):
+        """The graph's current integer encoding, with encode-time accounting."""
+        encoded = self.graph.compact()
+        if encoded is not self._encoded:
+            self.counters.compact_encode_s += encoded.encode_seconds
+            self._encoded = encoded
+        return encoded
+
+    def _invalidate_if_mutated(self) -> None:
+        """Drop every memo derived from a mutated graph.
+
+        Runs on both execution paths (the boxed ``compact=False`` mode
+        included): the int-row tables reference a stale ID space, and the
+        boxed tables and label partitions hold pre-mutation rows.
+        """
+        version = self.graph.mutation_version()
+        if version != self._graph_version:
+            self._graph_version = version
+            self._compact_tables.clear()
+            self._tables.clear()
+            self._label_partitions.clear()
+
+    def execute_compact(self, plan: LogicalPlan) -> CompactTable:
+        """Evaluate a plan over integer columns; memoized per plan node."""
+        try:
+            cached = self._compact_tables.get(plan)
+        except TypeError:
+            cached = None
+        if cached is not None:
+            return cached
+        result = self._execute_compact(plan)
+        if result.masks is not None:
+            self.counters.rows_produced += sum(mask.bit_count() for mask in result.masks)
+        else:
+            self.counters.rows_produced += len(result.rows)
+        try:
+            self._compact_tables[plan] = result
+        except TypeError:
+            pass
+        return result
+
+    def _execute_compact(self, plan: LogicalPlan) -> CompactTable:
+        if isinstance(plan, NodeScan):
+            return self._compact_node_scan(plan)
+        if isinstance(plan, EdgeScan):
+            return self._compact_edge_scan(plan)
+        if isinstance(plan, BindEndpoint):
+            operand = self.execute_compact(plan.operand)
+            columns = dict(operand.columns)
+            columns[plan.variable] = 0 if plan.use_source else 1
+            kinds = dict(operand.kinds)
+            kinds[plan.variable] = "node"
+            return CompactTable(columns, kinds, operand.rows, operand.masks)
+        if isinstance(plan, JoinStep):
+            return self._compact_join(plan)
+        if isinstance(plan, UnionStep):
+            return self._compact_union(plan)
+        if isinstance(plan, FilterStep):
+            return self._compact_filter(plan)
+        if isinstance(plan, FixpointStep):
+            return self._compact_fixpoint(plan)
+        raise PatternError(f"unknown physical operator for {plan!r}")
+
+    def _unpacked(self, table: CompactTable) -> CompactTable:
+        """Expand a mask-form pair relation into real ``(src, tgt)`` rows."""
+        if table.masks is None:
+            return table
+        rows: Set[Tuple] = set()
+        add = rows.add
+        for i, mask in enumerate(table.masks):
+            if not mask:
+                continue
+            data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+            base = 0
+            for byte in data:
+                if byte:
+                    for offset in _BYTE_POSITIONS[byte]:
+                        add((i, base + offset))
+                base += 8
+        return CompactTable(table.columns, table.kinds, rows)
+
+    def _compact_label_mask(self, labels: FrozenSet[str], kind: str) -> Optional[int]:
+        """Bitmask of IDs carrying every label, or None for no filter."""
+        if not labels:
+            return None
+        encoded = self._compact_graph()
+        lookup = (
+            encoded.node_label_mask if kind == "node" else encoded.edge_label_mask
+        )
+        mask = -1
+        for label in labels:
+            mask &= lookup(label)
+            if not mask:
+                break
+        return mask
+
+    def _compact_scan_predicate(self, condition: PatternCondition, kind: str):
+        """Compile a pushed-down scan condition into a per-ID predicate.
+
+        Scan conditions reference exactly the scanned variable, so every
+        leaf resolves against this ID space's dense columns: property
+        comparisons read the prefetched value column and labels test the
+        bitset — no per-element mapping dict, no keyed dictionary probes.
+        Returns None for shapes the columns cannot answer (the scan then
+        falls back to ``condition.satisfied`` per element).
+        """
+        encoded = self._compact_graph()
+        if isinstance(condition, PropertyCompare):
+            column = encoded.property_column(condition.key, kind)
+            compare = COMPARATORS[condition.operator]
+            constant = condition.constant
+
+            def predicate(i, column=column, compare=compare, constant=constant):
+                value = column[i]
+                if value is _COMPACT_MISSING:
+                    return False
+                try:
+                    return compare(value, constant)
+                except TypeError:
+                    return False
+
+            return predicate
+        if isinstance(condition, HasLabel):
+            mask = (
+                encoded.node_label_mask(condition.label)
+                if kind == "node"
+                else encoded.edge_label_mask(condition.label)
+            )
+            return lambda i, mask=mask: bool((mask >> i) & 1)
+        if isinstance(condition, (PropertyEquals, PropertyComparesProperty)):
+            if condition.left_var != condition.right_var:
+                return None  # cross-variable: never pushed into a scan
+            left = encoded.property_column(condition.left_key, kind)
+            right = encoded.property_column(condition.right_key, kind)
+            compare = COMPARATORS[
+                getattr(condition, "operator", "=")
+            ]
+
+            def predicate(i, left=left, right=right, compare=compare):
+                a, b = left[i], right[i]
+                if a is _COMPACT_MISSING or b is _COMPACT_MISSING:
+                    return False
+                try:
+                    return compare(a, b)
+                except TypeError:
+                    return False
+
+            return predicate
+        if isinstance(condition, AndCondition):
+            first = self._compact_scan_predicate(condition.left, kind)
+            second = self._compact_scan_predicate(condition.right, kind)
+            if first is None or second is None:
+                return None
+            return lambda i: first(i) and second(i)
+        if isinstance(condition, OrCondition):
+            first = self._compact_scan_predicate(condition.left, kind)
+            second = self._compact_scan_predicate(condition.right, kind)
+            if first is None or second is None:
+                return None
+            return lambda i: first(i) or second(i)
+        if isinstance(condition, NotCondition):
+            inner = self._compact_scan_predicate(condition.operand, kind)
+            if inner is None:
+                return None
+            return lambda i: not inner(i)
+        return None
+
+    def _compact_node_scan(self, plan: NodeScan) -> CompactTable:
+        encoded = self._compact_graph()
+        allowed = self._compact_label_mask(plan.labels, "node")
+        condition, variable = plan.condition, plan.variable
+        if allowed is None and condition is None:
+            rows = {(i, i) for i in range(encoded.node_count)}
+        else:
+            candidates = (
+                iter_bits(allowed) if allowed is not None else range(encoded.node_count)
+            )
+            if condition is None:
+                rows = {(i, i) for i in candidates}
+            else:
+                predicate = self._compact_scan_predicate(condition, "node")
+                if predicate is not None:
+                    rows = {(i, i) for i in candidates if predicate(i)}
+                else:
+                    graph, idents = self.graph, encoded.node_ids
+                    rows = {
+                        (i, i)
+                        for i in candidates
+                        if condition.satisfied(graph, {variable: idents[i]})
+                    }
+        bound = plan.bound and variable is not None
+        columns = {variable: 0} if bound else {}
+        kinds = {variable: "node"} if bound else {}
+        return CompactTable(columns, kinds, rows)
+
+    def _compact_edge_scan(self, plan: EdgeScan) -> CompactTable:
+        encoded = self._compact_graph()
+        allowed = self._compact_label_mask(plan.labels, "edge")
+        condition, variable = plan.condition, plan.variable
+        bound = plan.bound and variable is not None
+        sources, targets = encoded.edge_src, encoded.edge_tgt
+        if not plan.forward:
+            sources, targets = targets, sources
+        if allowed is None and condition is None:
+            # Whole-column scan: zip keeps the row construction in C.
+            if bound:
+                rows = set(zip(sources, targets, range(encoded.edge_count)))
+            else:
+                rows = set(zip(sources, targets))
+            columns = {variable: 2} if bound else {}
+            kinds = {variable: "edge"} if bound else {}
+            return CompactTable(columns, kinds, rows)
+        def candidate_ids():
+            return iter_bits(allowed) if allowed is not None else range(encoded.edge_count)
+
+        rows: Set[Tuple] = set()
+        add = rows.add
+        if condition is None:
+            if bound:
+                for e in candidate_ids():
+                    add((sources[e], targets[e], e))
+            else:
+                for e in candidate_ids():
+                    add((sources[e], targets[e]))
+        elif type(condition) is PropertyCompare:
+            # The hottest pushed-down shape gets a comprehension over the
+            # dense value column; non-comparable values (TypeError) restart
+            # on the guarded per-element predicate.
+            column = encoded.property_column(condition.key, "edge")
+            compare = COMPARATORS[condition.operator]
+            constant, missing = condition.constant, _COMPACT_MISSING
+            try:
+                if bound:
+                    rows = {
+                        (sources[e], targets[e], e)
+                        for e in candidate_ids()
+                        if column[e] is not missing and compare(column[e], constant)
+                    }
+                else:
+                    rows = {
+                        (sources[e], targets[e])
+                        for e in candidate_ids()
+                        if column[e] is not missing and compare(column[e], constant)
+                    }
+            except TypeError:
+                predicate = self._compact_scan_predicate(condition, "edge")
+                rows = set()
+                add = rows.add
+                for e in candidate_ids():
+                    if predicate(e):
+                        add((sources[e], targets[e], e) if bound else (sources[e], targets[e]))
+        else:
+            predicate = self._compact_scan_predicate(condition, "edge")
+            if predicate is not None:
+                if bound:
+                    for e in candidate_ids():
+                        if predicate(e):
+                            add((sources[e], targets[e], e))
+                else:
+                    for e in candidate_ids():
+                        if predicate(e):
+                            add((sources[e], targets[e]))
+            else:
+                graph, idents = self.graph, encoded.edge_ids
+                for e in candidate_ids():
+                    if not condition.satisfied(graph, {variable: idents[e]}):
+                        continue
+                    add((sources[e], targets[e], e) if bound else (sources[e], targets[e]))
+        columns = {variable: 2} if bound else {}
+        kinds = {variable: "edge"} if bound else {}
+        return CompactTable(columns, kinds, rows)
+
+    def _compact_strides(self, kinds: Dict[str, str]) -> Dict[str, int]:
+        encoded = self._compact_graph()
+        node_stride = max(encoded.node_count, 1)
+        edge_stride = max(encoded.edge_count, 1)
+        return {
+            variable: (node_stride if kind == "node" else edge_stride)
+            for variable, kind in kinds.items()
+        }
+
+    def _compact_join(self, plan: JoinStep) -> CompactTable:
+        left = self._unpacked(self.execute_compact(plan.left))
+        right = self._unpacked(self.execute_compact(plan.right))
+        left_columns, right_columns = left.columns, right.columns
+        shared = sorted(set(left_columns) & set(right_columns))
+        for variable in shared:
+            if left.kinds[variable] != right.kinds[variable]:
+                raise _CompactUnsupported(variable)  # ID spaces don't align
+        # Join keys pack into one int (mixed-radix over each variable's ID
+        # space): equality on the packed key is equality on the components,
+        # and hashing a small int beats hashing a tuple of boxed values.
+        strides = self._compact_strides(left.kinds) if shared else {}
+        left_keys = [(left_columns[v], strides[v]) for v in shared]
+        right_keys = [(right_columns[v], strides[v]) for v in shared]
+
+        columns: ColumnMap = {}
+        copy_left: List[int] = []
+        for variable, index in left_columns.items():
+            if index == 0:
+                columns[variable] = 0
+            else:
+                columns[variable] = 2 + len(copy_left)
+                copy_left.append(index)
+        copy_right: List[int] = []
+        for variable, index in right_columns.items():
+            if variable in left_columns:
+                continue  # shared: identical value already kept from the left
+            if index == 1:
+                columns[variable] = 1
+            else:
+                columns[variable] = 2 + len(copy_left) + len(copy_right)
+                copy_right.append(index)
+        kinds = dict(left.kinds)
+        for variable, kind in right.kinds.items():
+            kinds.setdefault(variable, kind)
+
+        index_map: Dict[int, List[Tuple]] = {}
+        setdefault = index_map.setdefault
+        for row in right.rows:
+            key = row[0]
+            for index, stride in right_keys:
+                key = key * stride + row[index]
+            setdefault(key, []).append(row)
+        rows: Set[Tuple] = set()
+        add = rows.add
+        probes = 0
+        for row in left.rows:
+            key = row[1]
+            for index, stride in left_keys:
+                key = key * stride + row[index]
+            matches = index_map.get(key)
+            if not matches:
+                continue
+            probes += len(matches)
+            head = (row[0],)
+            left_extra = tuple(row[i] for i in copy_left)
+            for other in matches:
+                add(head + (other[1],) + left_extra + tuple(other[i] for i in copy_right))
+        self.counters.join_probes += probes
+        return CompactTable(columns, kinds, rows)
+
+    @staticmethod
+    def _compact_canonical(table: CompactTable, keep: List[str]) -> CompactTable:
+        columns, kinds, rows, _packed = table
+        canonical = {variable: 2 + i for i, variable in enumerate(keep)}
+        kept_kinds = {variable: kinds[variable] for variable in keep}
+        if canonical == columns:
+            return CompactTable(canonical, kept_kinds, rows)
+        indices = [columns[v] for v in keep]
+        projected = {
+            (row[0], row[1]) + tuple(row[i] for i in indices) for row in rows
+        }
+        return CompactTable(canonical, kept_kinds, projected)
+
+    def _compact_union(self, plan: UnionStep) -> CompactTable:
+        left = self._unpacked(self.execute_compact(plan.left))
+        right = self._unpacked(self.execute_compact(plan.right))
+        keep = sorted(set(left.columns) & set(right.columns))
+        for variable in keep:
+            if left.kinds[variable] != right.kinds[variable]:
+                # One branch binds the variable to a node, the other to an
+                # edge: the int ID spaces don't align, so this plan runs on
+                # the boxed path instead.
+                raise _CompactUnsupported(variable)
+        left = self._compact_canonical(left, keep)
+        right = self._compact_canonical(right, keep)
+        return CompactTable(left.columns, left.kinds, left.rows | right.rows)
+
+    def _compact_filter(self, plan: FilterStep) -> CompactTable:
+        table = self._unpacked(self.execute_compact(plan.operand))
+        condition = plan.condition
+        encoded = self._compact_graph()
+        decoders = {"node": encoded.node_ids, "edge": encoded.edge_ids}
+        bound = [
+            (variable, table.columns[variable], decoders[table.kinds.get(variable, "node")])
+            for variable in condition.variables()
+            if variable in table.columns
+        ]
+        graph = self.graph
+        kept = {
+            row
+            for row in table.rows
+            if condition.satisfied(graph, {v: ids[row[i]] for v, i, ids in bound})
+        }
+        return CompactTable(table.columns, table.kinds, kept)
+
+    # -- repetition over integer IDs ----------------------------------- #
+    def _effective_shards(self, node_count: int) -> int:
+        """Shards for one closure: opt-in (``fixpoint_shards``) and
+        threshold-gated, otherwise the serial propagation kernel runs —
+        see :data:`PARALLEL_FIXPOINT_MIN_NODES` for why serial is default."""
+        shards = self.fixpoint_shards
+        if shards is None or node_count < self.parallel_threshold:
+            return 1
+        return max(1, shards)
+
+    def _compact_fixpoint(self, plan: FixpointStep) -> CompactTable:
+        body = self.execute_compact(plan.body)
+        node_count = self._compact_graph().node_count
+        if plan.is_unbounded and self.max_repetitions is None:
+            if body.masks is not None:  # nested repetition: already a pair relation
+                successor_masks = list(body.masks)
+                successor_masks += [0] * (node_count - len(successor_masks))
+            else:
+                successor_masks = [0] * node_count
+                for row in body.rows:
+                    successor_masks[row[0]] |= 1 << row[1]
+            masks = self._compact_closure_masks(successor_masks, plan.lower, node_count)
+            return CompactTable({}, {}, set(), masks)
+        pairs = {(row[0], row[1]) for row in self._unpacked(body).rows}
+        # Depth-guarded paths reuse the shared kernels (the
+        # ``max_repetitions`` error behavior must not drift between
+        # engines); int IDs are ordinary hashables to them.
+        identity = {(i, i) for i in range(node_count)}
+        adjacency = fixpoint.adjacency_of(pairs)
+        if plan.is_unbounded:
+            result = fixpoint.unbounded_pairs_delta(
+                adjacency,
+                plan.lower,
+                identity,
+                max_repetitions=self.max_repetitions,
+                on_round=self._count_round,
+                on_delta=self._count_delta,
+            )
+        else:
+            result = fixpoint.bounded_pairs(
+                adjacency,
+                plan.lower,
+                int(plan.upper),
+                identity,
+                max_repetitions=self.max_repetitions,
+                on_round=self._count_round,
+            )
+        return CompactTable({}, {}, set(result))
+
+    def _compact_closure_masks(
+        self, successor_masks: List[int], lower: int, node_count: int
+    ) -> List[int]:
+        """Unbounded closure on successor bitmasks, mask-form output.
+
+        Serial evaluation propagates whole reach masks (word-parallel);
+        past the size threshold the per-source frontier BFS is sharded
+        into source strips on a worker pool.  The result stays in mask
+        form — consumers expand rows lazily and the projection fast path
+        decodes masks straight into output tuples.
+        """
+        shards = self._effective_shards(node_count)
+        reach, rounds, used = compact_encoding.closure_masks(
+            successor_masks, shards=shards
+        )
+        self.counters.fixpoint_rounds += max(rounds, 1)
+        if used > 1:
+            self.counters.fixpoint_shards += used
+            self.counters.parallel_rounds += max(rounds, 1)
+        if lower > 0:
+            composed: List[int] = []
+            for i in range(node_count):
+                frontier = compact_encoding.compose_frontier(
+                    successor_masks, 1 << i, lower
+                )
+                mask = 0
+                for j in iter_bits(frontier):
+                    mask |= reach[j]
+                composed.append(mask)
+            reach = composed
+        return reach
+
+    # -- projection ----------------------------------------------------- #
+    @staticmethod
+    def _decode_mask_output(masks: List[int], items: List[Tuple]) -> Optional[FrozenSet]:
+        """Decode a mask-form pair relation straight into output rows.
+
+        Covers the dominant projections over a repetition result — one or
+        both endpoints — without materializing the pair rows at all;
+        returns None for layouts the caller should expand normally.
+        """
+        if len(items) == 1:
+            index, ids, _ = items[0]
+            if index == 0:
+                return frozenset(ids[i] for i, mask in enumerate(masks) if mask)
+            union = 0
+            for mask in masks:
+                union |= mask
+            return frozenset(ids[j] for j in iter_bits(union))
+        if len(items) != 2:
+            return None
+        (i1, ids1, _), (i2, ids2, _) = items
+        if (i1, i2) not in ((0, 1), (1, 0)):
+            return None
+        swapped = i1 == 1
+        # Sources inside one strongly connected component share identical
+        # reach masks, so group by mask value and decode each distinct
+        # mask's bit positions exactly once; rows are then emitted through
+        # C-level loops (map over tuple concatenation into set.update).
+        groups: Dict[int, List[int]] = {}
+        setdefault = groups.setdefault
+        for i, mask in enumerate(masks):
+            if mask:
+                setdefault(mask, []).append(i)
+        # Accumulate into a list (appends don't hash) and hash once in the
+        # final frozenset; each (source, target) pair occurs exactly once
+        # across the groups, so nothing is wasted on early deduplication.
+        results: List[Tuple] = []
+        extend = results.extend
+        target_ids = ids1 if swapped else ids2
+        source_ids = ids2 if swapped else ids1
+        for mask, sources in groups.items():
+            data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+            tails = [
+                target_ids[base + offset]
+                for base, byte in zip(range(0, 8 * len(data), 8), data)
+                if byte
+                for offset in _BYTE_POSITIONS[byte]
+            ]
+            if swapped:
+                for i in sources:
+                    tail = source_ids[i]
+                    extend([head + tail for head in tails])
+            else:
+                for i in sources:
+                    head = source_ids[i]
+                    extend([head + tail for tail in tails])
+        return frozenset(results)
+
+    def _execute_output_compact(
+        self, plan: LogicalPlan, output: OutputPattern
+    ) -> FrozenSet[Tuple]:
+        encoded = self._compact_graph()
+        table = self.execute_compact(plan)
+        columns, kinds = table.columns, table.kinds
+        decoders = {"node": encoded.node_ids, "edge": encoded.edge_ids}
+        # Pre-resolve each output item to (row index, decoder, is_property):
+        # decoder is an interning table for plain variables and a dense
+        # value column for property references.
+        items: List[Tuple[Optional[int], Optional[List], bool]] = []
+        for item in output.items:
+            if isinstance(item, PropertyRef):
+                index = columns.get(item.variable)
+                values = None
+                if index is not None:  # unbound variable: rows drop anyway
+                    kind = kinds.get(item.variable, "node")
+                    values = encoded.property_column(item.key, kind)
+                items.append((index, values, True))
+            else:
+                index = columns.get(item)
+                ids = decoders[kinds.get(item, "node")] if index is not None else None
+                items.append((index, ids, False))
+        # Fast path: outputs of plain bound variables decode straight from
+        # the interning tables (mask-form pair relations without ever
+        # materializing intermediate int rows).
+        if items and all(not is_prop and i is not None for i, _, is_prop in items):
+            if table.masks is not None:
+                decoded = self._decode_mask_output(table.masks, items)
+                if decoded is not None:
+                    return decoded
+            rows = self._unpacked(table).rows
+            if len(items) == 1:
+                index, ids, _ = items[0]
+                return frozenset(ids[row[index]] for row in rows)
+            if len(items) == 2:
+                (i1, ids1, _), (i2, ids2, _) = items
+                return frozenset(ids1[row[i1]] + ids2[row[i2]] for row in rows)
+            return frozenset(
+                tuple(
+                    component
+                    for index, ids, _ in items
+                    for component in ids[row[index]]
+                )
+                for row in rows
+            )
+        rows = self._unpacked(table).rows
+        results: Set[Tuple] = set()
+        for row in rows:
+            projected: List = []
+            defined = True
+            for index, decoder, is_property in items:
+                if index is None:
+                    defined = False
+                    break
+                value_id = row[index]
+                if is_property:
+                    value = decoder[value_id]
+                    if value is _COMPACT_MISSING:
+                        defined = False
+                        break
+                    projected.append(value)
+                else:
+                    projected.extend(decoder[value_id])
+            if defined:
+                results.add(tuple(projected))
+        return frozenset(results)

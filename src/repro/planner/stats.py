@@ -106,7 +106,9 @@ def collect_graph_statistics(graph: PropertyGraph) -> GraphStatistics:
     node_labels: Dict[str, int] = {}
     edge_labels: Dict[str, int] = {}
     for label, elements in graph.label_index().items():
-        on_nodes = sum(1 for element in elements if element in nodes)
+        # Whole-set intersection instead of per-element membership: label
+        # partitions are frozensets, so the split stays in C.
+        on_nodes = len(elements & nodes)
         if on_nodes:
             node_labels[label] = on_nodes
         if len(elements) - on_nodes:

@@ -11,7 +11,7 @@ SQL/PGQ surface syntax (e.g. ``t.amount > 100``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, FrozenSet, Tuple
+from typing import Any, Callable, FrozenSet, Tuple
 
 from repro.errors import QueryError
 from repro.relational.relation import Row
@@ -22,6 +22,21 @@ class Condition:
 
     def evaluate(self, row: Row) -> bool:
         raise NotImplementedError
+
+    def compile(self, arity: int) -> "Callable[[Row], bool]":
+        """A row predicate specialized for relations of fixed ``arity``.
+
+        Column bounds are checked once here instead of once per row, and
+        the built-in condition forms compose into plain closures — the
+        evaluator's selections call one function per row instead of
+        walking the condition tree.  Subclasses that do not specialize
+        fall back to :meth:`evaluate`.
+        """
+        if self.max_position() > arity:
+            raise QueryError(
+                f"condition refers to ${self.max_position()} but the row has arity {arity}"
+            )
+        return self.evaluate
 
     def positions(self) -> FrozenSet[int]:
         """All 1-based column positions mentioned by the condition."""
@@ -48,6 +63,13 @@ def _column_value(row: Row, position: int) -> Any:
     return row[position - 1]
 
 
+def _check_position(position: int, arity: int) -> int:
+    """Validate a 1-based position at compile time; returns the 0-based index."""
+    if not 1 <= position <= arity:
+        raise QueryError(f"condition refers to ${position} but the row has arity {arity}")
+    return position - 1
+
+
 @dataclass(frozen=True)
 class ColumnEquals(Condition):
     """``$left = $right``."""
@@ -57,6 +79,10 @@ class ColumnEquals(Condition):
 
     def evaluate(self, row: Row) -> bool:
         return _column_value(row, self.left) == _column_value(row, self.right)
+
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        i, j = _check_position(self.left, arity), _check_position(self.right, arity)
+        return lambda row: row[i] == row[j]
 
     def positions(self) -> FrozenSet[int]:
         return frozenset({self.left, self.right})
@@ -71,6 +97,10 @@ class ColumnEqualsConstant(Condition):
 
     def evaluate(self, row: Row) -> bool:
         return _column_value(row, self.position) == self.constant
+
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        i, constant = _check_position(self.position, arity), self.constant
+        return lambda row: row[i] == constant
 
     def positions(self) -> FrozenSet[int]:
         return frozenset({self.position})
@@ -106,6 +136,18 @@ class ColumnCompare(Condition):
         except TypeError:
             return False
 
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        i, j = _check_position(self.left, arity), _check_position(self.right, arity)
+        compare = _COMPARATORS[self.operator]
+
+        def predicate(row: Row) -> bool:
+            try:
+                return compare(row[i], row[j])
+            except TypeError:
+                return False
+
+        return predicate
+
     def positions(self) -> FrozenSet[int]:
         return frozenset({self.left, self.right})
 
@@ -129,6 +171,18 @@ class ColumnCompareConstant(Condition):
         except TypeError:
             return False
 
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        i = _check_position(self.position, arity)
+        compare, constant = _COMPARATORS[self.operator], self.constant
+
+        def predicate(row: Row) -> bool:
+            try:
+                return compare(row[i], constant)
+            except TypeError:
+                return False
+
+        return predicate
+
     def positions(self) -> FrozenSet[int]:
         return frozenset({self.position})
 
@@ -140,6 +194,10 @@ class And(Condition):
 
     def evaluate(self, row: Row) -> bool:
         return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        first, second = self.left.compile(arity), self.right.compile(arity)
+        return lambda row: first(row) and second(row)
 
     def positions(self) -> FrozenSet[int]:
         return self.left.positions() | self.right.positions()
@@ -153,6 +211,10 @@ class Or(Condition):
     def evaluate(self, row: Row) -> bool:
         return self.left.evaluate(row) or self.right.evaluate(row)
 
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        first, second = self.left.compile(arity), self.right.compile(arity)
+        return lambda row: first(row) or second(row)
+
     def positions(self) -> FrozenSet[int]:
         return self.left.positions() | self.right.positions()
 
@@ -164,6 +226,10 @@ class Not(Condition):
     def evaluate(self, row: Row) -> bool:
         return not self.operand.evaluate(row)
 
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        inner = self.operand.compile(arity)
+        return lambda row: not inner(row)
+
     def positions(self) -> FrozenSet[int]:
         return self.operand.positions()
 
@@ -174,6 +240,9 @@ class TrueCondition(Condition):
 
     def evaluate(self, row: Row) -> bool:
         return True
+
+    def compile(self, arity: int) -> Callable[[Row], bool]:
+        return lambda row: True
 
     def positions(self) -> FrozenSet[int]:
         return frozenset()

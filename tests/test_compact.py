@@ -1,0 +1,390 @@
+"""Tests for the compact-ID columnar execution core.
+
+Three layers are covered:
+
+* :class:`~repro.graph.compact.CompactGraph` — ID interning, CSR
+  adjacency, label bitsets, property columns, and the mutation-versioned
+  cache on :meth:`~repro.graph.property_graph.PropertyGraph.compact`;
+* the columnar :class:`~repro.planner.physical.PlanExecutor` path —
+  property-based cross-engine equivalence with ``compact`` forced on and
+  off, plus the edge cases the integer encoding is most likely to get
+  wrong (empty graph, self-loops, shard counts past the node count);
+* the observability satellites — sharding counters, ``PlanCache.info``
+  extensions, and the session ``explain`` footer.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import GRAPH_VIEW_SCHEMA, erdos_renyi, pair_graph_database
+from repro.engine import NaiveEngine, PGQSession, PlannedEngine
+from repro.graph import CompactGraph, PropertyGraph, closure_masks
+from repro.graph.compact import MISSING, bfs_closure_strip, propagate_closure
+from repro.matching import EndpointEvaluator
+from repro.patterns.builder import (
+    edge,
+    label,
+    node,
+    output,
+    plus,
+    prop,
+    prop_cmp,
+    repeat,
+    seq,
+    star,
+    where,
+)
+from repro.pgq import graph_pattern_on_relations, pg_view
+from repro.pgq.views import ViewRelations
+from repro.planner import PlanCache, PlanCounters, PlanExecutor
+from repro.separations import pair_reachability_query
+
+VIEW = GRAPH_VIEW_SCHEMA
+
+
+def graph_from(database):
+    return pg_view(ViewRelations(*(database.relation(name) for name in VIEW)).as_tuple())
+
+
+# --------------------------------------------------------------------------- #
+# CompactGraph structure
+# --------------------------------------------------------------------------- #
+class TestCompactGraph:
+    def test_interning_round_trips(self, triangle_graph):
+        compact = triangle_graph.compact()
+        assert sorted(compact.node_ids) == sorted(triangle_graph.nodes)
+        assert sorted(compact.edge_ids) == sorted(triangle_graph.edges)
+        for ident, position in compact.node_index.items():
+            assert compact.node_ids[position] == ident
+        for ident, position in compact.edge_index.items():
+            assert compact.edge_ids[position] == ident
+
+    def test_csr_matches_graph_navigation(self, triangle_graph):
+        compact = triangle_graph.compact()
+        for position, ident in enumerate(compact.node_ids):
+            successors = {compact.node_ids[j] for j in compact.successors(position)}
+            assert successors == set(triangle_graph.successors(ident))
+            predecessors = {compact.node_ids[j] for j in compact.predecessors(position)}
+            assert predecessors == set(triangle_graph.predecessors(ident))
+            out_edges = {compact.edge_ids[e] for e in compact.out_edges(position)}
+            assert out_edges == set(triangle_graph.out_edges(ident))
+            in_edges = {compact.edge_ids[e] for e in compact.in_edges(position)}
+            assert in_edges == set(triangle_graph.in_edges(ident))
+
+    def test_label_bitsets_partition_id_spaces(self, triangle_graph):
+        compact = triangle_graph.compact()
+        red = compact.node_label_mask("Red")
+        decoded = {compact.node_ids[i] for i in range(compact.node_count) if (red >> i) & 1}
+        assert decoded == {("a",), ("c",)}
+        assert compact.edge_label_mask("Red") == 0
+        assert compact.node_label_mask("Edge") == 0
+        edge_mask = compact.edge_label_mask("Edge")
+        assert edge_mask.bit_count() == 3
+        assert compact.node_label_mask("NoSuchLabel") == 0
+
+    def test_property_columns_align_with_ids(self, triangle_graph):
+        compact = triangle_graph.compact()
+        amounts = compact.property_column("amount", "edge")
+        for position, ident in enumerate(compact.edge_ids):
+            assert amounts[position] == triangle_graph.property(ident, "amount")
+        names = compact.property_column("name", "node")
+        for position, ident in enumerate(compact.node_ids):
+            assert names[position] == triangle_graph.property(ident, "name")
+        missing = compact.property_column("absent", "node")
+        assert all(value is MISSING for value in missing)
+
+    def test_empty_graph(self):
+        compact = PropertyGraph().compact()
+        assert compact.node_count == 0 and compact.edge_count == 0
+        assert compact.node_label_mask("x") == 0
+
+    def test_cache_reused_until_mutation(self, triangle_graph):
+        first = triangle_graph.compact()
+        assert triangle_graph.compact() is first  # version unchanged: cached
+        triangle_graph.add_node("d")
+        second = triangle_graph.compact()
+        assert second is not first
+        assert ("d",) in second.node_index
+        # Every mutator invalidates, not just add_node.
+        triangle_graph.set_property("d", "rank", 1)
+        third = triangle_graph.compact()
+        assert third is not second
+        assert third.property_column("rank", "node")[third.node_index[("d",)]] == 1
+        triangle_graph.add_label("d", "New")
+        fourth = triangle_graph.compact()
+        assert fourth is not third
+        assert fourth.node_label_mask("New") == 1 << fourth.node_index[("d",)]
+        triangle_graph.add_edge("e4", "d", "a")
+        fifth = triangle_graph.compact()
+        assert fifth is not fourth and fifth.edge_count == 4
+
+
+# --------------------------------------------------------------------------- #
+# Closure kernels
+# --------------------------------------------------------------------------- #
+class TestClosureMasks:
+    def _naive_closure(self, masks):
+        n = len(masks)
+        out = []
+        for i in range(n):
+            seen = {i}
+            frontier = [i]
+            while frontier:
+                nxt = []
+                for u in frontier:
+                    m = masks[u]
+                    j = 0
+                    while m:
+                        if m & 1 and j not in seen:
+                            seen.add(j)
+                            nxt.append(j)
+                        m >>= 1
+                        j += 1
+                frontier = nxt
+            out.append(sum(1 << j for j in seen))
+        return out
+
+    @given(
+        seed=st.integers(0, 1000),
+        nodes=st.integers(1, 12),
+        shards=st.integers(1, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sharded_matches_serial_and_reference(self, seed, nodes, shards):
+        import random
+
+        rng = random.Random(seed)
+        masks = [
+            sum(1 << j for j in range(nodes) if rng.random() < 0.3) for i in range(nodes)
+        ]
+        expected = self._naive_closure(masks)
+        serial, _rounds, used_serial = closure_masks(masks, shards=1)
+        sharded, _rounds2, used = closure_masks(masks, shards=shards)
+        assert serial == expected
+        assert sharded == expected
+        assert used_serial == 1
+        assert used <= max(1, nodes)  # never more strips than sources
+
+    def test_shard_count_larger_than_node_count(self):
+        masks = [0b010, 0b100, 0b000]  # 0 -> 1 -> 2
+        result, rounds, used = closure_masks(masks, shards=64)
+        assert result == [0b111, 0b110, 0b100]
+        assert used <= 3
+        assert rounds >= 1
+
+    def test_self_loops_converge(self):
+        masks = [0b01, 0b11]  # 0 -> 0 (self loop), 1 -> {0, 1}
+        for shards in (1, 2):
+            result, _rounds, _used = closure_masks(masks, shards=shards)
+            assert result == [0b01, 0b11]
+
+    def test_strip_bfs_agrees_with_propagation(self):
+        masks = [0b0010, 0b0100, 0b1001, 0b0000]
+        by_bfs, _depth = bfs_closure_strip(masks, range(4))
+        by_propagation, _rounds = propagate_closure(masks)
+        assert by_bfs == by_propagation
+
+    def test_empty(self):
+        assert closure_masks([], shards=4) == ([], 1, 1)
+
+
+# --------------------------------------------------------------------------- #
+# Columnar executor vs the oracle (compact forced on and off)
+# --------------------------------------------------------------------------- #
+def _battery():
+    step = seq(edge(), node())
+    return [
+        output(seq(node("x"), edge("t"), node("y")), "x", "t", "y"),
+        output(where(seq(node("x"), edge(), node("y")), label("x", "Red")), "x", "y"),
+        output(
+            seq(node("x"), where(edge("t"), prop_cmp("t", "w", ">", 40)), node("y")),
+            "x", prop("t", "w"), "y",
+        ),
+        output(seq(node("x"), star(step), node("y")), "x", "y"),
+        output(seq(node("x"), plus(step), node("y")), "x", "y"),
+        output(seq(node("x"), repeat(step, 2, 4), node("y")), "x", "y"),
+        output(seq(node("x"), repeat(step, 3), node("y")), "x", "y"),
+    ]
+
+
+class TestColumnarEquivalence:
+    @given(
+        seed=st.integers(0, 10_000),
+        nodes=st.integers(2, 9),
+        probability=st.sampled_from([0.1, 0.25, 0.4]),
+        index=st.integers(0, len(_battery()) - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_compact_on_off_and_oracle_agree(self, seed, nodes, probability, index):
+        graph = graph_from(
+            erdos_renyi(nodes, probability, seed=seed, labels=("Red", "Blue"), property_key="w")
+        )
+        out = _battery()[index]
+        expected = EndpointEvaluator(graph).evaluate_output(out)
+        boxed = PlanExecutor(graph, compact=False).evaluate_output(out)
+        columnar = PlanExecutor(graph).evaluate_output(out)
+        assert boxed == expected
+        assert columnar == expected
+
+    @given(seed=st.integers(0, 10_000), values=st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_compact_engines_agree_on_nary_identifiers(self, seed, values):
+        database = pair_graph_database(values, seed=seed, edge_probability=0.2)
+        query = pair_reachability_query()
+        expected = NaiveEngine(database).evaluate(query)
+        for compact in (True, False):
+            result = PlannedEngine(database, compact=compact).evaluate(query)
+            assert result.rows == expected.rows, f"compact={compact}"
+
+    def test_empty_graph(self):
+        graph = PropertyGraph()
+        out = output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y")
+        assert PlanExecutor(graph).evaluate_output(out) == frozenset()
+
+    def test_self_loops(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        graph.add_edge("e1", "a", "a", properties={"w": 5})
+        graph.add_edge("e2", "a", "b", properties={"w": 9})
+        for out in _battery():
+            assert PlanExecutor(graph).evaluate_output(out) == EndpointEvaluator(
+                graph
+            ).evaluate_output(out)
+
+    @pytest.mark.parametrize("compact", [True, False])
+    def test_mutation_invalidates_executor_state(self, compact):
+        graph = graph_from(erdos_renyi(5, 0.4, seed=2, property_key="w"))
+        out = output(seq(node("x"), plus(seq(edge(), node())), node("y")), "x", "y")
+        executor = PlanExecutor(graph, compact=compact)
+        before = executor.evaluate_output(out)
+        assert before == EndpointEvaluator(graph).evaluate_output(out)
+        # Mutate the graph through the public API: the compact cache and
+        # the executor's memoized tables (both paths) must not serve
+        # stale results.
+        new_node = graph.add_node("fresh")
+        source = next(iter(graph.nodes - {new_node}))
+        graph.add_edge("fresh-edge", source, new_node)
+        after = executor.evaluate_output(out)
+        assert after == EndpointEvaluator(graph).evaluate_output(out)
+        assert after != before
+
+    def test_max_repetitions_guard_matches_on_compact_path(self):
+        from repro.errors import PatternError
+
+        graph = graph_from(erdos_renyi(6, 0.5, seed=3))
+        out = output(seq(node("x"), plus(seq(edge(), node())), node("y")), "x", "y")
+        with pytest.raises(PatternError, match="max_repetitions=1"):
+            PlanExecutor(graph, max_repetitions=1).evaluate_output(out)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded fixpoint
+# --------------------------------------------------------------------------- #
+class TestShardedFixpoint:
+    def _graph(self, nodes=9, seed=4):
+        return graph_from(erdos_renyi(nodes, 0.3, seed=seed, property_key="w"))
+
+    def test_forced_sharding_matches_serial(self):
+        graph = self._graph()
+        out = output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y")
+        serial = PlanExecutor(graph).evaluate_output(out)
+        counters = PlanCounters()
+        sharded_executor = PlanExecutor(
+            graph, counters=counters, fixpoint_shards=64, parallel_threshold=0
+        )
+        assert sharded_executor.evaluate_output(out) == serial
+        assert counters.fixpoint_shards > 0
+        assert counters.parallel_rounds > 0
+        # Shard count larger than the node count degrades to per-node strips.
+        assert counters.fixpoint_shards <= graph.node_count()
+
+    def test_threshold_keeps_small_graphs_serial(self):
+        graph = self._graph()
+        counters = PlanCounters()
+        out = output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y")
+        PlanExecutor(graph, counters=counters, fixpoint_shards=8).evaluate_output(out)
+        assert counters.fixpoint_shards == 0  # below PARALLEL_FIXPOINT_MIN_NODES
+        assert counters.fixpoint_rounds > 0
+
+    def test_sharding_is_opt_in(self):
+        # Without fixpoint_shards the serial propagation kernel runs even
+        # past the threshold: GIL-bound strip workers are a pessimization,
+        # so sharding must never engage by default.
+        graph = self._graph()
+        counters = PlanCounters()
+        out = output(seq(node("x"), star(seq(edge(), node())), node("y")), "x", "y")
+        PlanExecutor(graph, counters=counters, parallel_threshold=0).evaluate_output(out)
+        assert counters.fixpoint_shards == 0
+
+    def test_engine_threads_shard_options(self):
+        database = erdos_renyi(7, 0.4, seed=9)
+        step = seq(edge(), node())
+        query = graph_pattern_on_relations(
+            output(seq(node("x"), star(step), node("y")), "x", "y"), VIEW
+        )
+        baseline = NaiveEngine(database).evaluate(query)
+        engine = PlannedEngine(database, fixpoint_shards=16, parallel_threshold=0)
+        assert engine.evaluate(query).rows == baseline.rows
+        assert engine.plan_counters.fixpoint_shards > 0
+
+
+# --------------------------------------------------------------------------- #
+# Observability: PlanCache.info and session explain
+# --------------------------------------------------------------------------- #
+class TestCounterSurfacing:
+    def test_plan_cache_info_includes_execution_counters(self):
+        engine = PlannedEngine(erdos_renyi(4, 0.5, seed=1))
+        info = engine.plan_cache.info()
+        assert {"fixpoint_shards", "parallel_rounds", "compact_encode_s"} <= set(info)
+
+    def test_bare_plan_cache_info_keeps_legacy_shape(self):
+        assert set(PlanCache().info()) == {"hits", "misses", "uncacheable", "size"}
+
+    def test_compact_encode_time_is_recorded(self):
+        database = erdos_renyi(6, 0.4, seed=5)
+        step = seq(edge(), node())
+        query = graph_pattern_on_relations(
+            output(seq(node("x"), star(step), node("y")), "x", "y"), VIEW
+        )
+        engine = PlannedEngine(database)
+        engine.evaluate(query)
+        assert engine.plan_cache.info()["compact_encode_s"] > 0.0
+
+    def _session(self, **options):
+        session = PGQSession(engine="planned", **options)
+        session.register_table("Account", ["iban"], [("A1",), ("A2",)])
+        session.register_table(
+            "Transfer",
+            ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+            [("T1", "A1", "A2", 1, 250)],
+        )
+        session.execute(
+            """CREATE PROPERTY GRAPH Transfers (
+                 NODES TABLE Account KEY (iban) LABEL Account,
+                 EDGES TABLE Transfer KEY (t_id)
+                   SOURCE KEY src_iban REFERENCES Account
+                   TARGET KEY tgt_iban REFERENCES Account
+                   LABELS Transfer PROPERTIES (ts, amount))"""
+        )
+        return session
+
+    QUERY = """SELECT * FROM GRAPH_TABLE ( Transfers
+                 MATCH (x) -[t:Transfer]->+ (y) COLUMNS (x.iban, y.iban) )"""
+
+    def test_explain_reports_engine_counters(self):
+        with self._session() as session:
+            session.execute(self.QUERY)
+            text = session.explain(self.QUERY)
+            assert "fixpoint_shards=" in text
+            assert "parallel_rounds=" in text
+            assert "compact_encode_s=" in text
+            assert "plan cache:" in text
+
+    def test_session_threads_engine_options(self):
+        with self._session() as boxed_session, self._session(compact=False) as off:
+            assert boxed_session.execute(self.QUERY).equals_unordered(
+                off.execute(self.QUERY)
+            )
+            engine = off._get_engine()
+            assert engine.compact is False
