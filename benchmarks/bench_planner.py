@@ -22,6 +22,13 @@ Three measurement levels per workload:
   evaluates the same query ``SESSION_QUERY_REPEATS`` times, comparing
   the PR-1 planned engine (rule order, views rebuilt per query) with the
   costed + view-cached engine (PR-2) and the columnar engine (PR-3).
+* ``prepared_session`` — the prepared-statement workload (PR 4): one
+  statement executed with ``PREPARED_BINDINGS`` different ``:minimum``
+  bindings, comparing per-call literal substitution (every call pays
+  parse + compile + plan; distinct literals defeat the plan cache by
+  design) against ``session.prepare(...)`` + per-binding ``execute``.
+  The ``prepared_gate`` floor (prepared >= 2x ad hoc) is asserted by the
+  CI smoke job alongside ``columnar_gate``.
 
 The ``columnar_gate`` workload re-runs the largest transfers/pairs sizes
 for the columnar-vs-costed comparison; it is the speedup floor the CI
@@ -70,7 +77,24 @@ SMOKE_PAIR_SIZES = [3]
 #: evaluation is cold (view build + planning), the rest hit the caches.
 SESSION_QUERY_REPEATS = 5
 
+#: Distinct ``:minimum`` bindings per measured ``prepared_session`` sweep.
+PREPARED_BINDINGS = 25
+#: Workload size of the prepared-statement sweep (small on purpose: the
+#: gate isolates parse+plan overhead, not execution throughput).
+PREPARED_WORKLOAD = (30, 90)
+
 IBAN_VIEW = ("AccountNodes", "TransferEdges", "Sources", "Targets", "Labels", "Properties")
+
+PREPARED_DDL = """CREATE PROPERTY GRAPH Transfers (
+  NODES TABLE Account KEY (iban) LABEL Account,
+  EDGES TABLE Transfer KEY (t_id)
+    SOURCE KEY src_iban REFERENCES Account
+    TARGET KEY tgt_iban REFERENCES Account
+    LABELS Transfer PROPERTIES (ts, amount))"""
+
+PREPARED_QUERY = """SELECT * FROM GRAPH_TABLE ( Transfers
+  MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > :minimum
+  COLUMNS (x.iban, y.iban) )"""
 
 
 def _time(function: Callable[[], object], repeats: int) -> float:
@@ -332,6 +356,79 @@ def bench_sessions(transfer_sizes, pair_sizes, repeats: int) -> Dict[str, List[d
     return {"transfers_session": transfer_rows, "pairs_session": pair_rows}
 
 
+def bench_prepared(repeats: int) -> Dict[str, List[dict]]:
+    """Prepared statements vs per-call parse+plan on varying bindings.
+
+    One session, one statement shape, ``PREPARED_BINDINGS`` different
+    amount thresholds.  The ad hoc side substitutes each threshold into
+    the SQL text (every text is unique — a fractional epsilon keeps the
+    result set identical while defeating both the statement LRU and the
+    plan cache, exactly the pre-prepared-statement cost model); the
+    prepared side binds ``:minimum`` on one compiled statement.  Runs in
+    smoke mode too: the >= 2x floor is a CI gate (``prepared_gate``).
+    """
+    import random
+
+    repeats = max(repeats, 3)
+    accounts, transfers = PREPARED_WORKLOAD
+    rng = random.Random(7)
+    names = [f"A{i}" for i in range(accounts)]
+    from repro.engine import PGQSession
+
+    session = PGQSession(engine="planned")
+    session.register_table("Account", ["iban"], [(name,) for name in names])
+    session.register_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(names), rng.choice(names), i, rng.randint(1, 1000))
+            for i in range(transfers)
+        ],
+    )
+    session.execute(PREPARED_DDL)
+    thresholds = [500 + i for i in range(PREPARED_BINDINGS)]
+    session.execute(PREPARED_QUERY.replace(":minimum", str(thresholds[0])))  # warm views
+
+    prepared = session.prepare(PREPARED_QUERY)
+    for threshold in thresholds:  # correctness: prepared == literal per binding
+        literal = session.execute(PREPARED_QUERY.replace(":minimum", str(threshold)))
+        assert prepared.execute(minimum=threshold).equals_unordered(literal)
+
+    unique = iter(range(1_000_000))
+
+    def adhoc_sweep() -> None:
+        # Amounts are integers >= 1, so a tiny fractional epsilon keeps
+        # every comparison result identical while making each statement
+        # text (and thus each parse + plan) unique.
+        for threshold in thresholds:
+            session.execute(
+                PREPARED_QUERY.replace(":minimum", str(threshold + next(unique) / 10**9))
+            )
+
+    def prepared_sweep() -> None:
+        for threshold in thresholds:
+            prepared.execute(minimum=threshold)
+
+    adhoc_s = _time(adhoc_sweep, repeats)
+    prepared_s = _time(prepared_sweep, repeats)
+    info = session._get_engine().plan_cache.info()
+    session.close()
+    return {
+        "prepared_session": [
+            {
+                "accounts": accounts,
+                "transfers": transfers,
+                "bindings": PREPARED_BINDINGS,
+                "adhoc_s": adhoc_s,
+                "prepared_s": prepared_s,
+                "speedup_prepared_vs_adhoc": round(adhoc_s / prepared_s, 2),
+                "prepared_hits": info["prepared_hits"],
+                "prepared_misses": info["prepared_misses"],
+            }
+        ]
+    }
+
+
 def bench_columnar_gate(repeats: int) -> Dict[str, List[dict]]:
     """Columnar vs PR-2 costed at the largest full-run sizes.
 
@@ -421,9 +518,10 @@ def main(argv=None) -> int:
     workloads.update(bench_pairs(pair_sizes, repeats))
     if not args.smoke:
         workloads.update(bench_sessions(transfer_sizes, pair_sizes, repeats))
-    # The columnar speedup floor runs at the largest full sizes in both
-    # modes — it is the gate CI asserts.
+    # The columnar and prepared speedup floors run in both modes — they
+    # are the gates CI asserts.
     workloads.update(bench_columnar_gate(repeats))
+    workloads.update(bench_prepared(repeats))
 
     for name, rows in workloads.items():
         _print_table(name, rows)
@@ -452,6 +550,18 @@ def main(argv=None) -> int:
         missed = missed or below
         status = "BELOW TARGET" if below else "ok"
         print(f"columnar_gate {row['workload']}: columnar is {speedup}x costed [{status}]")
+    # Prepared-statement floor (smoke and full): executing one prepared
+    # statement across varying bindings must stay >= 2x the per-call
+    # parse+plan path.
+    for row in workloads["prepared_session"]:
+        speedup = row["speedup_prepared_vs_adhoc"]
+        below = speedup < 2.0
+        missed = missed or below
+        status = "BELOW TARGET" if below else "ok"
+        print(
+            f"prepared_session: prepared execution is {speedup}x the "
+            f"per-call parse+plan path over {row['bindings']} bindings [{status}]"
+        )
     if args.smoke:
         return 1 if missed else 0
     for key in (

@@ -4,7 +4,10 @@ The paper motivates SQL/PGQ with fraud detection over transfer graphs.
 This example generates a synthetic transfer workload, defines the property
 graph view, and runs three analyst queries:
 
-1. accounts reachable by chains of large transfers (possible layering);
+1. accounts reachable by chains of large transfers (possible layering) —
+   run through the **prepared-statement API** with a parameterized
+   ``:threshold``, the way an analyst would sweep sensitivity levels
+   without re-planning the query per run;
 2. round-trips: money that returns to the originating account;
 3. strictly increasing transfer chains (Example 5.3), found via the
    composite-identifier view construction of ``PGQext``.
@@ -46,17 +49,22 @@ def build_session(accounts: int = 30, transfers: int = 120) -> PGQSession:
 def main() -> None:
     session = build_session()
 
-    print("== 1. Layering: chains of transfers, each above 800 ==")
-    layering = session.execute(
+    print("== 1. Layering: transfer chains above a parameterized threshold ==")
+    # Prepared once; each sensitivity level below is only a new binding of
+    # :threshold on the same compiled plan (see README "Prepared
+    # statements" for the migration from one-shot execute calls).
+    layering_query = session.prepare(
         """
         SELECT * FROM GRAPH_TABLE ( Transfers
           MATCH (src) -[t:Transfer]->+ (dst)
-          WHERE t.amount > 800
+          WHERE t.amount > :threshold
           COLUMNS (src.iban, dst.iban) )
         """
     )
-    print(f"   {len(layering)} suspicious (source, destination) pairs")
-    for row in list(layering)[:5]:
+    for threshold in (950, 900, 800):
+        layering = layering_query.execute(threshold=threshold)
+        print(f"   threshold {threshold}: {len(layering)} suspicious (source, destination) pairs")
+    for row in layering.fetchmany(5):
         print("   ", row)
 
     print("\n== 2. Round trips: money returning to its origin in 2 hops ==")

@@ -42,9 +42,11 @@ Quickstart::
 """
 
 from repro.engine import (
+    Explain,
     NaiveEngine,
     PGQSession,
     PlannedEngine,
+    PreparedStatement,
     QueryResult,
     SQLiteEngine,
     available_engines,
@@ -53,6 +55,7 @@ from repro.engine import (
 )
 from repro.errors import (
     ArityError,
+    BindingError,
     EngineError,
     FragmentError,
     GraphError,
@@ -66,6 +69,7 @@ from repro.errors import (
     ViewError,
 )
 from repro.graph import PropertyGraph
+from repro.parameters import Parameter
 from repro.pgq import (
     Fragment,
     PGQEvaluator,
@@ -84,7 +88,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArityError",
+    "BindingError",
     "Database",
+    "Explain",
     "EngineError",
     "Fragment",
     "FragmentError",
@@ -93,7 +99,9 @@ __all__ = [
     "NaiveEngine",
     "PGQEvaluator",
     "PGQSession",
+    "Parameter",
     "PlannedEngine",
+    "PreparedStatement",
     "ParseError",
     "PatternError",
     "PropertyGraph",

@@ -9,13 +9,14 @@ from repro.engine.naive import NaiveEngine, make_naive_engine
 from repro.engine.planned import PlannedEngine, make_planned_engine
 from repro.engine.registry import (
     Engine,
+    LegacyEngineAdapter,
     available_engines,
     create_engine,
     engine_factory,
     register_engine,
     unregister_engine,
 )
-from repro.engine.session import PGQSession, QueryResult
+from repro.engine.session import Explain, PGQSession, PreparedStatement, QueryResult
 from repro.engine.sqlite import SQLiteEngine, make_sqlite_engine
 
 register_engine("naive", make_naive_engine, replace=True)
@@ -24,8 +25,11 @@ register_engine("sqlite", make_sqlite_engine, replace=True)
 
 __all__ = [
     "Engine",
+    "Explain",
+    "LegacyEngineAdapter",
     "NaiveEngine",
     "PGQSession",
+    "PreparedStatement",
     "PlannedEngine",
     "QueryResult",
     "SQLiteEngine",

@@ -21,7 +21,12 @@ class NaiveEngine(PGQEvaluator):
 
     The constructor is inherited unchanged from :class:`PGQEvaluator`
     (``database``, ``collect_statistics``, ``max_repetitions``); the
-    subclass only contributes the Engine-protocol surface.
+    subclass only contributes the Engine-protocol surface.  Prepared
+    statements substitute their bindings *eagerly* (the inherited
+    ``prepare``/``evaluate(query, bindings=...)`` path): every execution
+    is an ordinary one-shot evaluation of the literal-substituted query,
+    which keeps this backend the semantics oracle the optimized engines'
+    deferred-binding paths are property-tested against.
     """
 
     name = "naive"

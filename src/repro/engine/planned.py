@@ -61,10 +61,10 @@ class _InstrumentedExecutor(PlanExecutor):
         super().__init__(graph, **kwargs)
         self._pattern_counters = pattern_counters
 
-    def evaluate_output(self, output):
+    def evaluate_output(self, output, bindings=None):
         counters = self.counters
         before = (counters.rows_produced, counters.join_probes, counters.fixpoint_rounds)
-        result = super().evaluate_output(output)
+        result = super().evaluate_output(output, bindings=bindings)
         mirrored = self._pattern_counters
         mirrored.triples_produced += counters.rows_produced - before[0]
         mirrored.join_checks += counters.join_probes - before[1]

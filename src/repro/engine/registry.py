@@ -1,15 +1,18 @@
 """The pluggable ``Engine`` protocol and the backend registry.
 
-Every execution backend implements one small protocol — a ``name``, an
-``evaluate(query) -> Relation`` method, and ``close()`` — and registers a
-factory under a short name.  Sessions (and anything else that wants to run
-a PGQ query) pick a backend by name:
+Every execution backend implements one small protocol — a ``name``, the
+two-phase ``prepare(query) -> CompiledQuery`` / ``evaluate(query,
+bindings=None)`` pair, and ``close()`` — and registers a factory under a
+short name.  Sessions (and anything else that wants to run a PGQ query)
+pick a backend by name:
 
 >>> from repro.engine.registry import available_engines, create_engine
 >>> sorted(available_engines())
 ['naive', 'planned', 'sqlite']
 >>> engine = create_engine("planned", database)
->>> engine.evaluate(query)
+>>> compiled = engine.prepare(query)          # parse/plan once ...
+>>> compiled.execute({"minimum": 100})        # ... execute many times
+>>> engine.evaluate(query)                    # one-shot convenience
 
 Adding a backend is registration, not modification::
 
@@ -22,6 +25,10 @@ Adding a backend is registration, not modification::
 
 Factories receive the database plus keyword options (currently
 ``max_repetitions``); they may ignore options that do not apply to them.
+Engines that predate the two-phase API — implementing only the legacy
+one-shot ``evaluate(query)`` — keep working: :func:`create_engine` wraps
+them in :class:`LegacyEngineAdapter` (with a :class:`DeprecationWarning`),
+which serves ``prepare`` by binding parameters eagerly per execution.
 The three built-in backends are registered by :mod:`repro.engine`:
 
 * ``naive`` — the formal evaluator, kept as the semantics oracle;
@@ -33,10 +40,13 @@ The three built-in backends are registered by :mod:`repro.engine`:
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 
 from repro.errors import EngineError
-from repro.pgq.queries import Query
+from repro.parameters import Bindings
+from repro.pgq.evaluator import CompiledQuery
+from repro.pgq.queries import Query, resolve_bindings
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
@@ -47,13 +57,54 @@ class Engine(Protocol):
 
     name: str
 
-    def evaluate(self, query: Query) -> Relation:
-        """Evaluate a PGQ query and return its result relation."""
+    def prepare(self, query: Query) -> CompiledQuery:
+        """Compile a PGQ query once for repeated parameterized execution."""
+        ...
+
+    def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
+        """One-shot evaluation: prepare and execute with ``bindings``."""
         ...
 
     def close(self) -> None:
         """Release any resources held by the backend."""
         ...
+
+
+class LegacyEngineAdapter:
+    """Serves the two-phase API on top of an ``evaluate(query)``-only engine.
+
+    Third-party backends written against the pre-prepared-statement
+    protocol register and run unchanged: ``prepare`` returns a
+    :class:`~repro.pgq.evaluator.CompiledQuery` whose every execution
+    substitutes its bindings into the query eagerly and calls the wrapped
+    engine's one-shot ``evaluate``.  Correct, but re-plans per binding —
+    hence the :class:`DeprecationWarning` at construction time.
+    """
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.name = getattr(engine, "name", type(engine).__name__)
+
+    def prepare(self, query: Query) -> CompiledQuery:
+        return CompiledQuery(self, query)
+
+    def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
+        return self._engine.evaluate(resolve_bindings(query, bindings))
+
+    def close(self) -> None:
+        close = getattr(self._engine, "close", None)
+        if close is not None:
+            close()
+
+    @property
+    def wrapped(self):
+        """The adapted legacy engine instance."""
+        return self._engine
+
+    def __getattr__(self, attribute):
+        # Counters, caches and other backend-specific surface stay
+        # reachable through the adapter.
+        return getattr(self._engine, attribute)
 
 
 #: A factory builds an engine bound to one database instance.
@@ -100,6 +151,22 @@ def create_engine(
     max_repetitions: Optional[int] = None,
     **options,
 ) -> Engine:
-    """Instantiate the backend ``name`` for one database instance."""
+    """Instantiate the backend ``name`` for one database instance.
+
+    Engines without a ``prepare`` method (the legacy one-shot protocol)
+    are wrapped in :class:`LegacyEngineAdapter` so sessions can use the
+    prepared-statement API against them, with a deprecation warning.
+    """
     factory = engine_factory(name)
-    return factory(database, max_repetitions=max_repetitions, **options)
+    engine = factory(database, max_repetitions=max_repetitions, **options)
+    if not hasattr(engine, "prepare"):
+        warnings.warn(
+            f"engine {name!r} implements only the legacy evaluate() protocol; "
+            "it is served through LegacyEngineAdapter (parameters are bound "
+            "eagerly per execution). Implement prepare(query) -> CompiledQuery "
+            "to adopt the two-phase API.",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        engine = LegacyEngineAdapter(engine)
+    return engine

@@ -11,6 +11,22 @@ flow mirrors the paper's introduction:
 >>> session.execute("CREATE PROPERTY GRAPH Transfers ( ... )")
 >>> session.execute("SELECT * FROM GRAPH_TABLE ( Transfers MATCH ... COLUMNS (...) )")
 
+Statement execution is **two-phase**: :meth:`PGQSession.prepare` parses
+and compiles a statement once into a :class:`PreparedStatement`, whose
+``execute(**params)`` binds the statement's ``:name`` parameter slots per
+call — the plan is compiled once and shared across bindings.
+:meth:`PGQSession.execute` is sugar over an internal prepared-statement
+LRU keyed on the statement text, so repeated SQL text skips parsing and
+planning even without an explicit ``prepare``:
+
+>>> chains = session.prepare('''
+...     SELECT * FROM GRAPH_TABLE ( Transfers
+...       MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > :minimum
+...       COLUMNS (x.iban, y.iban) )''')
+>>> chains.execute(minimum=100)
+>>> chains.execute(minimum=500)        # same plan, new binding
+>>> session.execute(text, params={"minimum": 250})   # LRU-backed sugar
+
 The ``engine`` option selects a registered backend (``naive`` — the
 semantics oracle, ``planned`` — the query planner, ``sqlite`` — SQL
 compilation); ``max_repetitions`` bounds repetition depth, raising
@@ -20,12 +36,23 @@ iterations.  Both options thread through to the backend untouched.
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.errors import EngineError, ReproError
 from repro.engine.registry import Engine, create_engine, engine_factory
+from repro.parameters import Bindings, merge_bindings
 from repro.pgq.queries import Query
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -39,18 +66,104 @@ from repro.sqlpgq.parser import parse_statement
 _UNSET: object = object()
 
 
-@dataclass(frozen=True)
 class QueryResult:
-    """Result of executing a statement: column names plus rows."""
+    """Result of executing a statement: column names plus rows.
 
-    columns: Tuple[str, ...]
-    rows: Tuple[Tuple, ...]
+    Results are **cursor-backed**: the row source may be a lazy iterator
+    (the prepared/planned path defers decoding and ordering until rows are
+    actually consumed).  Two access styles coexist:
 
+    * *cursor semantics* — :meth:`fetchone` / :meth:`fetchmany` /
+      :meth:`fetchall` consume rows forward, each row delivered once;
+    * *whole-result semantics* — ``rows``, ``len()``, iteration,
+      :meth:`to_list`, :meth:`to_set`, :meth:`to_dicts` and ``repr`` view
+      the complete result (materializing whatever the cursor has not yet
+      pulled) without advancing the cursor.
+
+    Iteration is lazy but repeatable: rows are pulled from the source on
+    demand and buffered, so iterating twice yields the same rows.
+    """
+
+    #: Rows shown by ``__repr__`` before truncating with a ``(+N more
+    #: rows)`` footer.
+    _REPR_LIMIT = 20
+
+    def __init__(self, columns: Sequence[str], rows: Union[Iterable[Tuple], Iterator[Tuple]]):
+        self.columns = tuple(columns)
+        if isinstance(rows, (tuple, list)):
+            self._fetched: List[Tuple] = list(rows)
+            self._source: Optional[Iterator[Tuple]] = None
+        else:
+            self._fetched = []
+            self._source = iter(rows)
+        #: Forward position of the fetchone/fetchmany cursor.
+        self._cursor = 0
+        #: Cached full-row tuple, built once on first whole-result access
+        #: (the buffer is append-only and stable once the source drains).
+        self._rows_cache: Optional[Tuple[Tuple, ...]] = None
+
+    # -- materialization ------------------------------------------------- #
+    def _pull(self) -> bool:
+        """Buffer one more row from the source; False when exhausted."""
+        if self._source is None:
+            return False
+        try:
+            self._fetched.append(next(self._source))
+            return True
+        except StopIteration:
+            self._source = None
+            return False
+
+    def _materialize(self) -> List[Tuple]:
+        if self._source is not None:
+            self._fetched.extend(self._source)
+            self._source = None
+        return self._fetched
+
+    @property
+    def rows(self) -> Tuple[Tuple, ...]:
+        """Every row of the result (materializes; cursor position kept).
+
+        The tuple is built once and cached, so repeated access keeps the
+        stored-attribute cost profile of the pre-cursor representation.
+        """
+        if self._rows_cache is None:
+            self._rows_cache = tuple(self._materialize())
+        return self._rows_cache
+
+    # -- cursor API ------------------------------------------------------ #
+    def fetchone(self) -> Optional[Tuple]:
+        """Next unconsumed row, or None at the end of the result."""
+        batch = self.fetchmany(1)
+        return batch[0] if batch else None
+
+    def fetchmany(self, size: int = 1) -> List[Tuple]:
+        """Up to ``size`` unconsumed rows (an empty list when exhausted)."""
+        while len(self._fetched) - self._cursor < size and self._pull():
+            pass
+        batch = self._fetched[self._cursor : self._cursor + size]
+        self._cursor += len(batch)
+        return batch
+
+    def fetchall(self) -> List[Tuple]:
+        """All remaining unconsumed rows."""
+        self._materialize()
+        batch = self._fetched[self._cursor :]
+        self._cursor = len(self._fetched)
+        return batch
+
+    # -- whole-result API ------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self._materialize())
 
-    def __iter__(self):
-        return iter(self.rows)
+    def __iter__(self) -> Iterator[Tuple]:
+        index = 0
+        while True:
+            if index < len(self._fetched):
+                yield self._fetched[index]
+                index += 1
+            elif not self._pull():
+                return
 
     def to_set(self):
         return set(self.rows)
@@ -58,6 +171,11 @@ class QueryResult:
     def to_list(self) -> List[Tuple]:
         """Rows as a plain list, in the result's deterministic order."""
         return list(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as ``{column: value}`` dictionaries, in result order."""
+        columns = self.columns
+        return [dict(zip(columns, row)) for row in self.rows]
 
     def equals_unordered(self, other: Union["QueryResult", Iterable[Tuple]]) -> bool:
         """Multiset row equality, ignoring order (cross-engine checks).
@@ -69,13 +187,20 @@ class QueryResult:
         other_rows = other.rows if isinstance(other, QueryResult) else tuple(other)
         return Counter(self.rows) == Counter(tuple(row) for row in other_rows)
 
-    #: Rows shown by ``__repr__`` before truncating with a ``(+N more
-    #: rows)`` footer.
-    _REPR_LIMIT = 20
+    # Value semantics on (columns, rows), as the pre-cursor frozen
+    # dataclass had — comparing or hashing materializes the rows.
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryResult):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self.rows))
 
     def __repr__(self) -> str:
+        rows = self.rows
         header = [str(column) for column in self.columns]
-        body = [[repr(value) for value in row] for row in self.rows[: self._REPR_LIMIT]]
+        body = [[repr(value) for value in row] for row in rows[: self._REPR_LIMIT]]
         widths = [
             max(len(header[i]), *(len(row[i]) for row in body)) if body else len(header[i])
             for i in range(len(header))
@@ -87,14 +212,148 @@ class QueryResult:
         lines += [
             " | ".join(cell.ljust(width) for cell, width in zip(row, widths)) for row in body
         ]
-        if len(self.rows) > self._REPR_LIMIT:
-            lines.append(f"... (+{len(self.rows) - self._REPR_LIMIT} more rows)")
-        lines.append(f"({len(self.rows)} row{'s' if len(self.rows) != 1 else ''})")
+        if len(rows) > self._REPR_LIMIT:
+            lines.append(f"... (+{len(rows) - self._REPR_LIMIT} more rows)")
+        lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
         return "\n".join(lines)
+
+
+@dataclass
+class Explain:
+    """Structured EXPLAIN output: plan tree plus execution provenance.
+
+    ``plan`` is the optimized logical plan rendering; ``counters`` the
+    engine's execution counters (columnar encode time, fixpoint shards,
+    parallel rounds); ``cache`` the plan cache statistics including the
+    ``prepared_hits``/``prepared_misses`` breakdown; ``prepared`` the
+    session's prepared-statement accounting (statements prepared, total
+    executions, and ``binding_reuse`` — executions served by an already
+    prepared statement).  ``str(explain)`` renders the classic text form,
+    and substring membership tests work directly on the object.
+    """
+
+    plan: str
+    counters: Dict[str, float] = field(default_factory=dict)
+    cache: Dict[str, float] = field(default_factory=dict)
+    prepared: Dict[str, int] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        text = self.plan
+        if self.counters:
+            text += (
+                "\n-- engine counters: "
+                f"fixpoint_shards={self.counters.get('fixpoint_shards', 0)} "
+                f"parallel_rounds={self.counters.get('parallel_rounds', 0)} "
+                f"compact_encode_s={self.counters.get('compact_encode_s', 0.0):.6f}"
+            )
+        if self.cache:
+            text += (
+                f"\n-- plan cache: hits={self.cache.get('hits', 0)} "
+                f"misses={self.cache.get('misses', 0)} "
+                f"prepared_hits={self.cache.get('prepared_hits', 0)} "
+                f"size={self.cache.get('size', 0)}"
+            )
+        if self.prepared:
+            text += (
+                f"\n-- prepared statements: statements={self.prepared.get('statements', 0)} "
+                f"executions={self.prepared.get('executions', 0)} "
+                f"binding_reuse={self.prepared.get('binding_reuse', 0)}"
+            )
+        return text
+
+    def __contains__(self, item: str) -> bool:
+        return item in str(self)
+
+
+class PreparedStatement:
+    """A parsed, compiled GRAPH_TABLE statement bound to a session.
+
+    Construction (via :meth:`PGQSession.prepare`) parses the SQL text and
+    compiles it — through the backend's ``prepare`` — exactly once;
+    :meth:`execute` then only binds the statement's ``:name`` parameter
+    slots and runs the compiled form.  The statement transparently
+    re-prepares itself when the session's data or backend changes
+    (``register_table``, ``use_engine``, DDL), so a held handle never goes
+    stale.
+    """
+
+    def __init__(self, session: "PGQSession", text: str, statement: GraphTableQuery):
+        self._session = session
+        self.text = text
+        self._statement = statement
+        self._compiled = None
+        self._generation = -1
+        #: Parameter slot names the statement expects, sorted.
+        self.parameter_names: Tuple[str, ...] = ()
+        #: Completed ``execute`` calls on this statement.
+        self.executions = 0
+        self._ensure_compiled()
+
+    @property
+    def statement(self) -> GraphTableQuery:
+        """The parsed statement AST."""
+        return self._statement
+
+    def _ensure_compiled(self) -> None:
+        session = self._session
+        if self._compiled is not None and self._generation == session._generation:
+            return
+        # Release the stale compiled form before replacing it: a DDL
+        # generation bump keeps the engine (and e.g. its SQLite
+        # connection) alive, so orphaned prepared temp tables would
+        # otherwise accumulate across recompiles.
+        self.close()
+        session._check_graph_valid(self._statement.graph_name)
+        query = compile_query(self._statement, session.catalog)
+        self._compiled = session._get_engine().prepare(query)
+        self._generation = session._generation
+        self.parameter_names = tuple(self._compiled.parameter_names)
+
+    def execute(self, params: Optional[Bindings] = None, /, **named) -> QueryResult:
+        """Execute with bindings from ``params`` and/or keywords.
+
+        Keyword bindings win on conflict; a missing slot raises
+        :class:`~repro.errors.BindingError` naming it.  The mapping
+        argument is positional-only, so a slot literally named ``params``
+        still binds by keyword.  Returns a lazy :class:`QueryResult` —
+        ordering and identifier decoding run when rows are first consumed.
+        """
+        self._ensure_compiled()
+        relation = self._compiled.execute(merge_bindings(params, named))
+        reused = self.executions > 0
+        self.executions += 1
+        self._session._note_prepared_execution(reused=reused)
+        return self._session._result_for(self._statement, relation)
+
+    def explain(self) -> Explain:
+        """The statement's optimized plan plus per-statement reuse counts."""
+        explain = self._session._explain_statement(self._statement)
+        explain.prepared = dict(explain.prepared)
+        explain.prepared["statement_executions"] = self.executions
+        return explain
+
+    def close(self) -> None:
+        """Release backend resources held by the compiled form (e.g. the
+        SQLite statement's persisted temp tables)."""
+        if self._compiled is not None:
+            close = getattr(self._compiled, "close", None)
+            if close is not None:
+                close()
+            self._compiled = None
+            self._generation = -1
 
 
 class PGQSession:
     """An in-memory SQL/PGQ session over a pluggable execution backend."""
+
+    #: Prepared statements kept by the ``execute(text, params)`` sugar,
+    #: keyed on the exact statement text.
+    _STATEMENT_CACHE_SIZE = 128
+
+    #: Cap on the distinct-text hash set behind the ``statements``
+    #: explain figure (8 bytes a hash; the cap bounds a pathological
+    #: all-distinct-text session at a few hundred KiB).
+    _SUGAR_TEXTS_SEEN_MAX = 65536
 
     def __init__(
         self,
@@ -122,6 +381,27 @@ class PGQSession:
         self._engine_name = engine
         self._max_repetitions = max_repetitions
         self._engine: Optional[Engine] = None
+        #: Bumped whenever prepared statements must recompile: data or
+        #: engine changes (``_invalidate_engine``) and DDL.
+        self._generation = 0
+        #: Text-keyed LRU behind ``execute(text, params)``.
+        self._statements: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+        self._statement_hits = 0
+        self._statement_misses = 0
+        #: Hashes of distinct statement texts the sugar path has prepared
+        #: — an evicted-and-reloaded text re-counts as a cache miss but
+        #: not as a new statement.  Bounded: past the cap, new texts are
+        #: tallied in ``_sugar_texts_overflow`` instead (the ``statements``
+        #: figure may then over-count repeats of post-cap texts, trading
+        #: exactness for bounded memory in pathological sessions).
+        self._sugar_texts_seen: set = set()
+        self._sugar_texts_overflow = 0
+        #: Prepared-statement accounting surfaced by ``explain()``:
+        #: statements prepared, executions completed, and executions past
+        #: each statement's first (true binding reuse, counted directly).
+        self._prepared_statements = 0
+        self._prepared_executions = 0
+        self._prepared_reuse = 0
 
     # ------------------------------------------------------------------ #
     # Data registration
@@ -219,7 +499,9 @@ class PGQSession:
         """Switch the session to another registered backend.
 
         ``max_repetitions`` is kept as-is unless explicitly passed
-        (including an explicit ``None`` to lift a bound).
+        (including an explicit ``None`` to lift a bound).  Prepared
+        statements survive the switch: they recompile against the new
+        backend on their next execution.
         """
         engine_factory(name)
         self._engine_name = name
@@ -228,6 +510,7 @@ class PGQSession:
         self._invalidate_engine()
 
     def _invalidate_engine(self) -> None:
+        self._generation += 1
         if self._engine is not None:
             self._engine.close()
             self._engine = None
@@ -247,28 +530,88 @@ class PGQSession:
     # ------------------------------------------------------------------ #
     # Statement execution
     # ------------------------------------------------------------------ #
-    def execute(self, statement_text: str) -> QueryResult:
-        """Parse and execute one SQL/PGQ statement (DDL or query)."""
+    def prepare(self, statement_text: str) -> PreparedStatement:
+        """Parse and compile one GRAPH_TABLE statement for repeated,
+        parameterized execution.
+
+        Literal positions may hold ``:name`` parameter slots (e.g. ``WHERE
+        t.amount > :minimum``); each :meth:`PreparedStatement.execute`
+        supplies their values.  The plan is compiled once and shared by
+        every binding — see the ``prepared_hits`` plan-cache statistic.
+        """
+        statement = parse_statement(statement_text)
+        if not isinstance(statement, GraphTableQuery):
+            raise EngineError(
+                "prepare() expects a SELECT ... FROM GRAPH_TABLE(...) statement; "
+                "DDL runs through execute()"
+            )
+        prepared = PreparedStatement(self, statement_text, statement)
+        self._prepared_statements += 1
+        return prepared
+
+    def execute(
+        self, statement_text: str, params: Optional[Bindings] = None
+    ) -> QueryResult:
+        """Parse and execute one SQL/PGQ statement (DDL or query).
+
+        Queries run through an internal prepared-statement LRU keyed on
+        the statement text: repeated text skips parsing and planning, and
+        ``params`` binds any ``:name`` slots the statement declares —
+        ``execute(text, params=...)`` is sugar for
+        ``prepare(text).execute(params)`` with the preparation shared
+        across calls.
+        """
+        cached = self._statements.get(statement_text)
+        if cached is not None:
+            self._statements.move_to_end(statement_text)
+            self._statement_hits += 1
+            return cached.execute(params)
         statement = parse_statement(statement_text)
         if isinstance(statement, CreatePropertyGraph):
+            if params:
+                raise EngineError("DDL statements take no parameters")
             definition = self.catalog.register(statement)
             self._graph_statements[definition.name] = statement
             self._invalid_graphs.pop(definition.name, None)
+            # Re-creating a graph can change what prepared statements
+            # compiled against; force them to recompile lazily.
+            self._generation += 1
             return QueryResult(("graph",), ((definition.name,),))
         if isinstance(statement, GraphTableQuery):
-            return self._execute_query(statement)
+            prepared = PreparedStatement(self, statement_text, statement)
+            self._statement_misses += 1
+            text_key = hash(statement_text)
+            if text_key not in self._sugar_texts_seen:
+                if len(self._sugar_texts_seen) < self._SUGAR_TEXTS_SEEN_MAX:
+                    self._sugar_texts_seen.add(text_key)
+                else:
+                    self._sugar_texts_overflow += 1
+            self._statements[statement_text] = prepared
+            if len(self._statements) > self._STATEMENT_CACHE_SIZE:
+                _text, evicted = self._statements.popitem(last=False)
+                evicted.close()
+            return prepared.execute(params)
         raise EngineError(f"unsupported statement {statement!r}")
 
-    def _execute_query(self, statement: GraphTableQuery) -> QueryResult:
-        self._check_graph_valid(statement.graph_name)
-        query = compile_query(statement, self.catalog)
-        relation = self.evaluate(query)
+    def _result_for(self, statement: GraphTableQuery, relation: Relation) -> QueryResult:
+        """Wrap a result relation as a lazily ordered :class:`QueryResult`."""
         columns = tuple(column.name for column in statement.columns)
         if relation.arity != len(columns):
             # n-ary identifiers flatten into several columns; fall back to
             # positional names in that case.
             columns = tuple(f"col{i + 1}" for i in range(relation.arity))
-        return QueryResult(columns, tuple(sorted(relation.rows, key=repr)))
+        rows = relation.rows
+
+        def ordered() -> Iterator[Tuple]:
+            # Deterministic order, computed when rows are first consumed.
+            yield from sorted(rows, key=repr)
+
+        return QueryResult(columns, ordered())
+
+    def _note_prepared_execution(self, *, reused: bool) -> None:
+        self._prepared_executions += 1
+        if reused:
+            self._prepared_reuse += 1
 
     def compile(self, statement_text: str) -> Query:
         """Parse and compile a GRAPH_TABLE query without executing it."""
@@ -278,41 +621,49 @@ class PGQSession:
         self._check_graph_valid(statement.graph_name)
         return compile_query(statement, self.catalog)
 
-    def explain(self, statement_text: str) -> str:
+    def explain(self, statement_text: str) -> Explain:
         """The optimized logical plan a GRAPH_TABLE query lowers to.
 
-        For planner-backed engines the rendering is followed by the
-        engine's execution counters (plan-cache hit rate, columnar encode
-        time, fixpoint shard/parallel-round counts), so columnar and
-        sharded-fixpoint activity is observable straight from a session —
-        no benchmark harness required.
+        Returns a structured :class:`Explain`: the plan rendering plus —
+        for planner-backed engines — the engine's execution counters
+        (plan-cache hit rates with the prepared breakdown, columnar encode
+        time, fixpoint shard/parallel-round counts) and the session's
+        prepared-statement binding-reuse counts.  ``str()`` (and substring
+        tests) render the classic text form.
         """
         statement = parse_statement(statement_text)
         if not isinstance(statement, GraphTableQuery):
             raise EngineError("explain() expects a SELECT ... FROM GRAPH_TABLE(...) statement")
-        self._check_graph_valid(statement.graph_name)
-        text = compile_to_plan(statement, self.catalog).describe()
-        engine = self._engine
-        counters = getattr(engine, "plan_counters", None)
-        if counters is not None:
-            text += (
-                "\n-- engine counters: "
-                f"fixpoint_shards={counters.fixpoint_shards} "
-                f"parallel_rounds={counters.parallel_rounds} "
-                f"compact_encode_s={counters.compact_encode_s:.6f}"
-            )
-            cache = getattr(engine, "plan_cache", None)
-            if cache is not None:
-                info = cache.info()
-                text += (
-                    f"\n-- plan cache: hits={info['hits']} misses={info['misses']} "
-                    f"size={info['size']}"
-                )
-        return text
+        return self._explain_statement(statement)
 
-    def evaluate(self, query: Query) -> Relation:
+    def _explain_statement(self, statement: GraphTableQuery) -> Explain:
+        self._check_graph_valid(statement.graph_name)
+        plan_text = compile_to_plan(statement, self.catalog).describe()
+        counters: Dict[str, float] = {}
+        cache: Dict[str, float] = {}
+        engine = self._engine
+        engine_counters = getattr(engine, "plan_counters", None)
+        if engine_counters is not None:
+            counters = {
+                "fixpoint_shards": engine_counters.fixpoint_shards,
+                "parallel_rounds": engine_counters.parallel_rounds,
+                "compact_encode_s": engine_counters.compact_encode_s,
+            }
+            plan_cache = getattr(engine, "plan_cache", None)
+            if plan_cache is not None:
+                cache = dict(plan_cache.info())
+        prepared = {
+            "statements": self._prepared_statements
+            + len(self._sugar_texts_seen)
+            + self._sugar_texts_overflow,
+            "executions": self._prepared_executions,
+            "binding_reuse": self._prepared_reuse,
+        }
+        return Explain(plan_text, counters, cache, prepared)
+
+    def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
         """Evaluate a programmatic PGQ query on the session's backend."""
-        return self._get_engine().evaluate(query)
+        return self._get_engine().evaluate(query, bindings=bindings)
 
     def graph_definition(self, name: str) -> GraphDefinition:
         """Look up a compiled property-graph view definition."""
@@ -321,6 +672,9 @@ class PGQSession:
 
     def close(self) -> None:
         """Release the backend (e.g. the SQLite connection)."""
+        for prepared in self._statements.values():
+            prepared.close()
+        self._statements.clear()
         self._invalidate_engine()
 
     def __enter__(self) -> "PGQSession":

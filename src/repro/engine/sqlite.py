@@ -23,11 +23,15 @@ evaluator, which the test-suite and the E11 benchmark check.
 from __future__ import annotations
 
 import itertools
+import re
 import sqlite3
+import weakref
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import EngineError
+from repro.errors import BindingError, EngineError
 from repro.matching.endpoint import EndpointEvaluator
+from repro.parameters import Bindings, Parameter, merge_bindings, require_bindings
 from repro.patterns.ast import (
     Concatenation,
     Disjunction,
@@ -50,7 +54,7 @@ from repro.patterns.conditions import (
     PropertyComparesProperty,
     PropertyEquals,
 )
-from repro.pgq.evaluator import PGQEvaluator
+from repro.pgq.evaluator import CompiledQuery, PGQEvaluator
 from repro.pgq.queries import (
     ActiveDomainQuery,
     BaseRelation,
@@ -65,6 +69,8 @@ from repro.pgq.queries import (
     Select,
     Union,
     iter_queries,
+    query_parameters,
+    resolve_bindings,
 )
 from repro.pgq.views import infer_identifier_arity
 from repro.relational.conditions import (
@@ -102,8 +108,39 @@ class SQLiteEngine:
         #: by :meth:`evaluate` after the result is fetched so repeated
         #: queries in a long-lived session do not accumulate tables
         #: (``compile_to_sql`` callers keep them — the returned SQL
-        #: references them).
+        #: references them; prepared statements keep theirs for their
+        #: whole lifetime).
         self._temp_tables_in_flight: List[str] = []
+        #: Literal sink of the in-flight compilation.  The default inlines
+        #: SQL literals; a prepared compilation swaps in a
+        #: :class:`_ParamSink` that turns :class:`Parameter` slots into
+        #: native ``?`` placeholders and records their names in order.
+        self._params: "_LiteralSink" = _LITERALS
+        #: Collected ``(table, sql, slot names)`` steps of a prepared
+        #: compilation whose pair tables depend on parameters and must be
+        #: re-materialized per execution; ``None`` outside prepared
+        #: compilations (a parameterized pair body is then unsupported).
+        self._deferred_pairs: Optional[List[Tuple[str, str, Tuple[str, ...]]]] = None
+        #: Engine-owned view temp tables shared by *prepared* statements,
+        #: keyed like the evaluator's view cache on (sources, max_arity):
+        #: the database is immutable for the engine's lifetime, so every
+        #: prepared statement over the same graph view reuses one set of
+        #: materialized tables instead of duplicating them per statement.
+        #: Each entry carries a WeakSet of the compiled statements using
+        #: it; superseded entries (e.g. graph redefinitions) are dropped
+        #: once no live statement references them.  Cleared (with the
+        #: connection) by :meth:`close`.
+        self._shared_view_tables: "OrderedDict[Tuple, Tuple[List[str], weakref.WeakSet]]" = (
+            OrderedDict()
+        )
+        #: The compiled statement currently being prepared, so shared view
+        #: tables can track their users for safe eviction.
+        self._preparing_statement: Optional["_SQLiteCompiledQuery"] = None
+
+    #: Soft cap on cached shared view-table sets; entries beyond it are
+    #: evicted oldest-first, but only once unreferenced (correctness wins
+    #: over the cap when many definitions are live at once).
+    _SHARED_VIEW_TABLES_MAX = 8
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -141,6 +178,9 @@ class SQLiteEngine:
         if self._connection is not None:
             self._connection.close()
             self._connection = None
+        # Temp tables died with the connection; prepared statements that
+        # survive a close recompile (and re-share) on the next execution.
+        self._shared_view_tables.clear()
 
     def __enter__(self) -> "SQLiteEngine":
         return self
@@ -151,15 +191,19 @@ class SQLiteEngine:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def evaluate(self, query: Query) -> Relation:
+    def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
         """Evaluate a PGQ query, preferring the SQL path when it applies.
 
-        A configured ``max_repetitions`` bound is enforced by the formal
-        evaluator (the SQL recursive CTE cannot raise on depth overrun),
-        so queries that contain a repetition operator take the fallback
-        path — keeping the error behavior identical across engines while
-        repetition-free queries stay on SQL.
+        ``bindings`` are substituted eagerly (one-shot evaluation gains
+        nothing from deferred binding; :meth:`prepare` is the path that
+        keeps ``?`` placeholders native).  A configured ``max_repetitions``
+        bound is enforced by the formal evaluator (the SQL recursive CTE
+        cannot raise on depth overrun), so queries that contain a
+        repetition operator take the fallback path — keeping the error
+        behavior identical across engines while repetition-free queries
+        stay on SQL.
         """
+        query = resolve_bindings(query, bindings)
         if self.max_repetitions is not None and _contains_repetition(query):
             fallback = PGQEvaluator(self.database, max_repetitions=self.max_repetitions)
             return fallback.evaluate(query)
@@ -172,12 +216,34 @@ class SQLiteEngine:
             rows = self.connection.execute(sql).fetchall()
         finally:
             self._drop_in_flight_temp_tables()
-        return Relation(arity, [tuple(row) for row in rows]) if arity > 0 else Relation(
-            0, [()] if rows else []
-        )
+        return _relation_from_rows(rows, arity)
+
+    def prepare(self, query: Query) -> CompiledQuery:
+        """Compile once to SQL with native ``?`` parameters, execute many.
+
+        The six view relations are materialized (and indexed) into temp
+        tables that persist for the prepared statement's lifetime; each
+        parameter slot becomes a SQLite ``?`` placeholder bound per
+        execution.  Pair tables of repetition bodies whose conditions
+        carry parameters are re-materialized per execution (their contents
+        depend on the binding); everything else is compiled exactly once.
+        Queries the SQL path cannot serve (n-ary identifier views, a
+        ``max_repetitions`` bound with repetition, parameterized view
+        sources) fall back to a per-execution eager-binding compiled
+        query, matching :meth:`evaluate` semantics.
+        """
+        if self.max_repetitions is not None and _contains_repetition(query):
+            return CompiledQuery(self, query)
+        try:
+            return _SQLiteCompiledQuery(self, query)
+        except (_SQLUnsupported, BindingError):
+            return CompiledQuery(self, query)
 
     def _drop_in_flight_temp_tables(self) -> None:
         tables, self._temp_tables_in_flight = self._temp_tables_in_flight, []
+        self._drop_tables(tables)
+
+    def _drop_tables(self, tables: Sequence[str]) -> None:
         if not tables or self._connection is None:
             return
         cursor = self._connection.cursor()
@@ -203,7 +269,7 @@ class SQLiteEngine:
             columns = ", ".join(f"c{i}" for i in range(1, relation.arity + 1))
             return f'SELECT {columns} FROM "{query.name}"', relation.arity
         if isinstance(query, Constant):
-            return f"SELECT {_sql_literal(query.value)} AS c1", 1
+            return f"SELECT {self._params.emit(query.value)} AS c1", 1
         if isinstance(query, ConstantRelation):
             if not query.rows:
                 raise _SQLUnsupported("empty constant relation")
@@ -227,7 +293,7 @@ class SQLiteEngine:
             return f"SELECT {columns} FROM ({inner}) AS sub", len(query.positions)
         if isinstance(query, Select):
             inner, arity = self._compile(query.operand)
-            predicate = _compile_ra_condition(query.condition, "sub")
+            predicate = _compile_ra_condition(query.condition, "sub", self._params.emit)
             columns = ", ".join(f"sub.c{i}" for i in range(1, arity + 1))
             return f"SELECT {columns} FROM ({inner}) AS sub WHERE {predicate}", arity
         if isinstance(query, Product):
@@ -265,16 +331,55 @@ class SQLiteEngine:
     _VIEW_INDEX_COLUMNS = ("c1", None, "c1", "c1", "c1, c2", "c1, c2")
 
     def _compile_graph_pattern(self, query: GraphPattern) -> Tuple[str, int]:
-        # Materialize the six view relations as temporary tables; this keeps
-        # the pattern SQL readable and lets the recursive CTE reference them.
+        names = self._materialize_view_tables(query)
+        view = _ViewTables(*names)
+        compiler = _PatternSQL(
+            view, materialize=self._materialize_pair_table, params=self._params
+        )
+        sql = compiler.compile_output(query.output)
+        arity = len(query.output.items)
+        return sql, arity
+
+    def _materialize_view_tables(self, query: GraphPattern) -> List[str]:
+        """Materialize the six view relations as temporary tables.
+
+        Keeps the pattern SQL readable and lets the recursive CTE reference
+        them.  During a *prepared* compilation the tables are shared
+        engine-wide per ``(sources, max_arity)`` — the database is
+        immutable for the engine's lifetime, so many prepared statements
+        over one graph view hold one set of tables, not one per statement.
+        One-shot evaluations keep private tables (they are dropped right
+        after the query).
+        """
+        preparing = self._deferred_pairs is not None
+        cache_key: Optional[Tuple] = None
+        if preparing:
+            cache_key = (query.sources, query.max_arity)
+            try:
+                hash(cache_key)
+            except TypeError:
+                cache_key = None
+            else:
+                shared = self._shared_view_tables.get(cache_key)
+                if shared is not None:
+                    names, users = shared
+                    self._shared_view_tables.move_to_end(cache_key)
+                    if self._preparing_statement is not None:
+                        users.add(self._preparing_statement)
+                    return names
         view_relations = tuple(
             PGQEvaluator(self.database).evaluate(source) for source in query.sources
         )
         identifier_arity = infer_identifier_arity(view_relations)
         if identifier_arity != 1:
             raise _SQLUnsupported("the SQL backend compiles unary-identifier views only")
-        names = []
+        names: List[str] = []
         cursor = self.connection.cursor()
+        # Register every table in-flight *before* creating it so a
+        # mid-loop failure (e.g. an unbindable cell value) still gets its
+        # partial tables dropped by the caller's cleanup; on success the
+        # shared-cache path below adopts them out of the in-flight list.
+        in_flight_start = len(self._temp_tables_in_flight)
         for index, relation in enumerate(view_relations):
             table = f"__view{next(self._temp_counter)}_{index}"
             names.append(table)
@@ -292,13 +397,31 @@ class SQLiteEngine:
             if index_columns is not None and relation.arity:
                 cursor.execute(f"CREATE INDEX idx_{table} ON {table}({index_columns})")
         self.connection.commit()
-        view = _ViewTables(*names)
-        compiler = _PatternSQL(view, materialize=self._materialize_pair_table)
-        sql = compiler.compile_output(query.output)
-        arity = len(query.output.items)
-        return sql, arity
+        if cache_key is not None:
+            # Engine-owned from here on: statements must not drop them.
+            del self._temp_tables_in_flight[in_flight_start:]
+            users: "weakref.WeakSet" = weakref.WeakSet()
+            if self._preparing_statement is not None:
+                users.add(self._preparing_statement)
+            self._shared_view_tables[cache_key] = (names, users)
+            self._evict_unreferenced_view_tables()
+        return names
 
-    def _materialize_pair_table(self, pair_sql: str) -> str:
+    def _evict_unreferenced_view_tables(self) -> None:
+        """Drop cached view-table sets past the cap, oldest first, but
+        only those no live prepared statement still compiles against
+        (superseded graph definitions, typically)."""
+        if len(self._shared_view_tables) <= self._SHARED_VIEW_TABLES_MAX:
+            return
+        for key in list(self._shared_view_tables):
+            if len(self._shared_view_tables) <= self._SHARED_VIEW_TABLES_MAX:
+                break
+            names, users = self._shared_view_tables[key]
+            if not users:
+                del self._shared_view_tables[key]
+                self._drop_tables(names)
+
+    def _materialize_pair_table(self, pair_sql: str, slots: Tuple[str, ...] = ()) -> str:
         """Materialize a repetition body's (src, tgt) relation, indexed.
 
         The recursive CTE previously re-evaluated the body subquery (label
@@ -307,9 +430,30 @@ class SQLiteEngine:
         ``src``/``tgt`` indexes turn each closure step into index lookups
         instead of scans — this is what removed the super-linear blowup on
         the transfer workloads.
+
+        ``slots`` names the parameter placeholders inside ``pair_sql`` (in
+        ``?`` order).  A parameterized pair table's contents depend on the
+        execution's bindings, so during a prepared compilation it is only
+        *recorded* here (``_deferred_pairs``) and materialized per
+        execution by :class:`_SQLiteCompiledQuery`.
         """
         table = f"__pairs{next(self._temp_counter)}"
         self._temp_tables_in_flight.append(table)
+        # A pair table must also be deferred when its body *references* an
+        # already-deferred table (nested repetition with a parameterized
+        # inner body): that inner table does not exist until execution, so
+        # materializing the outer one now would fail.  Match whole
+        # identifiers — a plain substring test would alias __pairs1 onto
+        # __pairs12 and needlessly defer parameter-free tables.
+        references_deferred = self._deferred_pairs is not None and any(
+            re.search(rf"\b{re.escape(deferred_table)}\b", pair_sql)
+            for deferred_table, _sql, _slots in self._deferred_pairs
+        )
+        if slots or references_deferred:
+            if self._deferred_pairs is None:
+                raise _SQLUnsupported("parameterized repetition body outside prepare()")
+            self._deferred_pairs.append((table, pair_sql, tuple(slots)))
+            return table
         cursor = self.connection.cursor()
         cursor.execute(f"DROP TABLE IF EXISTS {table}")
         cursor.execute(f"CREATE TEMP TABLE {table} AS {pair_sql}")
@@ -338,6 +482,8 @@ class _SQLUnsupported(Exception):
 
 
 def _sql_literal(value) -> str:
+    if isinstance(value, Parameter):
+        raise _SQLUnsupported(f"parameter slot {value!r} outside a prepared compilation")
     if isinstance(value, bool):
         return "1" if value else "0"
     if isinstance(value, (int, float)):
@@ -346,25 +492,159 @@ def _sql_literal(value) -> str:
     return f"'{text}'"
 
 
-def _compile_ra_condition(condition: Condition, alias: str) -> str:
+class _LiteralSink:
+    """Default literal sink: inline every constant as a SQL literal."""
+
+    def emit(self, value) -> str:
+        return _sql_literal(value)
+
+    def push(self) -> None:
+        """Open a nested slot scope (repetition bodies); no-op here."""
+
+    def pop(self) -> Tuple[str, ...]:
+        return ()
+
+
+class _ParamSink(_LiteralSink):
+    """Prepared-compilation sink: parameters become ``?`` placeholders.
+
+    Slot names are recorded in emission order, which — because every
+    compilation rule interpolates sub-SQL in the order it compiles it —
+    is also textual ``?`` order.  ``push``/``pop`` bracket repetition
+    bodies so a materialized pair table's slots are split off the
+    enclosing statement's list (the body text is replaced by a table
+    name, taking its placeholders with it).
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[List[str]] = [[]]
+
+    def emit(self, value) -> str:
+        if isinstance(value, Parameter):
+            self._stack[-1].append(value.name)
+            return "?"
+        return _sql_literal(value)
+
+    def push(self) -> None:
+        self._stack.append([])
+
+    def pop(self) -> Tuple[str, ...]:
+        return tuple(self._stack.pop())
+
+    @property
+    def slots(self) -> Tuple[str, ...]:
+        """Slot names of the outermost (main statement) scope, in order."""
+        return tuple(self._stack[0])
+
+
+#: Shared default sink (stateless).
+_LITERALS = _LiteralSink()
+
+
+def _relation_from_rows(rows: List[Tuple], arity: int) -> Relation:
+    if arity > 0:
+        return Relation(arity, [tuple(row) for row in rows])
+    return Relation(0, [()] if rows else [])
+
+
+class _SQLiteCompiledQuery:
+    """A prepared statement on the SQLite backend.
+
+    Holds the compiled SQL text (with native ``?`` placeholders), the
+    persisted view temp tables, and the deferred parameter-dependent pair
+    tables; ``execute(bindings)`` binds slot values positionally and runs
+    the statement on the engine's connection.  If the engine's connection
+    was closed (and thus the temp tables dropped) since preparation, the
+    statement transparently recompiles against the fresh connection.
+    """
+
+    def __init__(self, engine: "SQLiteEngine", query: Query):
+        self.engine = engine
+        self.query = query
+        self.parameter_names = tuple(sorted(query_parameters(query)))
+        self.executions = 0
+        self._compile()
+
+    def _compile(self) -> None:
+        engine = self.engine
+        self._connection = engine.connection  # load the database first
+        sink = _ParamSink()
+        saved = (
+            engine._params,
+            engine._temp_tables_in_flight,
+            engine._deferred_pairs,
+            engine._preparing_statement,
+        )
+        engine._params, engine._temp_tables_in_flight, engine._deferred_pairs = sink, [], []
+        engine._preparing_statement = self
+        try:
+            self._sql, self._arity = engine._compile(self.query)
+            self._tables = list(engine._temp_tables_in_flight)
+            self._deferred = list(engine._deferred_pairs)
+            self._main_slots = sink.slots
+        except BaseException:
+            engine._drop_tables(engine._temp_tables_in_flight)
+            raise
+        finally:
+            (
+                engine._params,
+                engine._temp_tables_in_flight,
+                engine._deferred_pairs,
+                engine._preparing_statement,
+            ) = saved
+
+    def execute(self, bindings: Optional[Bindings] = None, /, **named) -> Relation:
+        """Execute with ``bindings`` (mapping and/or keywords, keywords
+        win; the mapping argument is positional-only so a slot named
+        ``bindings`` still binds by keyword)."""
+        merged = merge_bindings(bindings, named)
+        require_bindings(self.parameter_names, merged)
+        if self.engine._connection is not self._connection:
+            # The connection (and with it every temp table) went away since
+            # preparation — e.g. engine.close(); recompile transparently.
+            self._compile()
+        cursor = self._connection.cursor()
+        for table, sql, slots in self._deferred:
+            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            cursor.execute(
+                f"CREATE TEMP TABLE {table} AS {sql}",
+                tuple(merged[name] for name in slots),
+            )
+            cursor.execute(f"CREATE INDEX idx_{table}_src ON {table}(src)")
+            cursor.execute(f"CREATE INDEX idx_{table}_tgt ON {table}(tgt)")
+        if self._deferred:
+            self._connection.commit()
+        arguments = tuple(merged[name] for name in self._main_slots)
+        rows = self._connection.execute(self._sql, arguments).fetchall()
+        self.executions += 1
+        return _relation_from_rows(rows, self._arity)
+
+    def close(self) -> None:
+        """Drop the statement's persisted temp tables (deferred included —
+        ``_materialize_pair_table`` records every table it allocates)."""
+        if self.engine._connection is self._connection:
+            self.engine._drop_tables(self._tables)
+
+
+def _compile_ra_condition(condition: Condition, alias: str, emit=_sql_literal) -> str:
     if isinstance(condition, TrueCondition):
         return "1 = 1"
     if isinstance(condition, ColumnEquals):
         return f"{alias}.c{condition.left} = {alias}.c{condition.right}"
     if isinstance(condition, ColumnEqualsConstant):
-        return f"{alias}.c{condition.position} = {_sql_literal(condition.constant)}"
+        return f"{alias}.c{condition.position} = {emit(condition.constant)}"
     if isinstance(condition, ColumnCompare):
         operator = "<>" if condition.operator == "!=" else condition.operator
         return f"{alias}.c{condition.left} {operator} {alias}.c{condition.right}"
     if isinstance(condition, ColumnCompareConstant):
         operator = "<>" if condition.operator == "!=" else condition.operator
-        return f"{alias}.c{condition.position} {operator} {_sql_literal(condition.constant)}"
+        return f"{alias}.c{condition.position} {operator} {emit(condition.constant)}"
     if isinstance(condition, RAAnd):
-        return f"({_compile_ra_condition(condition.left, alias)} AND {_compile_ra_condition(condition.right, alias)})"
+        return f"({_compile_ra_condition(condition.left, alias, emit)} AND {_compile_ra_condition(condition.right, alias, emit)})"
     if isinstance(condition, RAOr):
-        return f"({_compile_ra_condition(condition.left, alias)} OR {_compile_ra_condition(condition.right, alias)})"
+        return f"({_compile_ra_condition(condition.left, alias, emit)} OR {_compile_ra_condition(condition.right, alias, emit)})"
     if isinstance(condition, RANot):
-        return f"NOT ({_compile_ra_condition(condition.operand, alias)})"
+        return f"NOT ({_compile_ra_condition(condition.operand, alias, emit)})"
     raise _SQLUnsupported(f"selection condition {type(condition).__name__}")
 
 
@@ -387,13 +667,16 @@ class _PatternSQL:
     column ``v_<name>`` per free variable.
     """
 
-    def __init__(self, view: _ViewTables, materialize=None):
+    def __init__(self, view: _ViewTables, materialize=None, params: _LiteralSink = _LITERALS):
         self.view = view
         self._alias_counter = itertools.count()
         #: Optional callback materializing a repetition body's pair
-        #: relation into an indexed temp table (``sql -> table name``);
-        #: without it the pair relation is inlined as a subquery.
+        #: relation into an indexed temp table (``(sql, slots) -> table
+        #: name``); without it the pair relation is inlined as a subquery.
         self._materialize = materialize
+        #: Literal sink: inlines constants, or (in prepared compilations)
+        #: emits ``?`` placeholders and records slot names.
+        self._params = params
 
     def _alias(self) -> str:
         return f"p{next(self._alias_counter)}"
@@ -466,6 +749,11 @@ class _PatternSQL:
         return sql, variables
 
     def _compile_repetition(self, pattern: Repetition) -> Tuple[str, Tuple[str, ...]]:
+        # Slots emitted while compiling the body belong to the pair table,
+        # not to the enclosing statement: the body SQL (placeholders and
+        # all) is replaced below by a table reference, which the prefix and
+        # CTE rules repeat freely without duplicating any `?`.
+        self._params.push()
         body_sql, _variables = self.compile(pattern.body)
         # The repetition erases bindings; only (src, tgt) pairs matter.
         # Materializing them (indexed on src/tgt) evaluates the body's
@@ -473,8 +761,14 @@ class _PatternSQL:
         # walks a plain indexed edge relation instead of re-deriving the
         # conditions from the pattern on every extension.
         pair_sql = f"SELECT DISTINCT src, tgt FROM ({body_sql})"
+        slots = self._params.pop()
         if self._materialize is not None:
-            pair_ref = self._materialize(pair_sql)
+            pair_ref = self._materialize(pair_sql, slots)
+        elif slots:
+            raise _SQLUnsupported(
+                "a parameterized repetition body is repeated in the compiled "
+                "SQL and must be materialized (engine-backed compilations only)"
+            )
         else:
             pair_ref = f"({pair_sql})"
         if not pattern.is_unbounded:
@@ -549,7 +843,7 @@ class _PatternSQL:
             return (
                 f"EXISTS (SELECT 1 FROM {self.view.properties} AS prop "
                 f"WHERE prop.c1 = {var_column(condition.var)} AND prop.c2 = {_sql_literal(condition.key)} "
-                f"AND prop.c3 {operator} {_sql_literal(condition.constant)})"
+                f"AND prop.c3 {operator} {self._params.emit(condition.constant)})"
             )
         if isinstance(condition, PropertyEquals):
             return (

@@ -67,3 +67,9 @@ class ParseError(ReproError):
 
 class EngineError(ReproError):
     """Raised by execution engines (in-memory session or SQLite backend)."""
+
+
+class BindingError(QueryError):
+    """Raised when a parameterized query is executed with missing bindings,
+    or when an unbound :class:`~repro.parameters.Parameter` slot reaches
+    evaluation (e.g. a bare matcher fed a parameterized condition)."""

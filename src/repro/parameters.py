@@ -1,0 +1,94 @@
+"""Query parameters: the :class:`Parameter` slot sentinel and binding helpers.
+
+A :class:`Parameter` stands for a literal that is supplied at *execution*
+time rather than at *preparation* time.  It can appear anywhere a constant
+may: in pattern conditions (``PropertyCompare(x, "amount", ">",
+Parameter("minimum"))``), in relational selection conditions
+(``ColumnCompareConstant(3, ">", Parameter("minimum"))``) and in
+``Constant`` query nodes.  Condition trees built over parameter slots are
+*parameterized shapes*: they hash and compare structurally, so a plan
+compiled (and cached) for one shape serves every binding of that shape —
+this is what lets ``prepare(q).execute(a)`` and ``.execute(b)`` share one
+plan compilation.
+
+Bindings are plain ``{name: value}`` mappings.  Binding is performed by
+the ``bind``/``bind_*`` family on conditions, patterns and queries (all
+identity-preserving: a tree without slots is returned unchanged), and the
+engines check for missing bindings up front so an unbound slot raises
+:class:`~repro.errors.BindingError` instead of silently matching nothing.
+As a second line of defence, *ordered* comparisons against an unbound
+``Parameter`` raise :class:`BindingError` through the reflected operators
+(equality stays structural — it is what makes parameterized shapes
+hashable plan-cache keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Mapping
+
+from repro.errors import BindingError
+
+#: A parameter binding set: slot name -> literal value.
+Bindings = Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A named parameter slot standing in for a literal (``:name`` in SQL).
+
+    Frozen and hashable so parameterized condition trees keep working as
+    plan-cache keys; two occurrences of ``:minimum`` are equal, so the
+    same statement re-prepared yields the same cached shape.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f":{self.name}"
+
+    # Ordered comparisons must never silently succeed against an unbound
+    # slot.  ``value < Parameter`` dispatches here through the reflected
+    # operator, so the guard costs nothing on bound (concrete) constants.
+    def _unbound(self, _other: Any):
+        raise BindingError(
+            f"parameter :{self.name} is unbound; bind it before evaluation "
+            f"(e.g. prepared.execute({self.name}=...))"
+        )
+
+    __lt__ = __le__ = __gt__ = __ge__ = _unbound
+
+
+def bind_value(value: Any, bindings: Bindings) -> Any:
+    """Resolve ``value`` against ``bindings`` when it is a parameter slot."""
+    if isinstance(value, Parameter):
+        try:
+            return bindings[value.name]
+        except KeyError:
+            raise BindingError(f"no binding supplied for parameter :{value.name}") from None
+    return value
+
+
+def merge_bindings(bindings: "Bindings | None", named: Bindings) -> dict:
+    """Merge a bindings mapping with keyword bindings (keywords win).
+
+    The single precedence rule shared by every ``execute`` surface
+    (prepared statements, compiled queries, the SQLite backend).
+    """
+    merged = dict(bindings) if bindings else {}
+    if named:
+        merged.update(named)
+    return merged
+
+
+def missing_parameters(names: Iterable[str], bindings: Bindings) -> List[str]:
+    """Parameter names without a binding, sorted (empty when fully bound)."""
+    return sorted(name for name in names if name not in bindings)
+
+
+def require_bindings(names: Iterable[str], bindings: Bindings) -> None:
+    """Raise :class:`BindingError` naming every missing parameter."""
+    missing = missing_parameters(names, bindings)
+    if missing:
+        slots = ", ".join(f":{name}" for name in missing)
+        raise BindingError(f"missing bindings for parameters {slots}")

@@ -290,3 +290,53 @@ def iter_subpatterns(pattern: Pattern) -> Iterator[Pattern]:
         yield from iter_subpatterns(pattern.right)
     elif isinstance(pattern, (Repetition, Filter)):
         yield from iter_subpatterns(pattern.body)
+
+
+# --------------------------------------------------------------------------- #
+# Parameter slots (prepared statements)
+# --------------------------------------------------------------------------- #
+def pattern_parameters(pattern: Pattern) -> FrozenSet[str]:
+    """Names of every parameter slot occurring in the pattern's conditions."""
+    names: FrozenSet[str] = frozenset()
+    for sub in iter_subpatterns(pattern):
+        if isinstance(sub, Filter):
+            names |= sub.condition.parameters()
+    return names
+
+
+def bind_pattern(pattern: Pattern, bindings) -> Pattern:
+    """The pattern with every parameter slot replaced by its bound value.
+
+    Identity-preserving: sub-trees without slots are returned unchanged,
+    so a fully concrete pattern keeps its object identity (and a bound
+    pattern stays structurally equal across repeated bindings — which is
+    what executor memo tables key on).
+    """
+    if isinstance(pattern, (NodePattern, EdgePattern)):
+        return pattern
+    if isinstance(pattern, Concatenation):
+        left, right = bind_pattern(pattern.left, bindings), bind_pattern(pattern.right, bindings)
+        if left is pattern.left and right is pattern.right:
+            return pattern
+        return Concatenation(left, right)
+    if isinstance(pattern, Disjunction):
+        left, right = bind_pattern(pattern.left, bindings), bind_pattern(pattern.right, bindings)
+        if left is pattern.left and right is pattern.right:
+            return pattern
+        return Disjunction(left, right)
+    if isinstance(pattern, Repetition):
+        body = bind_pattern(pattern.body, bindings)
+        return pattern if body is pattern.body else Repetition(body, pattern.lower, pattern.upper)
+    if isinstance(pattern, Filter):
+        body = bind_pattern(pattern.body, bindings)
+        condition = pattern.condition.bind(bindings)
+        if body is pattern.body and condition is pattern.condition:
+            return pattern
+        return Filter(body, condition)
+    raise PatternError(f"cannot bind unknown pattern node {pattern!r}")
+
+
+def bind_output(output: OutputPattern, bindings) -> OutputPattern:
+    """Bind the parameter slots of an output pattern (items carry none)."""
+    pattern = bind_pattern(output.pattern, bindings)
+    return output if pattern is output.pattern else OutputPattern(pattern, output.items)

@@ -22,9 +22,10 @@ import operator
 from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet
 
-from repro.errors import PatternError
+from repro.errors import BindingError, PatternError
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
+from repro.parameters import Bindings, Parameter, bind_value
 
 #: A variable mapping assigns graph element identifiers to pattern variables.
 Mapping = Dict[str, Identifier]
@@ -52,6 +53,18 @@ class PatternCondition:
     def variables(self) -> FrozenSet[str]:
         """Pattern variables mentioned by the condition."""
         raise NotImplementedError
+
+    def parameters(self) -> FrozenSet[str]:
+        """Names of the :class:`~repro.parameters.Parameter` slots used by
+        the condition (empty for fully concrete conditions)."""
+        return frozenset()
+
+    def bind(self, bindings: Bindings) -> "PatternCondition":
+        """The condition with every parameter slot replaced by its bound
+        value.  Identity-preserving: a condition without slots (or whose
+        sub-trees are unchanged) is returned as-is, so bound trees stay
+        equal — and memo/cache friendly — across repeated executions."""
+        return self
 
     def __and__(self, other: "PatternCondition") -> "PatternCondition":
         return AndCondition(self, other)
@@ -107,6 +120,13 @@ class PropertyCompare(PatternCondition):
             raise PatternError(f"unsupported comparison operator {self.operator!r}")
 
     def satisfied(self, graph: PropertyGraph, mapping: Mapping) -> bool:
+        # An unbound slot must raise, not silently decide: ordered
+        # comparisons raise through Parameter's reflected operators, but
+        # '='/'!=' are structural ('!=' would match every defined value).
+        if isinstance(self.constant, Parameter):
+            raise BindingError(
+                f"parameter {self.constant!r} must be bound before evaluation"
+            )
         if self.var not in mapping:
             return False
         element = mapping[self.var]
@@ -120,6 +140,18 @@ class PropertyCompare(PatternCondition):
 
     def variables(self) -> FrozenSet[str]:
         return frozenset({self.var})
+
+    def parameters(self) -> FrozenSet[str]:
+        if isinstance(self.constant, Parameter):
+            return frozenset({self.constant.name})
+        return frozenset()
+
+    def bind(self, bindings: Bindings) -> "PatternCondition":
+        if isinstance(self.constant, Parameter):
+            return PropertyCompare(
+                self.var, self.key, self.operator, bind_value(self.constant, bindings)
+            )
+        return self
 
 
 @dataclass(frozen=True)
@@ -183,6 +215,15 @@ class AndCondition(PatternCondition):
     def variables(self) -> FrozenSet[str]:
         return self.left.variables() | self.right.variables()
 
+    def parameters(self) -> FrozenSet[str]:
+        return self.left.parameters() | self.right.parameters()
+
+    def bind(self, bindings: Bindings) -> "PatternCondition":
+        left, right = self.left.bind(bindings), self.right.bind(bindings)
+        if left is self.left and right is self.right:
+            return self
+        return AndCondition(left, right)
+
 
 @dataclass(frozen=True)
 class OrCondition(PatternCondition):
@@ -195,6 +236,15 @@ class OrCondition(PatternCondition):
     def variables(self) -> FrozenSet[str]:
         return self.left.variables() | self.right.variables()
 
+    def parameters(self) -> FrozenSet[str]:
+        return self.left.parameters() | self.right.parameters()
+
+    def bind(self, bindings: Bindings) -> "PatternCondition":
+        left, right = self.left.bind(bindings), self.right.bind(bindings)
+        if left is self.left and right is self.right:
+            return self
+        return OrCondition(left, right)
+
 
 @dataclass(frozen=True)
 class NotCondition(PatternCondition):
@@ -205,3 +255,10 @@ class NotCondition(PatternCondition):
 
     def variables(self) -> FrozenSet[str]:
         return self.operand.variables()
+
+    def parameters(self) -> FrozenSet[str]:
+        return self.operand.parameters()
+
+    def bind(self, bindings: Bindings) -> "PatternCondition":
+        operand = self.operand.bind(bindings)
+        return self if operand is self.operand else NotCondition(operand)

@@ -23,6 +23,8 @@ from typing import Dict, Optional, Protocol, Tuple
 
 from repro.errors import ArityError, QueryError
 from repro.matching.endpoint import EndpointEvaluator, EvaluationCounters
+from repro.parameters import Bindings, merge_bindings, require_bindings
+from repro.patterns.ast import bind_output
 from repro.pgq.queries import (
     ActiveDomainQuery,
     BaseRelation,
@@ -36,7 +38,9 @@ from repro.pgq.queries import (
     Query,
     Select,
     Union,
+    bind_query,
     output_arity,
+    query_parameters,
 )
 from repro.graph.property_graph import PropertyGraph
 from repro.pgq.views import materialize_graph
@@ -56,6 +60,39 @@ class PatternMatcher(Protocol):
 
     def evaluate_output(self, output) -> frozenset:  # pragma: no cover - protocol
         ...
+
+
+class CompiledQuery:
+    """A prepared query bound to one engine: ``execute(bindings)`` runs it.
+
+    The default implementation simply re-enters the owning engine's
+    ``evaluate(query, bindings=...)``; what that buys depends on the
+    engine — the planned engine keeps the parameterized pattern as its
+    plan-cache key (one plan compilation serves every binding), the naive
+    oracle substitutes the bindings eagerly, and the SQLite backend
+    overrides preparation entirely with native ``?`` placeholders.
+    """
+
+    def __init__(self, engine, query: Query):
+        self.engine = engine
+        self.query = query
+        #: Slot names the statement expects, sorted (empty = no parameters).
+        self.parameter_names: Tuple[str, ...] = tuple(sorted(query_parameters(query)))
+        #: Number of completed ``execute`` calls (binding-reuse accounting).
+        self.executions = 0
+
+    def execute(self, bindings: Optional[Bindings] = None, /, **named) -> "Relation":
+        """Execute with ``bindings`` (a mapping, keyword arguments, or both;
+        keywords win on conflict).  Raises
+        :class:`~repro.errors.BindingError` when a slot is unbound.  The
+        mapping argument is positional-only so a slot literally named
+        ``bindings`` still binds by keyword."""
+        result = self.engine.evaluate(self.query, bindings=merge_bindings(bindings, named))
+        self.executions += 1
+        return result
+
+    def close(self) -> None:
+        """Release per-statement resources (none for in-memory engines)."""
 
 
 @dataclass
@@ -120,6 +157,9 @@ class PGQEvaluator:
             OrderedDict()
         )
         self._views_maxsize = 64
+        #: Bindings of the in-flight evaluation ({} = fully concrete query);
+        #: set by :meth:`evaluate`, read by the Select/GraphPattern cases.
+        self._bindings: Bindings = {}
 
     def _make_matcher(self, graph) -> "PatternMatcher":
         """Oracle-interface hook: build the pattern matcher for one view."""
@@ -132,8 +172,29 @@ class PGQEvaluator:
         return EndpointEvaluator(graph, max_repetitions=self.max_repetitions)
 
     # ------------------------------------------------------------------ #
-    def evaluate(self, query: Query) -> Relation:
-        """Evaluate ``query`` on the database and return its result relation."""
+    def prepare(self, query: Query) -> CompiledQuery:
+        """Prepare ``query`` for repeated execution with varying bindings.
+
+        The returned :class:`CompiledQuery` re-enters :meth:`evaluate` with
+        the bindings of each ``execute`` call; subclasses with heavier
+        preparation (native prepared statements, plan caches) override
+        either this method or the binding-aware evaluation hooks.
+        """
+        return CompiledQuery(self, query)
+
+    def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
+        """Evaluate ``query`` on the database and return its result relation.
+
+        ``bindings`` supplies values for the query's parameter slots; every
+        missing slot raises :class:`~repro.errors.BindingError` up front so
+        an unbound parameter can never silently match nothing.
+        """
+        parameters = query_parameters(query)
+        if parameters:
+            require_bindings(parameters, bindings or {})
+            self._bindings = dict(bindings)  # type: ignore[arg-type]
+        else:
+            self._bindings = {}
         # Common-subexpression memo for the duration of one evaluation:
         # structurally identical subqueries (frequent in the view encodings,
         # e.g. the same Select feeding several view subqueries) run once.
@@ -142,6 +203,7 @@ class PGQEvaluator:
             result = self._eval(query)
         finally:
             self._memo = None
+            self._bindings = {}
         if self.statistics is not None:
             self.statistics.intermediate_rows += len(result)
         return result
@@ -163,9 +225,13 @@ class PGQEvaluator:
     def _eval_node(self, query: Query) -> Relation:
         if isinstance(query, BaseRelation):
             return self.database.relation(query.name)
-        if isinstance(query, Constant):
-            return self._eval_constant(query)
-        if isinstance(query, ConstantRelation):
+        if isinstance(query, (Constant, ConstantRelation)):
+            # Constant leaves carry their parameter slots directly in the
+            # node (not in a condition tree), so bind them here.
+            if self._bindings:
+                query = bind_query(query, self._bindings)
+            if isinstance(query, Constant):
+                return self._eval_constant(query)
             return Relation(query.arity, query.rows)
         if isinstance(query, ActiveDomainQuery):
             return self.database.adom_relation()
@@ -194,22 +260,25 @@ class PGQEvaluator:
 
     def _eval_select(self, query: Select) -> Relation:
         relation = self._eval(query.operand)
-        if query.condition.max_position() > relation.arity:
+        condition = query.condition
+        if self._bindings:
+            condition = condition.bind(self._bindings)
+        if condition.max_position() > relation.arity:
             raise QueryError(
-                f"selection condition refers to ${query.condition.max_position()} "
+                f"selection condition refers to ${condition.max_position()} "
                 f"but the operand has arity {relation.arity}"
             )
         # Compile the condition once per selection: per-row evaluation is a
         # plain closure instead of a tree walk with per-row bounds checks.
-        return relation.select(query.condition.compile(relation.arity))
+        return relation.select(condition.compile(relation.arity))
 
-    def _view_cache_key(self, query: GraphPattern) -> Optional[Tuple]:
+    def _view_cache_key(self, sources: Tuple, max_arity: Optional[int]) -> Optional[Tuple]:
         """Cache key of a graph pattern's materialized view, or None when
         the view is uncacheable (caching disabled, or unhashable constants
         inside the source subqueries)."""
         if not self.reuse_views:
             return None
-        key = (query.sources, query.max_arity)
+        key = (sources, max_arity)
         try:
             hash(key)
         except TypeError:
@@ -217,7 +286,15 @@ class PGQEvaluator:
         return key
 
     def _eval_graph_pattern(self, query: GraphPattern) -> Relation:
-        key = self._view_cache_key(query)
+        bindings = self._bindings
+        sources = query.sources
+        if bindings:
+            # Bind source-subquery slots eagerly so the materialized view
+            # (and its cache key) reflects the concrete data; slot-free
+            # sources come back identical, so equal bindings keep hitting
+            # the same cached view.
+            sources = tuple(bind_query(source, bindings) for source in sources)
+        key = self._view_cache_key(sources, query.max_arity)
         cached = self._views.get(key) if key is not None else None
         if cached is not None:
             graph, identifier_arity, matcher = cached
@@ -225,7 +302,7 @@ class PGQEvaluator:
             if self.statistics is not None:
                 self.statistics.views_reused += 1
         else:
-            view_relations = tuple(self._eval(source) for source in query.sources)
+            view_relations = tuple(self._eval(source) for source in sources)
             if self.statistics is not None:
                 self.statistics.intermediate_rows += sum(len(r) for r in view_relations)
             graph, identifier_arity = materialize_graph(view_relations, query.max_arity)
@@ -238,7 +315,14 @@ class PGQEvaluator:
                 self._views[key] = (graph, identifier_arity, matcher)
                 if len(self._views) > self._views_maxsize:
                     self._views.popitem(last=False)
-        rows = matcher.evaluate_output(query.output)
+        if bindings and getattr(matcher, "supports_parameters", False):
+            # Parameter-aware matchers (the planner) keep the parameterized
+            # pattern as their plan-cache key and bind per execution: one
+            # plan compilation serves every binding of the statement.
+            rows = matcher.evaluate_output(query.output, bindings=bindings)
+        else:
+            output = bind_output(query.output, bindings) if bindings else query.output
+            rows = matcher.evaluate_output(output)
         arity = output_arity(query.output, identifier_arity)
         # Matchers that build every output row from a fixed projection
         # layout (the planner) declare ``trusted_output_arity`` and skip

@@ -17,11 +17,14 @@ be pinned to ``PGQ_n`` (Section 6.2).
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, FrozenSet, Optional, Tuple
 
 from repro.errors import QueryError
-from repro.patterns.ast import OutputPattern, PropertyRef
+from repro.parameters import Bindings, Parameter, bind_value, require_bindings
+from repro.patterns.ast import OutputPattern, PropertyRef, bind_output, pattern_parameters
 from repro.relational.conditions import Condition
 
 
@@ -219,6 +222,113 @@ def iter_queries(query: Query):
 def query_size(query: Query) -> int:
     """Number of AST nodes in the query (pattern nodes not included)."""
     return sum(1 for _ in iter_queries(query))
+
+
+# --------------------------------------------------------------------------- #
+# Parameter slots (prepared statements)
+# --------------------------------------------------------------------------- #
+def query_parameters(query: Query) -> FrozenSet[str]:
+    """Names of every parameter slot occurring anywhere in the query:
+    relational selection conditions, individual and inline-relation
+    constants, and the conditions of ``GraphPattern`` output patterns.
+
+    Memoized per query *object* (queries are immutable): prepared
+    statements re-enter evaluation with the same query instance on every
+    execution, so the tree walk runs once per statement, not per call.
+    """
+    key = id(query)
+    entry = _PARAMETERS_MEMO.get(key)
+    if entry is not None and entry[0]() is query:
+        _PARAMETERS_MEMO.move_to_end(key)
+        return entry[1]
+    names: set = set()
+    for node in iter_queries(query):
+        if isinstance(node, Select):
+            names |= node.condition.parameters()
+        elif isinstance(node, Constant):
+            if isinstance(node.value, Parameter):
+                names.add(node.value.name)
+        elif isinstance(node, ConstantRelation):
+            names.update(
+                value.name
+                for row in node.rows
+                for value in row
+                if isinstance(value, Parameter)
+            )
+        elif isinstance(node, GraphPattern):
+            names |= pattern_parameters(node.output.pattern)
+    result = frozenset(names)
+    _PARAMETERS_MEMO[key] = (weakref.ref(query), result)
+    if len(_PARAMETERS_MEMO) > _PARAMETERS_MEMO_MAX:
+        _PARAMETERS_MEMO.popitem(last=False)
+    return result
+
+
+#: Bounded ``id(query) -> (weakref(query), slot names)`` memo.  The weak
+#: reference keeps the memo from extending any query's lifetime (inline
+#: constant relations included); if the query is collected and its id
+#: recycled, the identity check above rejects the stale entry.
+_PARAMETERS_MEMO: "OrderedDict[int, Tuple[weakref.ref, FrozenSet[str]]]" = OrderedDict()
+_PARAMETERS_MEMO_MAX = 256
+
+
+def bind_query(query: Query, bindings: Bindings) -> Query:
+    """The query with every parameter slot replaced by its bound value.
+
+    Identity-preserving (a slot-free query comes back unchanged, object
+    identity included), so bound queries stay structurally equal across
+    repeated executions with equal bindings — view caches and executor
+    memo tables keyed on query structure keep hitting.
+    """
+    if isinstance(query, Select):
+        operand = bind_query(query.operand, bindings)
+        condition = query.condition.bind(bindings)
+        if operand is query.operand and condition is query.condition:
+            return query
+        return Select(operand, condition)
+    if isinstance(query, Constant):
+        if isinstance(query.value, Parameter):
+            return Constant(bind_value(query.value, bindings), query.require_active)
+        return query
+    if isinstance(query, ConstantRelation):
+        if any(isinstance(value, Parameter) for row in query.rows for value in row):
+            rows = tuple(
+                tuple(bind_value(value, bindings) for value in row) for row in query.rows
+            )
+            return ConstantRelation(rows, query.arity)
+        return query
+    if isinstance(query, Project):
+        operand = bind_query(query.operand, bindings)
+        return query if operand is query.operand else Project(operand, query.positions)
+    if isinstance(query, (Product, Union, Difference)):
+        left, right = bind_query(query.left, bindings), bind_query(query.right, bindings)
+        if left is query.left and right is query.right:
+            return query
+        return type(query)(left, right)
+    if isinstance(query, GraphPattern):
+        output = bind_output(query.output, bindings)
+        sources = tuple(bind_query(source, bindings) for source in query.sources)
+        if output is query.output and all(s is o for s, o in zip(sources, query.sources)):
+            return query
+        return GraphPattern(output, sources, max_arity=query.max_arity)
+    # Leaves without constants: BaseRelation, ActiveDomainQuery,
+    # EmptyRelation.
+    return query
+
+
+def resolve_bindings(query: Query, bindings: Optional[Bindings]) -> Query:
+    """Validate bindings against the query's slots and bind them eagerly.
+
+    The shared entry check of every engine: raises
+    :class:`~repro.errors.BindingError` naming each missing parameter;
+    extra bindings are ignored (shared binding dictionaries are common).
+    Returns the query unchanged when it has no parameter slots.
+    """
+    names = query_parameters(query)
+    if not names:
+        return query
+    require_bindings(names, bindings or {})
+    return bind_query(query, bindings or {})
 
 
 def static_query_arity(query: Query, schema) -> int:

@@ -28,7 +28,7 @@ Operators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import FrozenSet, Optional, Tuple
 
 from repro.errors import PatternError
@@ -201,6 +201,46 @@ def build_logical_plan(pattern: Pattern) -> LogicalPlan:
     if isinstance(pattern, Repetition):
         return FixpointStep(build_logical_plan(pattern.body), pattern.lower, pattern.upper)
     raise PatternError(f"cannot lower unknown pattern node {pattern!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Parameter binding (prepared statements)
+# --------------------------------------------------------------------------- #
+def bind_plan(plan: LogicalPlan, bindings) -> LogicalPlan:
+    """The plan with every parameter slot in its conditions bound.
+
+    Plans are compiled (and cached) over the *parameterized* pattern; this
+    cheap structural substitution is all that runs per execution, so two
+    bindings of one prepared statement share a single plan compilation.
+    Identity-preserving: slot-free sub-plans are returned unchanged, and a
+    re-bound plan with equal values is structurally equal to the previous
+    one — the executor's per-node table memo keys on exactly that.
+    """
+    if isinstance(plan, (NodeScan, EdgeScan)):
+        if plan.condition is None:
+            return plan
+        condition = plan.condition.bind(bindings)
+        return plan if condition is plan.condition else replace(plan, condition=condition)
+    if isinstance(plan, FilterStep):
+        operand = bind_plan(plan.operand, bindings)
+        condition = plan.condition.bind(bindings)
+        if operand is plan.operand and condition is plan.condition:
+            return plan
+        return FilterStep(operand, condition)
+    if isinstance(plan, (JoinStep, UnionStep)):
+        left, right = bind_plan(plan.left, bindings), bind_plan(plan.right, bindings)
+        if left is plan.left and right is plan.right:
+            return plan
+        return type(plan)(left, right)
+    if isinstance(plan, BindEndpoint):
+        operand = bind_plan(plan.operand, bindings)
+        if operand is plan.operand:
+            return plan
+        return BindEndpoint(operand, plan.variable, plan.use_source)
+    if isinstance(plan, FixpointStep):
+        body = bind_plan(plan.body, bindings)
+        return plan if body is plan.body else FixpointStep(body, plan.lower, plan.upper)
+    raise PatternError(f"cannot bind unknown plan node {plan!r}")
 
 
 # --------------------------------------------------------------------------- #

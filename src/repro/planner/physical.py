@@ -48,7 +48,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import PatternError
+from repro.errors import BindingError, PatternError
 from repro.graph import compact as compact_encoding
 from repro.graph.compact import (
     BYTE_POSITIONS as _BYTE_POSITIONS,
@@ -58,6 +58,7 @@ from repro.graph.compact import (
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
 from repro.matching import fixpoint
+from repro.parameters import Parameter
 from repro.patterns.conditions import (
     COMPARATORS,
     AndCondition,
@@ -69,7 +70,7 @@ from repro.patterns.conditions import (
     PropertyComparesProperty,
     PropertyEquals,
 )
-from repro.patterns.ast import OutputPattern, Pattern, PropertyRef
+from repro.patterns.ast import OutputPattern, Pattern, PropertyRef, pattern_parameters
 from repro.planner.logical import (
     BindEndpoint,
     EdgeScan,
@@ -79,6 +80,7 @@ from repro.planner.logical import (
     LogicalPlan,
     NodeScan,
     UnionStep,
+    bind_plan,
     build_logical_plan,
 )
 from repro.planner.rules import optimize
@@ -153,10 +155,16 @@ class PlanCache:
 
     def __init__(self, maxsize: int = 512):
         self.maxsize = maxsize
-        self._plans: "OrderedDict[Tuple, LogicalPlan]" = OrderedDict()
+        self._plans: "OrderedDict[Tuple, Tuple[LogicalPlan, bool]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        #: Hits/misses on *parameterized* shapes (patterns carrying
+        #: :class:`~repro.parameters.Parameter` slots), counted separately
+        #: on top of ``hits``/``misses`` so prepared-statement reuse is
+        #: observable distinctly from plain repeated-pattern reuse.
+        self.prepared_hits = 0
+        self.prepared_misses = 0
         #: Execution counters of the engine this cache serves (attached by
         #: :class:`~repro.engine.planned.PlannedEngine`); when present,
         #: :meth:`info` surfaces the columnar/parallel-fixpoint counters so
@@ -172,17 +180,23 @@ class PlanCache:
         needed = frozenset(needed)
         key = (pattern, needed, stats.fingerprint() if stats is not None else None)
         try:
-            cached = self._plans.get(key)
+            entry = self._plans.get(key)
         except TypeError:  # unhashable constant somewhere in a condition
             self.uncacheable += 1
             return optimize(build_logical_plan(pattern), needed, stats)
-        if cached is not None:
+        if entry is not None:
+            plan, parameterized = entry
             self.hits += 1
+            if parameterized:
+                self.prepared_hits += 1
             self._plans.move_to_end(key)
-            return cached
+            return plan
+        parameterized = bool(pattern_parameters(pattern))
         self.misses += 1
+        if parameterized:
+            self.prepared_misses += 1
         plan = optimize(build_logical_plan(pattern), needed, stats)
-        self._plans[key] = plan
+        self._plans[key] = (plan, parameterized)
         if len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)
         return plan
@@ -192,13 +206,19 @@ class PlanCache:
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        self.prepared_hits = 0
+        self.prepared_misses = 0
 
     def info(self) -> Dict[str, float]:
         """Cache statistics; counts are ints, ``compact_encode_s`` (when
-        engine counters are attached) is wall-clock seconds."""
+        engine counters are attached) is wall-clock seconds.
+        ``prepared_hits``/``prepared_misses`` break out the subset of
+        ``hits``/``misses`` on parameterized (prepared-statement) shapes."""
         info = {
             "hits": self.hits,
             "misses": self.misses,
+            "prepared_hits": self.prepared_hits,
+            "prepared_misses": self.prepared_misses,
             "uncacheable": self.uncacheable,
             "size": len(self._plans),
         }
@@ -266,6 +286,18 @@ class PlanExecutor:
     #: length scan (the naive oracle keeps it as the semantic check).
     trusted_output_arity = True
 
+    #: The executor accepts parameterized patterns plus per-execution
+    #: bindings (``evaluate_output(output, bindings=...)``): plans are
+    #: compiled and cached over the parameter *slots* and bound afterwards,
+    #: so one compilation serves every binding of a prepared statement.
+    supports_parameters = True
+
+    #: Per-plan-node table memos are cleared past this size: distinct
+    #: bindings of prepared statements produce distinct (bound) filter
+    #: nodes, and a long-lived executor fed many bindings must not retain
+    #: every historical result table.
+    _MEMO_MAX = 4096
+
     def __init__(
         self,
         graph: PropertyGraph,
@@ -311,8 +343,14 @@ class PlanExecutor:
     # ------------------------------------------------------------------ #
     # Oracle interface
     # ------------------------------------------------------------------ #
-    def evaluate_output(self, output: OutputPattern) -> FrozenSet[Tuple]:
-        """Plan, execute and project one output pattern on the graph."""
+    def evaluate_output(self, output: OutputPattern, bindings=None) -> FrozenSet[Tuple]:
+        """Plan, execute and project one output pattern on the graph.
+
+        ``bindings`` resolve the pattern's parameter slots *after* plan
+        compilation: the (cached) plan is keyed on the parameterized shape
+        and the substitution below is a cheap structural walk, so repeated
+        executions with different bindings never recompile.
+        """
         output.validate()
         self._invalidate_if_mutated()
         needed = frozenset(output.output_variables())
@@ -320,6 +358,12 @@ class PlanExecutor:
             plan = self.plan_cache.plan_for(output.pattern, needed, self.graph_stats)
         else:
             plan = optimize(build_logical_plan(output.pattern), needed, self.graph_stats)
+        if bindings:
+            plan = bind_plan(plan, bindings)
+        if len(self._tables) > self._MEMO_MAX:
+            self._tables.clear()
+        if len(self._compact_tables) > self._MEMO_MAX:
+            self._compact_tables.clear()
         if self.compact:
             counters = self.counters
             snapshot = (
@@ -826,6 +870,10 @@ class PlanExecutor:
         """
         encoded = self._compact_graph()
         if isinstance(condition, PropertyCompare):
+            if isinstance(condition.constant, Parameter):
+                raise BindingError(
+                    f"parameter {condition.constant!r} must be bound before execution"
+                )
             column = encoded.property_column(condition.key, kind)
             compare = COMPARATORS[condition.operator]
             constant = condition.constant
@@ -946,6 +994,10 @@ class PlanExecutor:
             # The hottest pushed-down shape gets a comprehension over the
             # dense value column; non-comparable values (TypeError) restart
             # on the guarded per-element predicate.
+            if isinstance(condition.constant, Parameter):
+                raise BindingError(
+                    f"parameter {condition.constant!r} must be bound before execution"
+                )
             column = encoded.property_column(condition.key, "edge")
             compare = COMPARATORS[condition.operator]
             constant, missing = condition.constant, _COMPACT_MISSING

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, FrozenSet, Tuple
 
-from repro.errors import QueryError
+from repro.errors import BindingError, QueryError
+from repro.parameters import Bindings, Parameter, bind_value
 from repro.relational.relation import Row
 
 
@@ -22,6 +23,16 @@ class Condition:
 
     def evaluate(self, row: Row) -> bool:
         raise NotImplementedError
+
+    def parameters(self) -> FrozenSet[str]:
+        """Names of the :class:`~repro.parameters.Parameter` slots used by
+        the condition (empty for fully concrete conditions)."""
+        return frozenset()
+
+    def bind(self, bindings: "Bindings") -> "Condition":
+        """The condition with parameter slots replaced by bound values;
+        identity-preserving when nothing changes."""
+        return self
 
     def compile(self, arity: int) -> "Callable[[Row], bool]":
         """A row predicate specialized for relations of fixed ``arity``.
@@ -96,14 +107,31 @@ class ColumnEqualsConstant(Condition):
     constant: Any
 
     def evaluate(self, row: Row) -> bool:
+        # Equality against a Parameter is structural (it must be, for plan
+        # cache keys), so an unbound slot would silently match nothing;
+        # guard the tree-walk path like compile() guards the compiled one.
+        if isinstance(self.constant, Parameter):
+            raise BindingError(f"parameter {self.constant!r} must be bound before evaluation")
         return _column_value(row, self.position) == self.constant
 
     def compile(self, arity: int) -> Callable[[Row], bool]:
         i, constant = _check_position(self.position, arity), self.constant
+        if isinstance(constant, Parameter):
+            raise BindingError(f"parameter {constant!r} must be bound before compilation")
         return lambda row: row[i] == constant
 
     def positions(self) -> FrozenSet[int]:
         return frozenset({self.position})
+
+    def parameters(self) -> FrozenSet[str]:
+        if isinstance(self.constant, Parameter):
+            return frozenset({self.constant.name})
+        return frozenset()
+
+    def bind(self, bindings: Bindings) -> Condition:
+        if isinstance(self.constant, Parameter):
+            return ColumnEqualsConstant(self.position, bind_value(self.constant, bindings))
+        return self
 
 
 _COMPARATORS = {
@@ -165,6 +193,11 @@ class ColumnCompareConstant(Condition):
             raise QueryError(f"unsupported comparison operator {self.operator!r}")
 
     def evaluate(self, row: Row) -> bool:
+        # Ordered comparisons raise through Parameter's reflected
+        # operators, but '='/'!=' stay structural — guard them here so an
+        # unbound slot can never silently match everything (or nothing).
+        if isinstance(self.constant, Parameter):
+            raise BindingError(f"parameter {self.constant!r} must be bound before evaluation")
         value = _column_value(row, self.position)
         try:
             return _COMPARATORS[self.operator](value, self.constant)
@@ -174,6 +207,8 @@ class ColumnCompareConstant(Condition):
     def compile(self, arity: int) -> Callable[[Row], bool]:
         i = _check_position(self.position, arity)
         compare, constant = _COMPARATORS[self.operator], self.constant
+        if isinstance(constant, Parameter):
+            raise BindingError(f"parameter {constant!r} must be bound before compilation")
 
         def predicate(row: Row) -> bool:
             try:
@@ -185,6 +220,18 @@ class ColumnCompareConstant(Condition):
 
     def positions(self) -> FrozenSet[int]:
         return frozenset({self.position})
+
+    def parameters(self) -> FrozenSet[str]:
+        if isinstance(self.constant, Parameter):
+            return frozenset({self.constant.name})
+        return frozenset()
+
+    def bind(self, bindings: Bindings) -> Condition:
+        if isinstance(self.constant, Parameter):
+            return ColumnCompareConstant(
+                self.position, self.operator, bind_value(self.constant, bindings)
+            )
+        return self
 
 
 @dataclass(frozen=True)
@@ -202,6 +249,13 @@ class And(Condition):
     def positions(self) -> FrozenSet[int]:
         return self.left.positions() | self.right.positions()
 
+    def parameters(self) -> FrozenSet[str]:
+        return self.left.parameters() | self.right.parameters()
+
+    def bind(self, bindings: Bindings) -> Condition:
+        left, right = self.left.bind(bindings), self.right.bind(bindings)
+        return self if left is self.left and right is self.right else And(left, right)
+
 
 @dataclass(frozen=True)
 class Or(Condition):
@@ -218,6 +272,13 @@ class Or(Condition):
     def positions(self) -> FrozenSet[int]:
         return self.left.positions() | self.right.positions()
 
+    def parameters(self) -> FrozenSet[str]:
+        return self.left.parameters() | self.right.parameters()
+
+    def bind(self, bindings: Bindings) -> Condition:
+        left, right = self.left.bind(bindings), self.right.bind(bindings)
+        return self if left is self.left and right is self.right else Or(left, right)
+
 
 @dataclass(frozen=True)
 class Not(Condition):
@@ -232,6 +293,13 @@ class Not(Condition):
 
     def positions(self) -> FrozenSet[int]:
         return self.operand.positions()
+
+    def parameters(self) -> FrozenSet[str]:
+        return self.operand.parameters()
+
+    def bind(self, bindings: Bindings) -> Condition:
+        operand = self.operand.bind(bindings)
+        return self if operand is self.operand else Not(operand)
 
 
 @dataclass(frozen=True)

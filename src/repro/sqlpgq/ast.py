@@ -105,12 +105,30 @@ class LiteralOperand:
 
 
 @dataclass(frozen=True)
+class ParameterOperand:
+    """A ``:name`` parameter placeholder standing where a literal may.
+
+    Parameterized statements are prepared once and executed with per-call
+    bindings (:meth:`repro.engine.session.PGQSession.prepare`); the
+    compiler lowers this operand to a
+    :class:`~repro.parameters.Parameter` slot in the condition tree.
+    """
+
+    name: str
+
+
+#: Operands of a WHERE comparison: a property access, a literal, or a
+#: parameter placeholder.
+Operand = Union[PropertyOperand, LiteralOperand, ParameterOperand]
+
+
+@dataclass(frozen=True)
 class Comparison:
     """``left op right`` with ``op`` in =, <>, <, <=, >, >=."""
 
-    left: Union[PropertyOperand, LiteralOperand]
+    left: Operand
     operator: str
-    right: Union[PropertyOperand, LiteralOperand]
+    right: Operand
 
 
 @dataclass(frozen=True)

@@ -46,6 +46,7 @@ from repro.patterns.conditions import (
     PropertyComparesProperty,
     PropertyEquals,
 )
+from repro.parameters import Parameter
 from repro.pgq.queries import GraphPattern, Project, Query
 from repro.sqlpgq.ast import (
     BooleanExpression,
@@ -57,6 +58,7 @@ from repro.sqlpgq.ast import (
     LiteralOperand,
     NodeElement,
     OutputColumn,
+    ParameterOperand,
     PathElement,
     PropertyOperand,
 )
@@ -329,6 +331,14 @@ def _compile_condition(condition: ConditionExpr) -> PatternCondition:
     raise QueryError(f"unsupported WHERE condition {condition!r}")
 
 
+def _operand_value(operand: Union[LiteralOperand, ParameterOperand]):
+    """A comparison constant: the literal's value, or a parameter slot
+    bound at execution time (prepared statements)."""
+    if isinstance(operand, ParameterOperand):
+        return Parameter(operand.name)
+    return operand.value
+
+
 def _compile_comparison(comparison: Comparison) -> PatternCondition:
     left, right = comparison.left, comparison.right
     operator = comparison.operator
@@ -336,9 +346,11 @@ def _compile_comparison(comparison: Comparison) -> PatternCondition:
         if operator == "=":
             return PropertyEquals(left.variable, left.key, right.variable, right.key)
         return PropertyComparesProperty(left.variable, left.key, operator, right.variable, right.key)
-    if isinstance(left, PropertyOperand) and isinstance(right, LiteralOperand):
-        return PropertyCompare(left.variable, left.key, operator, right.value)
-    if isinstance(left, LiteralOperand) and isinstance(right, PropertyOperand):
+    if isinstance(left, PropertyOperand) and isinstance(right, (LiteralOperand, ParameterOperand)):
+        return PropertyCompare(left.variable, left.key, operator, _operand_value(right))
+    if isinstance(left, (LiteralOperand, ParameterOperand)) and isinstance(right, PropertyOperand):
         flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<=", "=": "=", "!=": "!="}[operator]
-        return PropertyCompare(right.variable, right.key, flipped, left.value)
-    raise QueryError("comparisons between two literals are not supported in WHERE")
+        return PropertyCompare(right.variable, right.key, flipped, _operand_value(left))
+    raise QueryError(
+        "comparisons between two literals (or two parameters) are not supported in WHERE"
+    )

@@ -5,6 +5,12 @@ GRAPH`` view definitions and ``SELECT ... FROM GRAPH_TABLE(...)`` queries)
 plus the pattern punctuation of MATCH clauses: ``-[t:Label]->``, ``<-[t]-``,
 quantifiers ``*``, ``+`` and ``{n,m}``, and ordinary SQL punctuation.
 Keywords are case-insensitive; identifiers keep their original spelling.
+
+The ``:`` symbol is position-disambiguated by the parser: inside a pattern
+element it separates a variable from its labels (``(x:Account)``), while
+in a WHERE operand position ``: name`` is a parameter placeholder
+(``t.amount > :minimum``) bound at execution time by the prepared
+statement API.
 """
 
 from __future__ import annotations

@@ -22,7 +22,10 @@ Grammar (informal)::
     quant         := "*" | "+" | "{" n "," m "}"
     condition     := disjunction of conjunctions of (comparison | NOT ...)
     comparison    := operand (= | <> | != | < | <= | > | >=) operand
-    operand       := var "." key | number | string
+    operand       := var "." key | number | string | ":" name
+
+``:name`` is a parameter placeholder: it stands where a literal may and
+is bound at execution time (``session.prepare(...).execute(name=...)``).
 """
 
 from __future__ import annotations
@@ -41,7 +44,9 @@ from repro.sqlpgq.ast import (
     LiteralOperand,
     NodeElement,
     NodeTableSpec,
+    Operand,
     OutputColumn,
+    ParameterOperand,
     PathElement,
     PropertyOperand,
     Quantifier,
@@ -371,7 +376,7 @@ def _looks_like_group(stream: TokenStream) -> bool:
     return True
 
 
-def _parse_operand(stream: TokenStream) -> Union[PropertyOperand, LiteralOperand]:
+def _parse_operand(stream: TokenStream) -> Operand:
     token = stream.peek()
     if token.kind == "NUMBER":
         stream.advance()
@@ -380,6 +385,10 @@ def _parse_operand(stream: TokenStream) -> Union[PropertyOperand, LiteralOperand
     if token.kind == "STRING":
         stream.advance()
         return LiteralOperand(token.value)
+    if token.is_symbol(":"):
+        # A parameter placeholder ``:name`` stands wherever a literal may.
+        stream.advance()
+        return ParameterOperand(stream.expect_identifier().value)
     variable = stream.expect_identifier().value
     stream.expect_symbol(".")
     key = stream.expect_identifier().value

@@ -339,7 +339,14 @@ class TestCounterSurfacing:
         assert {"fixpoint_shards", "parallel_rounds", "compact_encode_s"} <= set(info)
 
     def test_bare_plan_cache_info_keeps_legacy_shape(self):
-        assert set(PlanCache().info()) == {"hits", "misses", "uncacheable", "size"}
+        assert set(PlanCache().info()) == {
+            "hits",
+            "misses",
+            "prepared_hits",
+            "prepared_misses",
+            "uncacheable",
+            "size",
+        }
 
     def test_compact_encode_time_is_recorded(self):
         database = erdos_renyi(6, 0.4, seed=5)

@@ -214,6 +214,49 @@ def test_session_equivalence_across_engines(seed, index):
     assert results["naive"].equals_unordered(results["sqlite"])
 
 
+#: Parameterized statement shapes exercising every slot position the
+#: surface supports: inside a repetition body, at the top level, and
+#: combined (two slots, one of each).
+PARAMETERIZED_QUERIES = [
+    """SELECT * FROM GRAPH_TABLE ( Transfers
+         MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > :minimum
+         COLUMNS (x.iban, y.iban) )""",
+    """SELECT * FROM GRAPH_TABLE ( Transfers
+         MATCH (x) -[t:Transfer]-> (y) WHERE t.amount <= :maximum
+         COLUMNS (x.iban, t.amount, y.iban) )""",
+    """SELECT * FROM GRAPH_TABLE ( Transfers
+         MATCH (a) -[t:Transfer]-> (b) -[u:Transfer]->+ (c)
+         WHERE t.amount > :first AND u.amount > :rest
+         COLUMNS (a.iban, c.iban) )""",
+]
+
+_PARAM_NAMES = [("minimum",), ("maximum",), ("first", "rest")]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    index=st.integers(0, len(PARAMETERIZED_QUERIES) - 1),
+    values=st.lists(st.integers(min_value=0, max_value=500), min_size=2, max_size=2),
+)
+def test_prepared_execution_equals_literal_substitution(seed, index, values):
+    """For every engine: ``prepare(q).execute(params)`` is the literal-
+    substituted statement, over randomized graphs and bindings."""
+    text = PARAMETERIZED_QUERIES[index]
+    names = _PARAM_NAMES[index]
+    bindings = dict(zip(names, values))
+    literal_text = text
+    for name, value in bindings.items():
+        literal_text = literal_text.replace(f":{name}", str(value))
+    for engine in ("naive", "planned", "sqlite"):
+        with _transfer_session(engine, seed) as session:
+            prepared = session.prepare(text)
+            assert prepared.parameter_names == tuple(sorted(names))
+            result = prepared.execute(bindings)
+            literal = session.execute(literal_text)
+            assert result.equals_unordered(literal), engine
+
+
 # --------------------------------------------------------------------------- #
 # Registry behavior
 # --------------------------------------------------------------------------- #
@@ -326,6 +369,48 @@ class TestRegistry:
         assert session.engine_name == "planned"
         planned = session.execute(QUERIES[1])
         assert naive.equals_unordered(planned)
+
+    def test_legacy_evaluate_only_engine_serves_sessions_through_adapter(self):
+        # Deprecation shim: a minimal third-party engine implementing only
+        # the one-shot evaluate(query) protocol still registers, emits a
+        # DeprecationWarning when instantiated, and serves the full
+        # prepared-statement session API through LegacyEngineAdapter.
+        import warnings
+
+        from repro.engine import LegacyEngineAdapter
+
+        class MinimalLegacyEngine:
+            name = "minimal-legacy"
+
+            def __init__(self, database):
+                self._oracle = NaiveEngine(database)
+
+            def evaluate(self, query):  # no bindings, no prepare, no close
+                return self._oracle.evaluate(query)
+
+        try:
+            register_engine("minimal-legacy", lambda db, **_opts: MinimalLegacyEngine(db))
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                session = _transfer_session("minimal-legacy", seed=5)
+                assert isinstance(session._get_engine(), LegacyEngineAdapter)
+            assert any(
+                issubclass(w.category, DeprecationWarning)
+                and "legacy evaluate()" in str(w.message)
+                for w in caught
+            )
+            statement = session.prepare(
+                """SELECT * FROM GRAPH_TABLE ( Transfers
+                     MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > :minimum
+                     COLUMNS (x.iban, y.iban) )"""
+            )
+            through_adapter = statement.execute(minimum=100)
+            with _transfer_session("naive", seed=5) as oracle_session:
+                expected = oracle_session.prepare(statement.text).execute(minimum=100)
+            assert through_adapter.equals_unordered(expected)
+            session.close()
+        finally:
+            unregister_engine("minimal-legacy")
 
 
 # --------------------------------------------------------------------------- #

@@ -257,7 +257,14 @@ class TestPlanCache:
         first = cache.plan_for(out.pattern, needed)
         second = cache.plan_for(out.pattern, needed)
         assert first is second
-        assert cache.info() == {"hits": 1, "misses": 1, "uncacheable": 0, "size": 1}
+        assert cache.info() == {
+            "hits": 1,
+            "misses": 1,
+            "prepared_hits": 0,
+            "prepared_misses": 0,
+            "uncacheable": 0,
+            "size": 1,
+        }
 
     def test_eviction_respects_maxsize(self):
         cache = PlanCache(maxsize=2)
@@ -277,7 +284,14 @@ class TestPlanCache:
         for _ in range(2):
             plan = cache.plan_for(pattern, needed)
             assert plan is not None
-        assert cache.info() == {"hits": 0, "misses": 0, "uncacheable": 2, "size": 0}
+        assert cache.info() == {
+            "hits": 0,
+            "misses": 0,
+            "prepared_hits": 0,
+            "prepared_misses": 0,
+            "uncacheable": 2,
+            "size": 0,
+        }
         cache.clear()
         assert cache.info()["uncacheable"] == 0
 
