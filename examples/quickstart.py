@@ -2,24 +2,33 @@
 
 Reproduces Example 1.1 (the ``CREATE PROPERTY GRAPH Transfers`` view) and
 Example 2.1 (reachability by transfers of amount > 100) through the
-SQL/PGQ surface syntax, then shows the same query running on the
-SQLite-backed engine and as a programmatic PGQ query.
+SQL/PGQ surface syntax on the new Database/Connection catalog API, shows
+two connections sharing one snapshot's materialized state, and runs the
+same query on the SQLite backend and as a programmatic PGQ query.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import PGQSession, SQLiteEngine
+from repro import SQLiteEngine
+from repro.engine.database import Database
 from repro.patterns.builder import edge, node, output, plus, prop_cmp, seq, where
 from repro.pgq import GraphPattern
 
+CHAIN_QUERY = """
+SELECT * FROM GRAPH_TABLE ( Transfers
+  MATCH (x) -[t:Transfer]->+ (y)
+  WHERE t.amount > 100
+  COLUMNS (x.iban, y.iban) )
+"""
 
-def build_session() -> PGQSession:
+
+def build_database() -> Database:
     """Register the Example 1.1 schema with a handful of transfers."""
-    session = PGQSession()
-    session.register_table("Account", ["iban"], [(f"IL{i:02d}",) for i in range(6)])
-    session.register_table(
+    db = Database()
+    db.create_table("Account", ["iban"], [(f"IL{i:02d}",) for i in range(6)])
+    db.create_table(
         "Transfer",
         ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
         [
@@ -31,7 +40,7 @@ def build_session() -> PGQSession:
             ("T6", "IL05", "IL00", 1_700_000_300, 80),
         ],
     )
-    session.execute(
+    db.execute(
         """
         CREATE PROPERTY GRAPH Transfers (
           NODES TABLE Account KEY (iban) LABEL Account,
@@ -41,50 +50,53 @@ def build_session() -> PGQSession:
             LABELS Transfer PROPERTIES (ts, amount))
         """
     )
-    return session
+    return db
 
 
 def main() -> None:
-    session = build_session()
+    with build_database() as db:
+        connection = db.connect(engine="planned")
 
-    print("== Example 2.1: pairs connected by transfers with amount > 100 ==")
-    result = session.execute(
-        """
-        SELECT * FROM GRAPH_TABLE ( Transfers
-          MATCH (x) -[t:Transfer]->+ (y)
-          WHERE t.amount > 100
-          COLUMNS (x.iban, y.iban) )
-        """
-    )
-    for row in result:
-        print("  ", row)
+        print("== Example 2.1: pairs connected by transfers with amount > 100 ==")
+        result = connection.execute(CHAIN_QUERY)
+        # Planned-engine results stream: iteration yields projection rows
+        # as the executor decodes them (result.streamed is True).
+        for row in result:
+            print("  ", row)
 
-    print("\n== The same query on the SQLite recursive-CTE backend ==")
-    compiled = session.compile(
-        """
-        SELECT * FROM GRAPH_TABLE ( Transfers
-          MATCH (x) -[t:Transfer]->+ (y)
-          WHERE t.amount > 100
-          COLUMNS (x.iban, y.iban) )
-        """
-    )
-    with SQLiteEngine(session.database) as engine:
-        sqlite_rows = sorted(engine.evaluate(compiled).rows)
-        print(f"   {len(sqlite_rows)} rows; identical to the formal evaluator:",
-              set(sqlite_rows) == result.to_set())
+        print("\n== A second connection over the same snapshot ==")
+        sibling = db.connect(engine="planned")
+        again = sibling.execute(CHAIN_QUERY)
+        stats = db.snapshot_cache.stats()
+        print(
+            f"   identical rows: {again.equals_unordered(result)}; "
+            f"views built once: {stats['views_built'] == 1} "
+            f"(shared hits: {stats['views_shared_hits']})"
+        )
 
-    print("\n== The same query built programmatically (formal PGQ syntax) ==")
-    definition = session.graph_definition("Transfers")
-    pattern = seq(
-        node("x"),
-        plus(seq(where(edge("t"), prop_cmp("t", "amount", ">", 100)), node())),
-        node("y"),
-    )
-    query = GraphPattern(output(pattern, "x", "y"), definition.view_subqueries())
-    relation = session.evaluate(query)
-    print(f"   {len(relation)} rows; identical to the surface-syntax result:",
-          {(a, b) for (a, b) in relation.rows}
-          == {(a, b) for (a, b) in result.to_set()})
+        print("\n== The same query on the SQLite recursive-CTE backend ==")
+        compiled = connection.compile(CHAIN_QUERY)
+        with SQLiteEngine(connection.database) as engine:
+            sqlite_rows = sorted(engine.evaluate(compiled).rows)
+            print(
+                f"   {len(sqlite_rows)} rows; identical to the formal evaluator:",
+                set(sqlite_rows) == result.to_set(),
+            )
+
+        print("\n== The same query built programmatically (formal PGQ syntax) ==")
+        definition = connection.graph_definition("Transfers")
+        pattern = seq(
+            node("x"),
+            plus(seq(where(edge("t"), prop_cmp("t", "amount", ">", 100)), node())),
+            node("y"),
+        )
+        query = GraphPattern(output(pattern, "x", "y"), definition.view_subqueries())
+        relation = connection.evaluate(query)
+        print(
+            f"   {len(relation)} rows; identical to the surface-syntax result:",
+            {(a, b) for (a, b) in relation.rows}
+            == {(a, b) for (a, b) in result.to_set()},
+        )
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ Quickstart::
 """
 
 from repro.engine import (
+    Connection,
     Explain,
     NaiveEngine,
     PGQSession,
@@ -49,10 +50,13 @@ from repro.engine import (
     PreparedStatement,
     QueryResult,
     SQLiteEngine,
+    Snapshot,
+    SnapshotCache,
     available_engines,
     create_engine,
     register_engine,
 )
+from repro.engine.database import Database as GraphDatabase
 from repro.errors import (
     ArityError,
     BindingError,
@@ -89,11 +93,13 @@ __version__ = "1.0.0"
 __all__ = [
     "ArityError",
     "BindingError",
+    "Connection",
     "Database",
     "Explain",
     "EngineError",
     "Fragment",
     "FragmentError",
+    "GraphDatabase",
     "GraphError",
     "LogicError",
     "NaiveEngine",
@@ -112,6 +118,8 @@ __all__ = [
     "SQLiteEngine",
     "Schema",
     "SchemaError",
+    "Snapshot",
+    "SnapshotCache",
     "TranslationError",
     "ViewError",
     "available_engines",

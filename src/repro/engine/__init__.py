@@ -1,10 +1,18 @@
-"""Execution engines: session facade, backend registry, three backends.
+"""Execution engines: catalog API, backend registry, three backends.
+
+The top-level surface is the :class:`~repro.engine.database.Database`
+catalog — ``db.snapshot()`` captures immutable versions, ``db.connect()``
+hands out :class:`~repro.engine.session.Connection` objects over them,
+and every connection of one snapshot shares derived state through the
+database's :class:`~repro.engine.database.SnapshotCache`.  The historical
+:class:`PGQSession` remains as a deprecated single-connection shim.
 
 The module registers the built-in backends (``naive``, ``planned``,
-``sqlite``) with :mod:`repro.engine.registry` at import time; a
-:class:`PGQSession` selects one by name via ``PGQSession(engine=...)``.
+``sqlite``) with :mod:`repro.engine.registry` at import time; connections
+select one by name via ``db.connect(engine=...)``.
 """
 
+from repro.engine.database import Database, Snapshot, SnapshotCache, SnapshotScope
 from repro.engine.naive import NaiveEngine, make_naive_engine
 from repro.engine.planned import PlannedEngine, make_planned_engine
 from repro.engine.registry import (
@@ -16,7 +24,13 @@ from repro.engine.registry import (
     register_engine,
     unregister_engine,
 )
-from repro.engine.session import Explain, PGQSession, PreparedStatement, QueryResult
+from repro.engine.session import (
+    Connection,
+    Explain,
+    PGQSession,
+    PreparedStatement,
+    QueryResult,
+)
 from repro.engine.sqlite import SQLiteEngine, make_sqlite_engine
 
 register_engine("naive", make_naive_engine, replace=True)
@@ -24,6 +38,8 @@ register_engine("planned", make_planned_engine, replace=True)
 register_engine("sqlite", make_sqlite_engine, replace=True)
 
 __all__ = [
+    "Connection",
+    "Database",
     "Engine",
     "Explain",
     "LegacyEngineAdapter",
@@ -33,6 +49,9 @@ __all__ = [
     "PlannedEngine",
     "QueryResult",
     "SQLiteEngine",
+    "Snapshot",
+    "SnapshotCache",
+    "SnapshotScope",
     "available_engines",
     "create_engine",
     "engine_factory",

@@ -1,0 +1,565 @@
+"""The top-level catalog API: ``Database`` -> ``Snapshot`` -> ``Connection``.
+
+A :class:`Database` is a catalog of relational tables and property-graph
+definitions with **MVCC-style versioning**: every DDL or data change
+(``create_table``, ``register_graph``, ``drop_graph``) produces a new
+version instead of mutating state other readers can observe.
+:meth:`Database.snapshot` captures the current version as an immutable,
+content-fingerprinted :class:`Snapshot`, and :meth:`Database.connect`
+hands out lightweight :class:`~repro.engine.session.Connection` objects
+pinned to one snapshot:
+
+>>> from repro.engine.database import Database
+>>> db = Database()
+>>> db.create_table("Account", ["iban"], [("A1",), ("A2",)])
+>>> db.create_table("Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], rows)
+>>> db.execute("CREATE PROPERTY GRAPH Transfers ( ... )")
+>>> with db.connect(engine="planned") as conn:
+...     conn.execute("SELECT * FROM GRAPH_TABLE ( Transfers MATCH ... )")
+
+DDL on the live database never invalidates snapshots already handed out:
+a connection keeps reading the version it was connected against, and a
+new ``connect()`` (or ``snapshot()``) observes the new head.
+
+**Shared materialization.**  All snapshot-scoped derived state — the
+materialized ``pgView`` graphs together with their compact integer
+encodings and pattern matchers, concrete relational subquery results
+(cross-query CSE), and compiled-plan caches — lives in a lock-guarded
+:class:`SnapshotCache` keyed on ``(snapshot content fingerprint, engine
+kind)`` rather than in per-engine private caches.  N connections over
+one snapshot therefore pay each cold materialization exactly once; the
+cache lock guarantees exactly-once builds even under concurrent
+executions, which :meth:`SnapshotCache.stats` lets tests assert.
+Because keys carry the *content* fingerprint, re-registering identical
+data (or two databases configured with one shared cache) also reuses
+warm state.
+
+Engines opt in through the optional ``use_snapshot_cache(scope)`` hook
+of the engine protocol: connections attach a :class:`SnapshotScope` —
+the cache handle pre-keyed with the snapshot fingerprint and an
+engine-kind discriminator — right after ``create_engine``.  Engines
+without the hook (third-party or legacy backends) simply keep their
+private caches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import weakref
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import EngineError, ReproError
+from repro.planner.physical import PlanCache
+from repro.relational.database import Database as RelationalDatabase
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationSchema, Schema
+from repro.sqlpgq.ast import CreatePropertyGraph
+from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition
+from repro.sqlpgq.parser import parse_statement
+
+
+class SnapshotCache:
+    """Lock-guarded store of snapshot-scoped derived state.
+
+    Entries are keyed by ``(family, snapshot fingerprint, engine kind,
+    ...)`` tuples built by :class:`SnapshotScope`.  Cold builds are
+    coordinated per key: the thread that registers first builds with no
+    lock held (nested lookups from inside a build — view sources
+    consulting the relational CSE — proceed freely, and unrelated keys
+    build in parallel), while racers for the *same* key wait on the
+    build's event, so every materialization still happens exactly once.
+    The store is a bounded LRU: evicting an entry another engine still
+    holds is harmless, it only means a future cold lookup rebuilds it.
+
+    :meth:`stats` reports build/hit counters per family plus the number
+    of compact encodings paid across all cached view graphs — the
+    figures the sharing tests (and ``Explain.shared``) assert.
+    """
+
+    def __init__(self, *, max_entries: int = 512):
+        self.max_entries = max_entries
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple, Any]" = OrderedDict()
+        #: In-flight cold builds: key -> Event set when the build settles
+        #: (successfully or not), so same-key racers wait instead of
+        #: rebuilding and disjoint keys never serialize on each other.
+        self._building: Dict[Tuple, threading.Event] = {}
+        self._stats: Dict[str, int] = {
+            "views_built": 0,
+            "views_shared_hits": 0,
+            "relations_built": 0,
+            "relations_shared_hits": 0,
+            "plan_caches_built": 0,
+            "plan_caches_shared_hits": 0,
+            "evictions": 0,
+        }
+
+    def _get_or_build(
+        self, key: Tuple, build: Callable[[], Any], family: str
+    ) -> Optional[Tuple[Any, bool]]:
+        """``(value, built_cold)`` for ``key``, or None when uncacheable.
+
+        Unhashable keys (user values without ``__hash__`` inside a query)
+        are not cached; the caller evaluates privately.
+        """
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        while True:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None:
+                    self._entries.move_to_end(key)
+                    self._stats[family + "_shared_hits"] += 1
+                    return entry, False
+                pending = self._building.get(key)
+                if pending is None:
+                    settled = threading.Event()
+                    self._building[key] = settled
+                    break  # this thread builds
+            # Another thread is building this exact key: wait for it to
+            # settle, then re-check (a hit on success; a retry when the
+            # builder raised and registered nothing).
+            pending.wait()
+        try:
+            value = build()
+        except BaseException:
+            with self._lock:
+                del self._building[key]
+            settled.set()
+            raise
+        with self._lock:
+            self._entries[key] = value
+            self._stats[family + "_built"] += 1
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._stats["evictions"] += 1
+            del self._building[key]
+        settled.set()
+        return value, True
+
+    def stats(self) -> Dict[str, int]:
+        """Copy of the build/hit counters plus derived materialization
+        figures (``views_cached``, ``compact_encodings``, ``entries``)."""
+        with self._lock:
+            info = dict(self._stats)
+            views = 0
+            encodings = 0
+            for key, value in self._entries.items():
+                if key[0] == "view":
+                    views += 1
+                    encodings += value[0].compact_build_count()
+            info["views_cached"] = views
+            info["compact_encodings"] = encodings
+            info["entries"] = len(self._entries)
+            return info
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            for key in self._stats:
+                self._stats[key] = 0
+
+
+class SnapshotScope:
+    """One engine's handle onto the shared cache.
+
+    The scope carries the snapshot's content fingerprint and an
+    *engine-kind* discriminator (backend name plus every option that
+    changes matcher semantics — ``max_repetitions``, ``compact``,
+    fixpoint sharding), so two engines share an entry exactly when they
+    would compute the same value.  Relational CSE entries deliberately
+    omit the kind: every backend must produce identical relations for a
+    concrete relational subquery, so those results are shared
+    cross-engine as well.
+    """
+
+    __slots__ = ("cache", "fingerprint", "kind")
+
+    def __init__(self, cache: SnapshotCache, fingerprint: str, kind: Tuple):
+        self.cache = cache
+        self.fingerprint = fingerprint
+        self.kind = kind
+
+    def with_kind(self, kind: Tuple) -> "SnapshotScope":
+        """A sibling scope over the same snapshot for another engine kind
+        (e.g. the SQLite backend's oracle-fallback evaluator)."""
+        return SnapshotScope(self.cache, self.fingerprint, kind)
+
+    def view(
+        self, key: Tuple, build: Callable[[], Any]
+    ) -> Optional[Tuple[Any, bool]]:
+        """Materialized-view entry ``(graph, identifier arity, matcher)``."""
+        return self.cache._get_or_build(
+            ("view", self.fingerprint, self.kind, key), build, "views"
+        )
+
+    def relation(
+        self, query: Any, build: Callable[[], Any]
+    ) -> Optional[Tuple[Any, bool]]:
+        """Cross-engine CSE entry for one concrete relational subquery."""
+        return self.cache._get_or_build(("rel", self.fingerprint, query), build, "relations")
+
+    def plan_cache(self) -> PlanCache:
+        """The shared compiled-plan cache of this (snapshot, kind) pair."""
+        entry = self.cache._get_or_build(
+            ("plans", self.fingerprint, self.kind),
+            lambda: PlanCache(shared=True),
+            "plan_caches",
+        )
+        return entry[0] if entry is not None else PlanCache()
+
+    def stats(self) -> Dict[str, int]:
+        return self.cache.stats()
+
+
+class Snapshot:
+    """An immutable, fingerprinted view of one :class:`Database` version.
+
+    Holds the relational database instance, the column catalog and the
+    property-graph DDL of the version it captured; the graph catalog is
+    compiled lazily (statements a later schema change broke are recorded
+    per snapshot, and referencing one raises the documented error while
+    everything else keeps working).  ``data_fingerprint`` identifies the
+    relational contents — the key shared derived state is cached under —
+    and ``fingerprint`` additionally covers the graph DDL, identifying
+    the snapshot itself.
+    """
+
+    def __init__(
+        self,
+        database: RelationalDatabase,
+        columns: Mapping[str, Sequence[str]],
+        graph_statements: Mapping[str, CreatePropertyGraph],
+        version: int,
+        cache: SnapshotCache,
+    ):
+        self._database = database
+        self._columns = {name: tuple(cols) for name, cols in columns.items()}
+        self._graph_statements = dict(graph_statements)
+        self.version = version
+        self._cache = cache
+        self._catalog: Optional[GraphCatalog] = None
+        self._invalid_graphs: Dict[str, str] = {}
+        self._fingerprint: Optional[str] = None
+        self._lock = threading.Lock()
+
+    # -- identity -------------------------------------------------------- #
+    @property
+    def database(self) -> RelationalDatabase:
+        """The immutable relational database instance of this version."""
+        return self._database
+
+    @property
+    def columns(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self._columns)
+
+    @property
+    def schema(self) -> Schema:
+        return self._database.schema
+
+    @property
+    def data_fingerprint(self) -> str:
+        """Content fingerprint of the relational data (cache keying)."""
+        return self._database.content_fingerprint()
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of data *and* graph DDL (snapshot identity)."""
+        if self._fingerprint is None:
+            digest = hashlib.sha256(self.data_fingerprint.encode("ascii"))
+            for name in sorted(self._graph_statements):
+                statement = self._graph_statements[name]
+                digest.update(f"{name}={statement!r};".encode("utf-8", "replace"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    @property
+    def cache(self) -> SnapshotCache:
+        return self._cache
+
+    def scope_for(self, kind: Tuple) -> SnapshotScope:
+        """The shared-cache scope an engine of ``kind`` attaches to."""
+        return SnapshotScope(self._cache, self.data_fingerprint, kind)
+
+    # -- graph catalog --------------------------------------------------- #
+    @property
+    def catalog(self) -> GraphCatalog:
+        """The compiled graph catalog, built on first use.
+
+        Definitions that no longer compile against this version's schema
+        are recorded in the invalid set (with the reason) instead of
+        failing the whole snapshot — only queries referencing them raise.
+        """
+        if self._catalog is None:
+            with self._lock:
+                if self._catalog is None:
+                    catalog = GraphCatalog(self.schema)
+                    invalid: Dict[str, str] = {}
+                    for name, statement in self._graph_statements.items():
+                        try:
+                            catalog.register(statement)
+                        except ReproError as error:
+                            invalid[name] = str(error)
+                    self._invalid_graphs = invalid
+                    self._catalog = catalog
+        return self._catalog
+
+    def check_graph_valid(self, name: str) -> None:
+        self.catalog  # ensure the replay ran
+        if name in self._invalid_graphs:
+            raise EngineError(
+                f"property graph {name!r} is no longer valid after a schema "
+                f"change: {self._invalid_graphs[name]} (re-create it or call "
+                f"drop_graph({name!r}))"
+            )
+
+    def graph_names(self) -> Tuple[str, ...]:
+        """All graphs of this version, broken definitions included."""
+        names = dict.fromkeys(self.catalog.names())
+        names.update(dict.fromkeys(self._invalid_graphs))
+        return tuple(names)
+
+    def graph_definition(self, name: str) -> GraphDefinition:
+        self.check_graph_valid(name)
+        return self.catalog.get(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"Snapshot(version={self.version}, tables={len(self._columns)}, "
+            f"graphs={len(self._graph_statements)}, fingerprint={self.fingerprint[:12]})"
+        )
+
+
+class Database:
+    """The top-level catalog: tables and graphs with MVCC-style versioning.
+
+    Mutators (``create_table``, ``register_graph``, ``drop_graph``) bump
+    the version under the catalog lock; :meth:`snapshot` memoizes one
+    immutable :class:`Snapshot` per version, and :meth:`connect` hands
+    out :class:`~repro.engine.session.Connection` objects pinned to a
+    snapshot.  Every connection of one database shares the database's
+    :class:`SnapshotCache`, so repeated (and concurrent) work over the
+    same snapshot materializes views, compact encodings and plans once.
+
+    ``close()`` (or the context manager) closes every connection handed
+    out — releasing SQLite backend connections and their cached temp
+    tables — and clears the snapshot cache.
+    """
+
+    def __init__(self, *, snapshot_cache: Optional[SnapshotCache] = None):
+        """``snapshot_cache`` lets several databases (or processes' worth
+        of sessions within one interpreter) share warm state; by default
+        each database owns a private cache."""
+        self._lock = threading.RLock()
+        self._relations: Dict[str, Relation] = {}
+        self._columns: Dict[str, Tuple[str, ...]] = {}
+        self._graph_statements: Dict[str, CreatePropertyGraph] = {}
+        self._version = 0
+        self._head: Optional[RelationalDatabase] = None
+        self._snapshot: Optional[Snapshot] = None
+        #: An injected cache is shared property and survives close();
+        #: only a privately owned cache is cleared with the database.
+        self._owns_cache = snapshot_cache is None
+        self._cache = snapshot_cache if snapshot_cache is not None else SnapshotCache()
+        self._connections: "weakref.WeakSet" = weakref.WeakSet()
+        self._closed = False
+
+    # -- catalog state --------------------------------------------------- #
+    @property
+    def version(self) -> int:
+        """The current catalog version (bumped by every DDL/data change)."""
+        return self._version
+
+    @property
+    def snapshot_cache(self) -> SnapshotCache:
+        return self._cache
+
+    def table_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._columns))
+
+    def graph_names(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._graph_statements)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise EngineError("the database is closed")
+
+    def _bump(self) -> None:
+        self._version += 1
+        self._snapshot = None
+
+    def _relational_head(self) -> RelationalDatabase:
+        if self._head is None:
+            schema = Schema(
+                RelationSchema(name, len(cols), cols)
+                for name, cols in self._columns.items()
+            )
+            self._head = RelationalDatabase(dict(self._relations), schema=schema)
+        return self._head
+
+    # -- DDL ------------------------------------------------------------- #
+    def create_table(
+        self, name: str, columns: Sequence[str], rows: Iterable[Sequence]
+    ) -> None:
+        """Create (or replace) a base table with named columns.
+
+        Produces a new catalog version; snapshots already handed out keep
+        the previous contents.
+        """
+        with self._lock:
+            self._check_open()
+            columns = tuple(columns)
+            self._relations[name] = Relation(
+                len(columns), [tuple(row) for row in rows], name=name
+            )
+            self._columns[name] = columns
+            self._head = None
+            self._bump()
+
+    #: Compatibility alias mirroring the session-era verb.
+    register_table = create_table
+
+    def register_database(
+        self, database: RelationalDatabase, columns: Mapping[str, Sequence[str]]
+    ) -> None:
+        """Register every relation of a relational database instance."""
+        for name in database:
+            if name not in columns:
+                raise EngineError(f"no column names supplied for relation {name!r}")
+            self.create_table(name, columns[name], database.relation(name).rows)
+
+    def drop_table(self, name: str) -> bool:
+        """Forget a base table; True when it existed."""
+        with self._lock:
+            self._check_open()
+            if name not in self._relations:
+                return False
+            del self._relations[name]
+            del self._columns[name]
+            self._head = None
+            self._bump()
+            return True
+
+    def register_graph(self, statement: CreatePropertyGraph) -> GraphDefinition:
+        """Register a CREATE PROPERTY GRAPH statement (validated now).
+
+        The definition must compile against the current schema — errors
+        raise immediately and register nothing.  Registration bumps the
+        version; existing snapshots (and the shared state cached for
+        them) are untouched.
+        """
+        with self._lock:
+            self._check_open()
+            scratch = GraphCatalog(self._relational_head().schema)
+            definition = scratch.register(statement)
+            self._graph_statements[definition.name] = statement
+            self._bump()
+            return definition
+
+    def execute(self, statement_text: str) -> GraphDefinition:
+        """Parse and apply one DDL statement (queries run on connections)."""
+        statement = parse_statement(statement_text)
+        if not isinstance(statement, CreatePropertyGraph):
+            raise EngineError(
+                "Database.execute() takes DDL (CREATE PROPERTY GRAPH); "
+                "run queries through a connection: db.connect(...).execute(sql)"
+            )
+        return self.register_graph(statement)
+
+    def drop_graph(self, name: str) -> bool:
+        """Forget a graph definition; True when it was registered (broken
+        definitions included — dropping is the documented way to clear
+        their error)."""
+        with self._lock:
+            self._check_open()
+            if name not in self._graph_statements:
+                return False
+            del self._graph_statements[name]
+            self._bump()
+            return True
+
+    # -- snapshots and connections --------------------------------------- #
+    def snapshot(self) -> Snapshot:
+        """The immutable snapshot of the current version (memoized)."""
+        with self._lock:
+            self._check_open()
+            if self._snapshot is None:
+                self._snapshot = Snapshot(
+                    self._relational_head(),
+                    dict(self._columns),
+                    dict(self._graph_statements),
+                    self._version,
+                    self._cache,
+                )
+            return self._snapshot
+
+    def connect(
+        self,
+        engine: str = "naive",
+        *,
+        snapshot: Optional[Snapshot] = None,
+        max_repetitions: Optional[int] = None,
+        **engine_options,
+    ):
+        """A new :class:`~repro.engine.session.Connection`.
+
+        The connection is pinned to ``snapshot`` (default: the current
+        version) — later DDL on this database does not affect it.
+        ``engine_options`` are forwarded to the backend factory verbatim.
+        """
+        from repro.engine.session import Connection
+
+        with self._lock:
+            self._check_open()
+            pinned = snapshot if snapshot is not None else self.snapshot()
+        connection = Connection(
+            self,
+            pinned,
+            engine=engine,
+            max_repetitions=max_repetitions,
+            **engine_options,
+        )
+        self._connections.add(connection)
+        return connection
+
+    def _track_connection(self, connection) -> None:
+        self._connections.add(connection)
+
+    # -- lifecycle ------------------------------------------------------- #
+    def close(self) -> None:
+        """Close every connection handed out and drop cached state.
+
+        Closing releases each connection's backend (dropping SQLite
+        connections and their cached temp tables) and clears the snapshot
+        cache — unless the cache was injected via ``snapshot_cache=`` (it
+        is then shared with other databases and left intact).  The
+        database object rejects further use.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        if self._owns_cache:
+            self._cache.clear()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(version={self._version}, tables={len(self._columns)}, "
+            f"graphs={len(self._graph_statements)})"
+        )

@@ -103,6 +103,7 @@ class PlannedEngine(PGQEvaluator):
             reuse_views=reuse_views,
         )
         private_cache = plan_cache is None
+        self._private_plan_cache = private_cache
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.cost_based = cost_based
         self.plan_counters = PlanCounters()
@@ -119,6 +120,31 @@ class PlannedEngine(PGQEvaluator):
         # would misreport the others' work.
         if private_cache:
             self.plan_cache.counters = self.plan_counters
+
+    def use_snapshot_cache(self, scope) -> None:
+        """Attach a snapshot-cache scope (see the base hook) and adopt the
+        scope's *shared* plan cache.
+
+        The shared cache is keyed on ``(snapshot fingerprint, engine
+        kind)``, so every connection's planned engine over one snapshot
+        compiles each (parameterized) plan shape once.  An explicitly
+        user-supplied ``plan_cache`` is respected and kept; execution
+        counters stay per-engine either way (a shared cache serves
+        several engines, and pinning one engine's counters there would
+        misreport the others' work — ``PlanCache.info()`` of a shared
+        cache therefore reports plan statistics only).
+
+        Counter-attribution caveat: the shared view entry carries ONE
+        matcher, wired to the counters of the engine that built it cold.
+        Sibling connections executing through that warm matcher therefore
+        see their work tallied on the builder's ``plan_counters`` (their
+        own ``Explain.counters`` stay at zero); per-connection
+        observability comes from ``Explain.shared``/``streamed`` and the
+        plan-cache statistics instead.
+        """
+        super().use_snapshot_cache(scope)
+        if self._private_plan_cache:
+            self.plan_cache = scope.plan_cache()
 
     def _executor_options(self, graph) -> dict:
         return dict(

@@ -29,7 +29,18 @@ Engines that predate the two-phase API — implementing only the legacy
 one-shot ``evaluate(query)`` — keep working: :func:`create_engine` wraps
 them in :class:`LegacyEngineAdapter` (with a :class:`DeprecationWarning`),
 which serves ``prepare`` by binding parameters eagerly per execution.
-The three built-in backends are registered by :mod:`repro.engine`:
+
+Two protocol surfaces are **optional**.  ``use_snapshot_cache(scope)``
+lets an engine join the cross-connection shared materialization of
+:mod:`repro.engine.database`: connections call it right after the
+factory with a ``SnapshotScope`` keyed on the snapshot's content
+fingerprint and the engine kind; engines without the hook simply keep
+private caches.  ``stream(query, bindings=None)`` lets an engine serve
+server-side cursors — returning ``(arity, row iterator)`` with the plan
+executed eagerly and only the projection deferred — which
+``CompiledQuery.execute_stream`` probes before falling back to the
+materializing ``execute``.  The three built-in backends are registered
+by :mod:`repro.engine`:
 
 * ``naive`` — the formal evaluator, kept as the semantics oracle;
 * ``planned`` — the query planner (logical IR, rule-based optimizer,

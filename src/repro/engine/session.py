@@ -1,45 +1,52 @@
-"""User-facing session API tying the SQL/PGQ surface to the formal engine.
+"""Statement execution over snapshots: ``Connection`` and the session shim.
 
-A :class:`PGQSession` owns a relational database (with named columns, so
-the DDL can reference them), a catalog of property-graph view definitions,
-and an execution backend chosen from the engine registry.  The typical
-flow mirrors the paper's introduction:
+A :class:`Connection` is a lightweight, thread-safe statement-execution
+handle bound to one immutable :class:`~repro.engine.database.Snapshot` of
+a :class:`~repro.engine.database.Database` catalog.  The typical flow:
 
->>> session = PGQSession(engine="planned")
->>> session.register_table("Account", ["iban"], rows)
->>> session.register_table("Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], rows)
->>> session.execute("CREATE PROPERTY GRAPH Transfers ( ... )")
->>> session.execute("SELECT * FROM GRAPH_TABLE ( Transfers MATCH ... COLUMNS (...) )")
+>>> from repro.engine.database import Database
+>>> db = Database()
+>>> db.create_table("Account", ["iban"], rows)
+>>> db.create_table("Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], rows)
+>>> db.execute("CREATE PROPERTY GRAPH Transfers ( ... )")
+>>> with db.connect(engine="planned") as conn:
+...     conn.execute("SELECT * FROM GRAPH_TABLE ( Transfers MATCH ... COLUMNS (...) )")
 
-Statement execution is **two-phase**: :meth:`PGQSession.prepare` parses
+Statement execution is **two-phase**: :meth:`Connection.prepare` parses
 and compiles a statement once into a :class:`PreparedStatement`, whose
 ``execute(**params)`` binds the statement's ``:name`` parameter slots per
 call — the plan is compiled once and shared across bindings.
-:meth:`PGQSession.execute` is sugar over an internal prepared-statement
-LRU keyed on the statement text, so repeated SQL text skips parsing and
-planning even without an explicit ``prepare``:
+:meth:`Connection.execute` is sugar over an internal prepared-statement
+LRU keyed on the statement text.
 
->>> chains = session.prepare('''
-...     SELECT * FROM GRAPH_TABLE ( Transfers
-...       MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > :minimum
-...       COLUMNS (x.iban, y.iban) )''')
->>> chains.execute(minimum=100)
->>> chains.execute(minimum=500)        # same plan, new binding
->>> session.execute(text, params={"minimum": 250})   # LRU-backed sugar
+All snapshot-scoped derived state — materialized view graphs, compact
+encodings, relational CSE results, compiled plans — lives in the
+database's shared :class:`~repro.engine.database.SnapshotCache`, so N
+connections over one snapshot pay each cold materialization once (see
+``Explain.shared``).  Planned-engine results additionally **stream**:
+projection rows are yielded incrementally from the executor, and
+iteration over a :class:`QueryResult` starts before the full row set
+materializes (deterministic ordering is applied lazily by the ``fetch*``
+/ whole-result accessors).
 
-The ``engine`` option selects a registered backend (``naive`` — the
-semantics oracle, ``planned`` — the query planner, ``sqlite`` — SQL
-compilation); ``max_repetitions`` bounds repetition depth, raising
-:class:`~repro.errors.PatternError` when a match would need more body
-iterations.  Both options thread through to the backend untouched.
+:class:`PGQSession` remains as a **deprecated single-connection shim**
+over an implicit private ``Database``: ``register_table`` / ``drop_graph``
+advance the implicit catalog and move the shim to the new head snapshot,
+which is exactly the pre-snapshot behavior.  New code should hold a
+``Database`` and ``connect()``.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
+import weakref
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Any,
+    Callable,
     Dict,
     Iterable,
     Iterator,
@@ -50,17 +57,20 @@ from typing import (
     Union,
 )
 
-from repro.errors import EngineError, ReproError
+from repro.errors import EngineError
 from repro.engine.registry import Engine, create_engine, engine_factory
 from repro.parameters import Bindings, merge_bindings
 from repro.pgq.queries import Query
 from repro.relational.database import Database
 from repro.relational.relation import Relation
-from repro.relational.schema import RelationSchema, Schema
+from repro.relational.schema import Schema
 from repro.sqlpgq.ast import CreatePropertyGraph, GraphTableQuery
 from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition
 from repro.sqlpgq.compiler import compile_query, compile_to_plan
 from repro.sqlpgq.parser import parse_statement
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only (import cycle guard)
+    from repro.engine.database import Database as CatalogDatabase, Snapshot
 
 #: Sentinel distinguishing "argument not passed" from an explicit None.
 _UNSET: object = object()
@@ -69,37 +79,58 @@ _UNSET: object = object()
 class QueryResult:
     """Result of executing a statement: column names plus rows.
 
-    Results are **cursor-backed**: the row source may be a lazy iterator
-    (the prepared/planned path defers decoding and ordering until rows are
-    actually consumed).  Two access styles coexist:
+    Results are **cursor-backed** and may be **streamed**: the row source
+    can be a lazy iterator, and for the planned engine it is a true
+    server-side cursor — rows arrive incrementally from the executor's
+    projection before the full result materializes (``streamed`` records
+    that provenance).  Two access styles coexist:
 
     * *cursor semantics* — :meth:`fetchone` / :meth:`fetchmany` /
-      :meth:`fetchall` consume rows forward, each row delivered once;
-    * *whole-result semantics* — ``rows``, ``len()``, iteration,
-      :meth:`to_list`, :meth:`to_set`, :meth:`to_dicts` and ``repr`` view
-      the complete result (materializing whatever the cursor has not yet
-      pulled) without advancing the cursor.
+      :meth:`fetchall` consume rows forward in the result's deterministic
+      order, each row delivered once (requesting ordered rows
+      materializes lazily: the sort runs on first ordered access);
+    * *whole-result semantics* — ``rows``, ``len()``, :meth:`to_list`,
+      :meth:`to_set`, :meth:`to_dicts` and ``repr`` view the complete
+      result (materializing whatever has not yet been pulled) without
+      advancing the cursor.
 
-    Iteration is lazy but repeatable: rows are pulled from the source on
-    demand and buffered, so iterating twice yields the same rows.
+    Plain iteration is the streaming surface: it yields buffered rows in
+    *arrival* order, pulling from the source on demand, so consumers can
+    start processing before the engine finishes projecting.  Iteration
+    is repeatable (rows are buffered); once an ordered accessor has
+    materialized the result, iteration follows the deterministic order.
     """
 
     #: Rows shown by ``__repr__`` before truncating with a ``(+N more
     #: rows)`` footer.
     _REPR_LIMIT = 20
 
-    def __init__(self, columns: Sequence[str], rows: Union[Iterable[Tuple], Iterator[Tuple]]):
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Union[Iterable[Tuple], Iterator[Tuple]],
+        *,
+        order_key: Optional[Callable[[Tuple], Any]] = None,
+        streamed: bool = False,
+    ):
         self.columns = tuple(columns)
+        #: True when rows arrive incrementally from the engine's streaming
+        #: projection (server-side cursor provenance).
+        self.streamed = streamed
+        #: Sort key applied lazily by the ordered accessors (``None`` =
+        #: the source order is already the result order).
+        self._order_key = order_key
         if isinstance(rows, (tuple, list)):
             self._fetched: List[Tuple] = list(rows)
             self._source: Optional[Iterator[Tuple]] = None
         else:
             self._fetched = []
             self._source = iter(rows)
-        #: Forward position of the fetchone/fetchmany cursor.
+        #: Forward position of the fetchone/fetchmany cursor (an index
+        #: into the deterministic row order).
         self._cursor = 0
-        #: Cached full-row tuple, built once on first whole-result access
-        #: (the buffer is append-only and stable once the source drains).
+        #: Cached full-row tuple in deterministic order, built once on
+        #: first ordered access.
         self._rows_cache: Optional[Tuple[Tuple, ...]] = None
 
     # -- materialization ------------------------------------------------- #
@@ -122,13 +153,18 @@ class QueryResult:
 
     @property
     def rows(self) -> Tuple[Tuple, ...]:
-        """Every row of the result (materializes; cursor position kept).
+        """Every row of the result in deterministic order (materializes;
+        cursor position kept).
 
-        The tuple is built once and cached, so repeated access keeps the
-        stored-attribute cost profile of the pre-cursor representation.
+        The tuple is built (and, for streamed results, sorted) once and
+        cached, so repeated access keeps the stored-attribute cost profile
+        of the pre-cursor representation.
         """
         if self._rows_cache is None:
-            self._rows_cache = tuple(self._materialize())
+            rows = self._materialize()
+            if self._order_key is not None:
+                rows = sorted(rows, key=self._order_key)
+            self._rows_cache = tuple(rows)
         return self._rows_cache
 
     # -- cursor API ------------------------------------------------------ #
@@ -139,14 +175,23 @@ class QueryResult:
 
     def fetchmany(self, size: int = 1) -> List[Tuple]:
         """Up to ``size`` unconsumed rows (an empty list when exhausted)."""
-        while len(self._fetched) - self._cursor < size and self._pull():
-            pass
-        batch = self._fetched[self._cursor : self._cursor + size]
+        if self._order_key is not None:
+            ordered = self.rows
+            batch = list(ordered[self._cursor : self._cursor + size])
+        else:
+            while len(self._fetched) - self._cursor < size and self._pull():
+                pass
+            batch = self._fetched[self._cursor : self._cursor + size]
         self._cursor += len(batch)
         return batch
 
     def fetchall(self) -> List[Tuple]:
         """All remaining unconsumed rows."""
+        if self._order_key is not None:
+            ordered = self.rows
+            batch = list(ordered[self._cursor :])
+            self._cursor = len(ordered)
+            return batch
         self._materialize()
         batch = self._fetched[self._cursor :]
         self._cursor = len(self._fetched)
@@ -157,6 +202,13 @@ class QueryResult:
         return len(self._materialize())
 
     def __iter__(self) -> Iterator[Tuple]:
+        cached = self._rows_cache
+        if cached is not None:
+            # Already materialized in deterministic order; iterate that.
+            return iter(cached)
+        return self._iter_arrival()
+
+    def _iter_arrival(self) -> Iterator[Tuple]:
         index = 0
         while True:
             if index < len(self._fetched):
@@ -224,18 +276,32 @@ class Explain:
 
     ``plan`` is the optimized logical plan rendering; ``counters`` the
     engine's execution counters (columnar encode time, fixpoint shards,
-    parallel rounds); ``cache`` the plan cache statistics including the
-    ``prepared_hits``/``prepared_misses`` breakdown; ``prepared`` the
-    session's prepared-statement accounting (statements prepared, total
-    executions, and ``binding_reuse`` — executions served by an already
-    prepared statement).  ``str(explain)`` renders the classic text form,
-    and substring membership tests work directly on the object.
+    parallel rounds — tallied on the engine that built each shared
+    matcher cold, so warm sibling connections may report zeros here);
+    ``cache`` the plan cache statistics including the
+    ``prepared_hits``/``prepared_misses`` breakdown, a ``provenance``
+    marker (``"shared"`` for snapshot-scoped caches, ``"private"`` for
+    engine-owned ones) and ``session_*`` counters that accumulate across
+    ``use_engine`` backend swaps instead of silently resetting with the
+    engine (measured from the connection's attach-time baseline, so on a
+    *shared* cache they cover the cache activity this connection
+    observed — concurrent sibling connections' hits included);
+    ``prepared`` the connection's prepared-statement accounting.
+    ``snapshot`` is the content fingerprint of the snapshot the
+    connection reads, ``shared`` the snapshot cache's build/hit figures
+    (cold view materializations, shared hits, compact encodings), and
+    ``streamed`` how many results this connection served through the
+    streaming projection path.  ``str(explain)`` renders the classic text
+    form, and substring membership tests work directly on the object.
     """
 
     plan: str
     counters: Dict[str, float] = field(default_factory=dict)
     cache: Dict[str, float] = field(default_factory=dict)
     prepared: Dict[str, int] = field(default_factory=dict)
+    snapshot: str = ""
+    shared: Dict[str, int] = field(default_factory=dict)
+    streamed: int = 0
 
     def __str__(self) -> str:
         text = self.plan
@@ -251,13 +317,24 @@ class Explain:
                 f"\n-- plan cache: hits={self.cache.get('hits', 0)} "
                 f"misses={self.cache.get('misses', 0)} "
                 f"prepared_hits={self.cache.get('prepared_hits', 0)} "
-                f"size={self.cache.get('size', 0)}"
+                f"size={self.cache.get('size', 0)} "
+                f"provenance={self.cache.get('provenance', 'private')}"
             )
         if self.prepared:
             text += (
                 f"\n-- prepared statements: statements={self.prepared.get('statements', 0)} "
                 f"executions={self.prepared.get('executions', 0)} "
                 f"binding_reuse={self.prepared.get('binding_reuse', 0)}"
+            )
+        if self.snapshot or self.shared or self.streamed:
+            shared_hits = sum(
+                count for key, count in self.shared.items() if key.endswith("_shared_hits")
+            )
+            text += (
+                f"\n-- snapshot: {self.snapshot[:12] if self.snapshot else '-'} "
+                f"shared_hits={shared_hits} "
+                f"views_built={self.shared.get('views_built', 0)} "
+                f"streamed={self.streamed}"
             )
         return text
 
@@ -266,18 +343,18 @@ class Explain:
 
 
 class PreparedStatement:
-    """A parsed, compiled GRAPH_TABLE statement bound to a session.
+    """A parsed, compiled GRAPH_TABLE statement bound to a connection.
 
-    Construction (via :meth:`PGQSession.prepare`) parses the SQL text and
+    Construction (via :meth:`Connection.prepare`) parses the SQL text and
     compiles it — through the backend's ``prepare`` — exactly once;
     :meth:`execute` then only binds the statement's ``:name`` parameter
     slots and runs the compiled form.  The statement transparently
-    re-prepares itself when the session's data or backend changes
-    (``register_table``, ``use_engine``, DDL), so a held handle never goes
-    stale.
+    re-prepares itself when the connection's snapshot or backend changes
+    (``register_table`` on the session shim, ``use_engine``, DDL), so a
+    held handle never goes stale.
     """
 
-    def __init__(self, session: "PGQSession", text: str, statement: GraphTableQuery):
+    def __init__(self, session: "Connection", text: str, statement: GraphTableQuery):
         self._session = session
         self.text = text
         self._statement = statement
@@ -315,15 +392,36 @@ class PreparedStatement:
         Keyword bindings win on conflict; a missing slot raises
         :class:`~repro.errors.BindingError` naming it.  The mapping
         argument is positional-only, so a slot literally named ``params``
-        still binds by keyword.  Returns a lazy :class:`QueryResult` —
-        ordering and identifier decoding run when rows are first consumed.
+        still binds by keyword.  Returns a lazy :class:`QueryResult`;
+        on engines with a streaming surface (the planner) the result is a
+        server-side cursor — the plan executes here (errors surface now)
+        but projection rows decode incrementally as they are consumed.
         """
-        self._ensure_compiled()
-        relation = self._compiled.execute(merge_bindings(params, named))
+        session = self._session
+        merged = merge_bindings(params, named)
+        result: Optional[QueryResult] = None
+        # The engine-invoking section runs under the connection lock:
+        # engine evaluation state (in-flight bindings, per-evaluation
+        # memos) is per-engine, so concurrent executions on ONE
+        # connection must serialize — parallelism comes from one
+        # connection per thread, all sharing the snapshot cache.  The
+        # streaming path does every stateful step eagerly inside the
+        # lock; only the stateless projection decode escapes it.
+        with session._lock:
+            self._ensure_compiled()
+            stream = getattr(self._compiled, "execute_stream", None)
+            if stream is not None:
+                streamed = stream(merged)
+                if streamed is not None:
+                    arity, rows = streamed
+                    result = session._stream_result_for(self._statement, arity, rows)
+            if result is None:
+                relation = self._compiled.execute(merged)
+                result = session._result_for(self._statement, relation)
         reused = self.executions > 0
         self.executions += 1
-        self._session._note_prepared_execution(reused=reused)
-        return self._session._result_for(self._statement, relation)
+        session._note_prepared_execution(reused=reused)
+        return result
 
     def explain(self) -> Explain:
         """The statement's optimized plan plus per-statement reuse counts."""
@@ -343,8 +441,27 @@ class PreparedStatement:
             self._generation = -1
 
 
-class PGQSession:
-    """An in-memory SQL/PGQ session over a pluggable execution backend."""
+class Connection:
+    """A statement-execution handle over one immutable database snapshot.
+
+    Connections are intentionally lightweight: the heavyweight state —
+    materialized views, compact encodings, relational CSE results and
+    compiled plans — lives in the owning database's shared
+    :class:`~repro.engine.database.SnapshotCache`, keyed on the
+    snapshot's content fingerprint and the engine kind.  A connection
+    holds only its engine instance, a prepared-statement LRU and
+    accounting counters, and is safe to share across threads: statement
+    compilation and execution serialize on the connection lock (engine
+    evaluation state is per-engine), so for parallelism open one
+    connection per thread — they share every cold materialization
+    through the snapshot cache, which is where the repeated work lives.
+
+    The snapshot is **pinned**: DDL or data changes on the live database
+    after ``connect()`` are invisible here (MVCC) — except DDL issued
+    *through this connection's own* ``execute``, which advances the
+    connection to the new head version (the single-session behavior the
+    :class:`PGQSession` shim preserves).
+    """
 
     #: Prepared statements kept by the ``execute(text, params)`` sugar,
     #: keyed on the exact statement text.
@@ -352,11 +469,13 @@ class PGQSession:
 
     #: Cap on the distinct-text hash set behind the ``statements``
     #: explain figure (8 bytes a hash; the cap bounds a pathological
-    #: all-distinct-text session at a few hundred KiB).
+    #: all-distinct-text connection at a few hundred KiB).
     _SUGAR_TEXTS_SEEN_MAX = 65536
 
     def __init__(
         self,
+        database: "CatalogDatabase",
+        snapshot: Optional["Snapshot"],
         *,
         engine: str = "naive",
         max_repetitions: Optional[int] = None,
@@ -364,26 +483,20 @@ class PGQSession:
     ) -> None:
         """``engine_options`` are forwarded to the backend factory verbatim
         (e.g. ``compact=False`` or ``fixpoint_shards=8`` for the planned
-        engine); factories ignore options that do not apply to them."""
+        engine); factories ignore options that do not apply to them.
+        ``snapshot=None`` pins lazily to the database's head on first use.
+        """
         engine_factory(engine)  # fail fast on unknown backend names
+        self._owner = database
+        self._snapshot_obj = snapshot
         self._engine_options = dict(engine_options)
-        self._relations: Dict[str, Relation] = {}
-        self._columns: Dict[str, Tuple[str, ...]] = {}
-        self._catalog: Optional[GraphCatalog] = None
-        #: DDL statements by graph name, replayed whenever the catalog is
-        #: rebuilt after a schema change so registered graphs survive
-        #: later register_table calls.
-        self._graph_statements: Dict[str, CreatePropertyGraph] = {}
-        #: Graphs whose definitions stopped compiling after a schema
-        #: change, with the reason; referencing one raises, everything
-        #: else keeps working.
-        self._invalid_graphs: Dict[str, str] = {}
         self._engine_name = engine
         self._max_repetitions = max_repetitions
         self._engine: Optional[Engine] = None
-        #: Bumped whenever prepared statements must recompile: data or
-        #: engine changes (``_invalidate_engine``) and DDL.
+        #: Bumped whenever prepared statements must recompile: snapshot
+        #: moves, engine changes (``_invalidate_engine``) and DDL.
         self._generation = 0
+        self._lock = threading.RLock()
         #: Text-keyed LRU behind ``execute(text, params)``.
         self._statements: "OrderedDict[str, PreparedStatement]" = OrderedDict()
         self._statement_hits = 0
@@ -391,101 +504,89 @@ class PGQSession:
         #: Hashes of distinct statement texts the sugar path has prepared
         #: — an evicted-and-reloaded text re-counts as a cache miss but
         #: not as a new statement.  Bounded: past the cap, new texts are
-        #: tallied in ``_sugar_texts_overflow`` instead (the ``statements``
-        #: figure may then over-count repeats of post-cap texts, trading
-        #: exactness for bounded memory in pathological sessions).
+        #: tallied in ``_sugar_texts_overflow`` instead.
         self._sugar_texts_seen: set = set()
         self._sugar_texts_overflow = 0
-        #: Prepared-statement accounting surfaced by ``explain()``:
-        #: statements prepared, executions completed, and executions past
-        #: each statement's first (true binding reuse, counted directly).
+        #: Prepared-statement accounting surfaced by ``explain()``.
         self._prepared_statements = 0
         self._prepared_executions = 0
         self._prepared_reuse = 0
+        #: Explicit ``prepare()`` handles, closed with the connection so
+        #: their backend resources (SQLite temp tables) never outlive it.
+        self._prepared_registry: "weakref.WeakSet" = weakref.WeakSet()
+        #: Plan-cache counters folded in from engines retired by
+        #: ``use_engine``/snapshot moves — the ``session_*`` explain
+        #: figures stay cumulative instead of resetting with the engine.
+        self._retired_cache: Dict[str, int] = {}
+        #: The current engine's plan-cache counter baseline (shared caches
+        #: carry other connections' history; deltas start here).
+        self._cache_baseline: Dict[str, float] = {}
+        #: Results served through the streaming projection path.
+        self._streamed_results = 0
 
     # ------------------------------------------------------------------ #
-    # Data registration
+    # Snapshot and catalog surface
     # ------------------------------------------------------------------ #
-    def register_table(self, name: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
-        """Register (or replace) a base table with named columns."""
-        columns = tuple(columns)
-        relation = Relation(len(columns), [tuple(row) for row in rows], name=name)
-        self._relations[name] = relation
-        self._columns[name] = columns
-        self._catalog = None  # the schema changed; recompile definitions lazily
-        self._invalidate_engine()
-
-    def register_database(self, database: Database, columns: Dict[str, Sequence[str]]) -> None:
-        """Register every relation of an existing database with column names."""
-        for name in database:
-            if name not in columns:
-                raise EngineError(f"no column names supplied for relation {name!r}")
-            self.register_table(name, columns[name], database.relation(name).rows)
-
     @property
-    def schema(self) -> Schema:
-        return Schema(
-            RelationSchema(name, len(cols), cols) for name, cols in self._columns.items()
-        )
+    def snapshot(self) -> "Snapshot":
+        """The immutable snapshot this connection reads."""
+        if self._snapshot_obj is None:
+            self._snapshot_obj = self._owner.snapshot()
+        return self._snapshot_obj
 
     @property
     def database(self) -> Database:
-        return Database(dict(self._relations), schema=self.schema)
+        """The snapshot's relational database instance."""
+        return self.snapshot.database
+
+    @property
+    def schema(self) -> Schema:
+        return self.snapshot.schema
 
     @property
     def catalog(self) -> GraphCatalog:
-        if self._catalog is None:
-            catalog = GraphCatalog(self.schema)
-            self._invalid_graphs = {}
-            for name, statement in self._graph_statements.items():
-                try:
-                    catalog.register(statement)
-                except ReproError as error:
-                    # The graph no longer compiles against the new schema;
-                    # record why, but keep the session usable — only
-                    # queries referencing this graph will raise.
-                    self._invalid_graphs[name] = str(error)
-            self._catalog = catalog
-        return self._catalog
+        return self.snapshot.catalog
 
     def _check_graph_valid(self, name: str) -> None:
-        self.catalog  # ensure any pending replay ran
-        if name in self._invalid_graphs:
-            raise EngineError(
-                f"property graph {name!r} is no longer valid after a schema "
-                f"change: {self._invalid_graphs[name]} (re-create it or call "
-                f"drop_graph({name!r}))"
-            )
-
-    def drop_graph(self, name: str) -> None:
-        """Forget a registered property-graph definition.
-
-        Dropping succeeds for broken graphs too (ones a later
-        ``register_table`` stopped compiling) — that is the documented way
-        to clear their error.  The engine is released so cached view
-        materializations for the dropped graph do not outlive it; dropping
-        an unknown name is a no-op and keeps warm caches intact.
-        """
-        known = name in self._graph_statements or name in self._invalid_graphs
-        self._graph_statements.pop(name, None)
-        self._invalid_graphs.pop(name, None)
-        if known:
-            self._catalog = None
-            self._invalidate_engine()
+        self.snapshot.check_graph_valid(name)
 
     def graph_names(self) -> Tuple[str, ...]:
         """All registered graphs, including ones a schema change broke
-        (those raise when referenced; see :meth:`drop_graph`)."""
-        names = dict.fromkeys(self.catalog.names())
-        names.update(dict.fromkeys(self._invalid_graphs))
-        return tuple(names)
+        (those raise when referenced; see ``drop_graph``)."""
+        return self.snapshot.graph_names()
+
+    def graph_definition(self, name: str) -> GraphDefinition:
+        """Look up a compiled property-graph view definition."""
+        return self.snapshot.graph_definition(name)
+
+    def _advance_snapshot(self, *, reset_engine: bool) -> None:
+        """Move this connection to the database's head version.
+
+        ``reset_engine=False`` is the graph-DDL-only path: when the
+        relational data is unchanged the engine (and e.g. its loaded
+        SQLite database) survives and only prepared statements recompile.
+        That is verified, not assumed — another writer may have replaced
+        a table on the live database since this connection pinned its
+        snapshot, in which case the engine is reset anyway so it can
+        never serve rows from superseded data.
+        """
+        with self._lock:
+            previous = self._snapshot_obj
+            self._snapshot_obj = None
+            if not reset_engine and self._engine is not None:
+                if previous is None or self.snapshot.database is not previous.database:
+                    reset_engine = True
+            if reset_engine:
+                self._invalidate_engine()
+            else:
+                self._generation += 1
 
     # ------------------------------------------------------------------ #
     # Engine selection
     # ------------------------------------------------------------------ #
     @property
     def engine_name(self) -> str:
-        """Name of the execution backend this session dispatches to."""
+        """Name of the execution backend this connection dispatches to."""
         return self._engine_name
 
     @property
@@ -496,12 +597,14 @@ class PGQSession:
     def use_engine(
         self, name: str, *, max_repetitions: Union[Optional[int], object] = _UNSET
     ) -> None:
-        """Switch the session to another registered backend.
+        """Switch the connection to another registered backend.
 
         ``max_repetitions`` is kept as-is unless explicitly passed
         (including an explicit ``None`` to lift a bound).  Prepared
         statements survive the switch: they recompile against the new
-        backend on their next execution.
+        backend on their next execution.  Plan-cache counters of the
+        retired engine fold into the cumulative ``session_*`` explain
+        figures instead of silently resetting.
         """
         engine_factory(name)
         self._engine_name = name
@@ -509,23 +612,74 @@ class PGQSession:
             self._max_repetitions = max_repetitions  # type: ignore[assignment]
         self._invalidate_engine()
 
+    def _engine_kind(self) -> Tuple:
+        """Shared-cache discriminator: backend name plus every option that
+        shapes matcher semantics or performance."""
+        return (
+            self._engine_name,
+            self._max_repetitions,
+            tuple(sorted(self._engine_options.items(), key=lambda item: item[0])),
+        )
+
     def _invalidate_engine(self) -> None:
-        self._generation += 1
-        if self._engine is not None:
-            self._engine.close()
-            self._engine = None
+        with self._lock:
+            self._generation += 1
+            engine = self._engine
+            if engine is not None:
+                self._retire_cache_counters(engine)
+                engine.close()
+                self._engine = None
+
+    def _retire_cache_counters(self, engine: Engine) -> None:
+        """Fold the retiring engine's plan-cache activity (measured from
+        this connection's baseline) into the cumulative counters."""
+        plan_cache = getattr(engine, "plan_cache", None)
+        if plan_cache is None:
+            self._cache_baseline = {}
+            return
+        info = plan_cache.info()
+        baseline = self._cache_baseline
+        for key in ("hits", "misses", "prepared_hits", "prepared_misses"):
+            live = int(info.get(key, 0)) - int(baseline.get(key, 0))
+            if live > 0:
+                self._retired_cache[key] = self._retired_cache.get(key, 0) + live
+        self._cache_baseline = {}
 
     def _get_engine(self) -> Engine:
-        """The backend bound to the current database, built lazily and
-        invalidated whenever a table is (re)registered."""
-        if self._engine is None:
-            self._engine = create_engine(
-                self._engine_name,
-                self.database,
-                max_repetitions=self._max_repetitions,
-                **self._engine_options,
-            )
-        return self._engine
+        """The backend bound to this connection's snapshot, built lazily.
+
+        Engines exposing the optional ``use_snapshot_cache`` hook are
+        attached to the snapshot's shared cache scope, so their views,
+        encodings and plans are shared with every sibling connection of
+        the same snapshot and engine kind.
+        """
+        engine = self._engine
+        if engine is not None:
+            return engine
+        with self._lock:
+            if self._engine is None:
+                snapshot = self.snapshot
+                engine = create_engine(
+                    self._engine_name,
+                    snapshot.database,
+                    max_repetitions=self._max_repetitions,
+                    **self._engine_options,
+                )
+                adopt = getattr(engine, "use_snapshot_cache", None)
+                if adopt is not None:
+                    kind = self._engine_kind()
+                    try:
+                        hash(kind)
+                    except TypeError:
+                        pass  # unhashable options: keep private caches
+                    else:
+                        adopt(snapshot.scope_for(kind))
+                plan_cache = getattr(engine, "plan_cache", None)
+                self._cache_baseline = (
+                    dict(plan_cache.info()) if plan_cache is not None else {}
+                )
+                self._engine = engine
+            return self._engine
 
     # ------------------------------------------------------------------ #
     # Statement execution
@@ -545,8 +699,13 @@ class PGQSession:
                 "prepare() expects a SELECT ... FROM GRAPH_TABLE(...) statement; "
                 "DDL runs through execute()"
             )
-        prepared = PreparedStatement(self, statement_text, statement)
-        self._prepared_statements += 1
+        with self._lock:
+            # Compilation drives the engine's preparation state machine
+            # (e.g. the SQLite temp-table sink), which must not interleave
+            # with another thread's compile or execute on this connection.
+            prepared = PreparedStatement(self, statement_text, statement)
+            self._prepared_statements += 1
+            self._prepared_registry.add(prepared)
         return prepared
 
     def execute(
@@ -556,50 +715,73 @@ class PGQSession:
 
         Queries run through an internal prepared-statement LRU keyed on
         the statement text: repeated text skips parsing and planning, and
-        ``params`` binds any ``:name`` slots the statement declares —
-        ``execute(text, params=...)`` is sugar for
-        ``prepare(text).execute(params)`` with the preparation shared
-        across calls.
+        ``params`` binds any ``:name`` slots the statement declares.
+        DDL (CREATE PROPERTY GRAPH) registers on the owning database —
+        producing a new version — and moves this connection to it; other
+        connections keep their snapshot.
         """
-        cached = self._statements.get(statement_text)
+        with self._lock:
+            cached = self._statements.get(statement_text)
+            if cached is not None:
+                self._statements.move_to_end(statement_text)
+                self._statement_hits += 1
         if cached is not None:
-            self._statements.move_to_end(statement_text)
-            self._statement_hits += 1
             return cached.execute(params)
         statement = parse_statement(statement_text)
         if isinstance(statement, CreatePropertyGraph):
             if params:
                 raise EngineError("DDL statements take no parameters")
-            definition = self.catalog.register(statement)
-            self._graph_statements[definition.name] = statement
-            self._invalid_graphs.pop(definition.name, None)
+            definition = self._owner.register_graph(statement)
             # Re-creating a graph can change what prepared statements
-            # compiled against; force them to recompile lazily.
-            self._generation += 1
+            # compiled against; the advance bumps the generation so they
+            # recompile lazily (the engine survives: data is unchanged).
+            self._advance_snapshot(reset_engine=False)
             return QueryResult(("graph",), ((definition.name,),))
         if isinstance(statement, GraphTableQuery):
-            prepared = PreparedStatement(self, statement_text, statement)
-            self._statement_misses += 1
-            text_key = hash(statement_text)
-            if text_key not in self._sugar_texts_seen:
-                if len(self._sugar_texts_seen) < self._SUGAR_TEXTS_SEEN_MAX:
-                    self._sugar_texts_seen.add(text_key)
+            evicted = None
+            with self._lock:
+                # Re-check under the lock: a concurrent miss on the same
+                # text may have compiled it first — reuse that statement
+                # instead of displacing (and leaking) it.
+                winner = self._statements.get(statement_text)
+                if winner is not None:
+                    self._statements.move_to_end(statement_text)
+                    self._statement_hits += 1
                 else:
-                    self._sugar_texts_overflow += 1
-            self._statements[statement_text] = prepared
-            if len(self._statements) > self._STATEMENT_CACHE_SIZE:
-                _text, evicted = self._statements.popitem(last=False)
-                evicted.close()
-            return prepared.execute(params)
+                    winner = PreparedStatement(self, statement_text, statement)
+                    self._statement_misses += 1
+                    text_key = hash(statement_text)
+                    if text_key not in self._sugar_texts_seen:
+                        if len(self._sugar_texts_seen) < self._SUGAR_TEXTS_SEEN_MAX:
+                            self._sugar_texts_seen.add(text_key)
+                        else:
+                            self._sugar_texts_overflow += 1
+                    self._statements[statement_text] = winner
+                    if len(self._statements) > self._STATEMENT_CACHE_SIZE:
+                        _text, evicted = self._statements.popitem(last=False)
+                if evicted is not None:
+                    # Statement-LRU eviction releases the evicted compiled
+                    # form's backend resources (persisted SQLite
+                    # statements, temp tables) instead of leaking them
+                    # until close().  Closed under the lock: a concurrent
+                    # execute of the same handle would otherwise lose its
+                    # compiled form mid-flight (it self-heals between
+                    # executions via _ensure_compiled, not during one).
+                    evicted.close()
+            return winner.execute(params)
         raise EngineError(f"unsupported statement {statement!r}")
+
+    def _result_columns(self, statement: GraphTableQuery, arity: int) -> Tuple[str, ...]:
+        columns = tuple(column.name for column in statement.columns)
+        if arity != len(columns):
+            # n-ary identifiers flatten into several columns; fall back to
+            # positional names in that case.
+            columns = tuple(f"col{i + 1}" for i in range(arity))
+        return columns
 
     def _result_for(self, statement: GraphTableQuery, relation: Relation) -> QueryResult:
         """Wrap a result relation as a lazily ordered :class:`QueryResult`."""
-        columns = tuple(column.name for column in statement.columns)
-        if relation.arity != len(columns):
-            # n-ary identifiers flatten into several columns; fall back to
-            # positional names in that case.
-            columns = tuple(f"col{i + 1}" for i in range(relation.arity))
+        columns = self._result_columns(statement, relation.arity)
         rows = relation.rows
 
         def ordered() -> Iterator[Tuple]:
@@ -608,10 +790,26 @@ class PGQSession:
 
         return QueryResult(columns, ordered())
 
+    def _stream_result_for(
+        self, statement: GraphTableQuery, arity: int, rows: Iterator[Tuple]
+    ) -> QueryResult:
+        """Wrap a streaming projection as a server-side-cursor result.
+
+        Iteration yields rows as the executor decodes them; the ordered
+        accessors (``fetch*``, ``rows``) materialize and sort lazily, so
+        the deterministic order of the materializing path is preserved
+        whenever it is asked for.
+        """
+        columns = self._result_columns(statement, arity)
+        with self._lock:
+            self._streamed_results += 1
+        return QueryResult(columns, rows, order_key=repr, streamed=True)
+
     def _note_prepared_execution(self, *, reused: bool) -> None:
-        self._prepared_executions += 1
-        if reused:
-            self._prepared_reuse += 1
+        with self._lock:
+            self._prepared_executions += 1
+            if reused:
+                self._prepared_reuse += 1
 
     def compile(self, statement_text: str) -> Query:
         """Parse and compile a GRAPH_TABLE query without executing it."""
@@ -625,11 +823,11 @@ class PGQSession:
         """The optimized logical plan a GRAPH_TABLE query lowers to.
 
         Returns a structured :class:`Explain`: the plan rendering plus —
-        for planner-backed engines — the engine's execution counters
-        (plan-cache hit rates with the prepared breakdown, columnar encode
-        time, fixpoint shard/parallel-round counts) and the session's
-        prepared-statement binding-reuse counts.  ``str()`` (and substring
-        tests) render the classic text form.
+        for planner-backed engines — the engine's execution counters,
+        plan-cache statistics with shared-vs-private provenance and
+        cumulative ``session_*`` counters, the prepared-statement
+        accounting, and the snapshot provenance (fingerprint, shared
+        materialization stats, streamed-result count).
         """
         statement = parse_statement(statement_text)
         if not isinstance(statement, GraphTableQuery):
@@ -649,9 +847,17 @@ class PGQSession:
                 "parallel_rounds": engine_counters.parallel_rounds,
                 "compact_encode_s": engine_counters.compact_encode_s,
             }
-            plan_cache = getattr(engine, "plan_cache", None)
-            if plan_cache is not None:
-                cache = dict(plan_cache.info())
+        plan_cache = getattr(engine, "plan_cache", None) if engine is not None else None
+        if plan_cache is not None:
+            cache = dict(plan_cache.info())
+            cache["provenance"] = (
+                "shared" if getattr(plan_cache, "shared", False) else "private"
+            )
+        if cache or self._retired_cache:
+            baseline = self._cache_baseline
+            for key in ("hits", "misses", "prepared_hits", "prepared_misses"):
+                live = int(cache.get(key, 0)) - int(baseline.get(key, 0))
+                cache["session_" + key] = self._retired_cache.get(key, 0) + max(live, 0)
         prepared = {
             "statements": self._prepared_statements
             + len(self._sugar_texts_seen)
@@ -659,26 +865,117 @@ class PGQSession:
             "executions": self._prepared_executions,
             "binding_reuse": self._prepared_reuse,
         }
-        return Explain(plan_text, counters, cache, prepared)
+        snapshot = self.snapshot
+        return Explain(
+            plan_text,
+            counters,
+            cache,
+            prepared,
+            snapshot=snapshot.fingerprint,
+            shared=snapshot.cache.stats(),
+            streamed=self._streamed_results,
+        )
 
     def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
-        """Evaluate a programmatic PGQ query on the session's backend."""
-        return self._get_engine().evaluate(query, bindings=bindings)
+        """Evaluate a programmatic PGQ query on the connection's backend."""
+        with self._lock:  # engine evaluation state is per-engine; serialize
+            return self._get_engine().evaluate(query, bindings=bindings)
 
-    def graph_definition(self, name: str) -> GraphDefinition:
-        """Look up a compiled property-graph view definition."""
-        self._check_graph_valid(name)
-        return self.catalog.get(name)
-
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Release the backend (e.g. the SQLite connection)."""
-        for prepared in self._statements.values():
-            prepared.close()
-        self._statements.clear()
-        self._invalidate_engine()
+        """Release the backend and every prepared statement.
 
-    def __enter__(self) -> "PGQSession":
+        Closes the statement LRU, explicitly prepared handles (dropping
+        their persisted SQLite temp tables) and the engine (closing the
+        SQLite backend connection).  Idempotent; a closed connection that
+        is used again lazily rebuilds its engine, matching the historical
+        session behavior.
+        """
+        with self._lock:
+            statements = list(self._statements.values())
+            self._statements.clear()
+            registry = list(self._prepared_registry)
+            for prepared in statements:
+                prepared.close()
+            for prepared in registry:
+                prepared.close()
+            self._invalidate_engine()
+
+    def __enter__(self) -> "Connection":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class PGQSession(Connection):
+    """Deprecated single-connection shim over an implicit Database.
+
+    The historical in-memory session API: one object that owns its data,
+    graph DDL and execution backend.  It is now a :class:`Connection`
+    over a private :class:`~repro.engine.database.Database` — mutators
+    (``register_table``, ``drop_graph``) write to the implicit catalog
+    and move the shim to the new head snapshot, so behavior matches the
+    pre-snapshot sessions exactly.  New code should create a ``Database``
+    and call ``db.connect(engine=...)``; this shim emits a
+    :class:`DeprecationWarning` at construction and will eventually be
+    removed.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: str = "naive",
+        max_repetitions: Optional[int] = None,
+        **engine_options,
+    ) -> None:
+        warnings.warn(
+            "PGQSession is deprecated; create a repro.engine.database.Database "
+            "and use db.connect(engine=...) instead (PGQSession remains a "
+            "single-connection shim over an implicit Database)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.engine.database import Database as CatalogDatabase
+
+        database = CatalogDatabase()
+        super().__init__(
+            database,
+            None,
+            engine=engine,
+            max_repetitions=max_repetitions,
+            **engine_options,
+        )
+        database._track_connection(self)
+
+    # ------------------------------------------------------------------ #
+    # Data registration (the mutable shim surface)
+    # ------------------------------------------------------------------ #
+    def register_table(self, name: str, columns: Sequence[str], rows: Iterable[Sequence]) -> None:
+        """Register (or replace) a base table with named columns."""
+        self._owner.create_table(name, columns, rows)
+        self._advance_snapshot(reset_engine=True)
+
+    def register_database(self, database: Database, columns: Dict[str, Sequence[str]]) -> None:
+        """Register every relation of an existing database with column names."""
+        for name in database:
+            if name not in columns:
+                raise EngineError(f"no column names supplied for relation {name!r}")
+            self.register_table(name, columns[name], database.relation(name).rows)
+
+    def drop_graph(self, name: str) -> None:
+        """Forget a registered property-graph definition.
+
+        Dropping succeeds for broken graphs too (ones a later
+        ``register_table`` stopped compiling) — that is the documented way
+        to clear their error.  The engine is released so cached view
+        materializations for the dropped graph do not outlive it; dropping
+        an unknown name is a no-op and keeps warm caches intact.
+        """
+        if self._owner.drop_graph(name):
+            self._advance_snapshot(reset_engine=True)
+
+    def __enter__(self) -> "PGQSession":
+        return self

@@ -136,6 +136,46 @@ class SQLiteEngine:
         #: The compiled statement currently being prepared, so shared view
         #: tables can track their users for safe eviction.
         self._preparing_statement: Optional["_SQLiteCompiledQuery"] = None
+        #: Snapshot-cache scope attached by connections (see
+        #: :meth:`use_snapshot_cache`); ``None`` = private evaluation.
+        self._snapshot_scope = None
+
+    def use_snapshot_cache(self, scope) -> None:
+        """Attach a snapshot-cache scope for cross-connection sharing.
+
+        The SQLite backend's own state (the loaded ``:memory:`` database,
+        temp tables) is connection-affine and stays private, but the
+        *relational* work around it is shared: view-source relations are
+        read through the scope's cross-engine CSE entries, and the
+        oracle-fallback evaluator (n-ary identifier views, depth-bounded
+        repetition) shares materialized graph views under a
+        ``sqlite-fallback`` engine kind.
+        """
+        self._snapshot_scope = scope
+
+    def _fallback_evaluator(self, *, max_repetitions: Optional[int] = None) -> PGQEvaluator:
+        """A formal evaluator for queries the SQL path cannot serve,
+        snapshot-cache-attached when the engine is."""
+        evaluator = PGQEvaluator(self.database, max_repetitions=max_repetitions)
+        scope = self._snapshot_scope
+        if scope is not None:
+            evaluator.use_snapshot_cache(
+                scope.with_kind(("sqlite-fallback", max_repetitions))
+            )
+        return evaluator
+
+    def _source_relation(self, source: Query) -> Relation:
+        """Evaluate one view-source subquery, shared through the snapshot
+        cache when possible (every backend computes identical relations
+        for a concrete relational subquery)."""
+        scope = self._snapshot_scope
+        if scope is not None:
+            entry = scope.relation(
+                source, lambda: PGQEvaluator(self.database).evaluate(source)
+            )
+            if entry is not None:
+                return entry[0]
+        return PGQEvaluator(self.database).evaluate(source)
 
     #: Soft cap on cached shared view-table sets; entries beyond it are
     #: evicted oldest-first, but only once unreferenced (correctness wins
@@ -205,14 +245,15 @@ class SQLiteEngine:
         """
         query = resolve_bindings(query, bindings)
         if self.max_repetitions is not None and _contains_repetition(query):
-            fallback = PGQEvaluator(self.database, max_repetitions=self.max_repetitions)
-            return fallback.evaluate(query)
+            return self._fallback_evaluator(
+                max_repetitions=self.max_repetitions
+            ).evaluate(query)
         self._temp_tables_in_flight = []
         try:
             try:
                 sql, arity = self._compile(query)
             except _SQLUnsupported:
-                return PGQEvaluator(self.database).evaluate(query)
+                return self._fallback_evaluator().evaluate(query)
             rows = self.connection.execute(sql).fetchall()
         finally:
             self._drop_in_flight_temp_tables()
@@ -367,9 +408,7 @@ class SQLiteEngine:
                     if self._preparing_statement is not None:
                         users.add(self._preparing_statement)
                     return names
-        view_relations = tuple(
-            PGQEvaluator(self.database).evaluate(source) for source in query.sources
-        )
+        view_relations = tuple(self._source_relation(source) for source in query.sources)
         identifier_arity = infer_identifier_arity(view_relations)
         if identifier_arity != 1:
             raise _SQLUnsupported("the SQL backend compiles unary-identifier views only")

@@ -21,7 +21,12 @@ columns and decode back to identifiers only at output projection:
 
 Instances are immutable snapshots: :meth:`PropertyGraph.compact` caches
 one per graph and rebuilds it when the graph's mutation version moves, so
-executors never observe a stale encoding.
+executors never observe a stale encoding.  The build is lock-guarded and
+counted (``PropertyGraph.compact_build_count``): view graphs shared
+across connections of one database snapshot (the engine-level
+``SnapshotCache``) encode exactly once no matter how many executors race
+for the first use, and the snapshot cache's stats surface the encode
+count so sharing is testable.
 
 The module also hosts the **sharded reachability closure** used by the
 planner's repetition fixpoint: per-source frontier BFS over successor

@@ -15,6 +15,7 @@ class supports that uniformly.
 
 from __future__ import annotations
 
+import threading
 from types import MappingProxyType
 from typing import (
     Any,
@@ -77,6 +78,12 @@ class PropertyGraph:
         # never run on a stale encoding.
         self._version: int = 0
         self._compact: Optional["CompactGraph"] = None
+        # Guards the lazy compact build so concurrent executors sharing
+        # one snapshot graph encode it exactly once; ``_compact_builds``
+        # counts the encodes that actually ran (snapshot-cache stats
+        # assert one encode per shared view).
+        self._compact_lock = threading.Lock()
+        self._compact_builds: int = 0
 
     def _ensure_adjacency(self) -> None:
         if self._outgoing is None:
@@ -353,9 +360,21 @@ class PropertyGraph:
         cached = self._compact
         if cached is not None and cached.version == self._version:
             return cached
-        built = CompactGraph(self, version=self._version)
-        self._compact = built
+        # The build is lock-guarded: graphs shared across connections of
+        # one database snapshot must encode once, not once per racing
+        # executor (single-threaded callers pay one uncontended acquire).
+        with self._compact_lock:
+            cached = self._compact
+            if cached is not None and cached.version == self._version:
+                return cached
+            built = CompactGraph(self, version=self._version)
+            self._compact = built
+            self._compact_builds += 1
         return built
+
+    def compact_build_count(self) -> int:
+        """How many compact encodings this graph has paid for (stats)."""
+        return self._compact_builds
 
     def property_key_counts(self) -> Dict[str, int]:
         """Number of elements carrying each property key (statistics)."""

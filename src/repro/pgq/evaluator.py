@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Protocol, Tuple
+from typing import Dict, Iterator, Optional, Protocol, Tuple
 
 from repro.errors import ArityError, QueryError
 from repro.matching.endpoint import EndpointEvaluator, EvaluationCounters
@@ -91,6 +91,25 @@ class CompiledQuery:
         self.executions += 1
         return result
 
+    def execute_stream(
+        self, bindings: Optional[Bindings] = None, /, **named
+    ) -> Optional[Tuple[int, Iterator[Tuple]]]:
+        """Execute and *stream* the result when the engine supports it.
+
+        Returns ``(arity, row iterator)`` — the engine runs the plan
+        eagerly (binding and depth-bound errors surface here) and the
+        iterator yields distinct output rows incrementally — or ``None``
+        when the engine or query shape cannot stream, in which case the
+        caller falls back to the materializing :meth:`execute`.
+        """
+        stream = getattr(self.engine, "stream", None)
+        if stream is None:
+            return None
+        result = stream(self.query, bindings=merge_bindings(bindings, named))
+        if result is not None:
+            self.executions += 1
+        return result
+
     def close(self) -> None:
         """Release per-statement resources (none for in-memory engines)."""
 
@@ -160,6 +179,24 @@ class PGQEvaluator:
         #: Bindings of the in-flight evaluation ({} = fully concrete query);
         #: set by :meth:`evaluate`, read by the Select/GraphPattern cases.
         self._bindings: Bindings = {}
+        #: Snapshot-cache scope (``repro.engine.database.SnapshotScope``)
+        #: attached by connections: when present, materialized graph views
+        #: and concrete relational subquery results are read from / written
+        #: to the cross-connection snapshot cache instead of (only) the
+        #: engine-private memos above.
+        self._snapshot_scope = None
+
+    def use_snapshot_cache(self, scope) -> None:
+        """Attach a snapshot-cache scope for cross-connection sharing.
+
+        The engine must be bound to an immutable database snapshot (the
+        scope is keyed on the snapshot's content fingerprint); connections
+        over the same snapshot then pay each view materialization, compact
+        encoding and relational CSE result once, not once per engine.
+        Engines collecting per-evaluation statistics keep private views —
+        their matchers are wired to the collecting engine's counters.
+        """
+        self._snapshot_scope = scope
 
     def _make_matcher(self, graph) -> "PatternMatcher":
         """Oracle-interface hook: build the pattern matcher for one view."""
@@ -208,6 +245,54 @@ class PGQEvaluator:
             self.statistics.intermediate_rows += len(result)
         return result
 
+    def stream(
+        self, query: Query, bindings: Optional[Bindings] = None
+    ) -> Optional[Tuple[int, Iterator[Tuple]]]:
+        """Evaluate with a *streaming* projection, when the query allows it.
+
+        Serves root-level ``GraphPattern`` queries whose matcher exposes
+        ``stream_output`` (the planner's executor): the physical plan runs
+        eagerly — missing bindings, invalid views and depth-bound errors
+        all surface here, exactly like :meth:`evaluate` — and the returned
+        ``(arity, iterator)`` yields distinct output rows incrementally as
+        the projection decodes, without materializing the full row set.
+        Returns ``None`` for query shapes or matchers that cannot stream
+        (relational roots, the naive oracle); callers fall back to
+        :meth:`evaluate`.  Streaming matchers build output rows from a
+        fixed projection layout (``trusted_output_arity``), so the per-row
+        arity scan of the materializing path is not repeated here.
+        """
+        if not isinstance(query, GraphPattern):
+            return None
+        parameters = query_parameters(query)
+        if parameters:
+            require_bindings(parameters, bindings or {})
+            self._bindings = dict(bindings)  # type: ignore[arg-type]
+        else:
+            self._bindings = {}
+        self._memo = {}
+        try:
+            _graph, identifier_arity, matcher = self._resolve_graph_pattern(query)
+            stream_output = getattr(matcher, "stream_output", None)
+            if stream_output is None:
+                return None
+            active = self._bindings
+            if active and getattr(matcher, "supports_parameters", False):
+                rows = stream_output(query.output, bindings=active)
+            elif active:
+                return None
+            else:
+                rows = stream_output(query.output)
+            return output_arity(query.output, identifier_arity), rows
+        finally:
+            self._memo = None
+            self._bindings = {}
+
+    #: Compound relational nodes worth sharing across queries through the
+    #: snapshot cache (leaves are free to re-evaluate; GraphPattern has its
+    #: own shared view entry).
+    _CSE_NODES = (Project, Select, Product, Union, Difference)
+
     def _eval(self, query: Query) -> Relation:
         memo = self._memo
         if memo is None:
@@ -218,6 +303,17 @@ class PGQEvaluator:
             return self._eval_node(query)
         if cached is not None:
             return cached
+        scope = self._snapshot_scope
+        if scope is not None and not self._bindings and isinstance(query, self._CSE_NODES):
+            # Cross-query relational CSE: concrete (binding-free) compound
+            # subqueries evaluate once per snapshot, shared by every
+            # engine over it — the snapshot is immutable, so the result
+            # relation can never go stale.
+            entry = scope.relation(query, lambda: self._eval_node(query))
+            if entry is not None:
+                result = entry[0]
+                memo[query] = result
+                return result
         result = self._eval_node(query)
         memo[query] = result
         return result
@@ -285,7 +381,33 @@ class PGQEvaluator:
             return None
         return key
 
-    def _eval_graph_pattern(self, query: GraphPattern) -> Relation:
+    def _build_view(
+        self, sources: Tuple, max_arity: Optional[int]
+    ) -> Tuple[PropertyGraph, int, "PatternMatcher"]:
+        """Cold path: evaluate the view subqueries, materialize the graph,
+        build its pattern matcher."""
+        view_relations = tuple(self._eval(source) for source in sources)
+        if self.statistics is not None:
+            self.statistics.intermediate_rows += sum(len(r) for r in view_relations)
+        graph, identifier_arity = materialize_graph(view_relations, max_arity)
+        if self.statistics is not None:
+            self.statistics.views_built += 1
+            self.statistics.view_nodes += graph.node_count()
+            self.statistics.view_edges += graph.edge_count()
+        return graph, identifier_arity, self._make_matcher(graph)
+
+    def _resolve_graph_pattern(
+        self, query: GraphPattern
+    ) -> Tuple[PropertyGraph, int, "PatternMatcher"]:
+        """The pattern's materialized view and matcher, cached or built.
+
+        Resolution order: the engine-private view LRU, then the shared
+        snapshot cache (when a scope is attached and the engine is not
+        collecting statistics — statistics-wired matchers must stay
+        private), then a cold build.  Bindings of the in-flight execution
+        are applied to the source subqueries first, so the cache key
+        always reflects the concrete data.
+        """
         bindings = self._bindings
         sources = query.sources
         if bindings:
@@ -297,24 +419,25 @@ class PGQEvaluator:
         key = self._view_cache_key(sources, query.max_arity)
         cached = self._views.get(key) if key is not None else None
         if cached is not None:
-            graph, identifier_arity, matcher = cached
             self._views.move_to_end(key)
             if self.statistics is not None:
                 self.statistics.views_reused += 1
-        else:
-            view_relations = tuple(self._eval(source) for source in sources)
-            if self.statistics is not None:
-                self.statistics.intermediate_rows += sum(len(r) for r in view_relations)
-            graph, identifier_arity = materialize_graph(view_relations, query.max_arity)
-            if self.statistics is not None:
-                self.statistics.views_built += 1
-                self.statistics.view_nodes += graph.node_count()
-                self.statistics.view_edges += graph.edge_count()
-            matcher = self._make_matcher(graph)
-            if key is not None:
-                self._views[key] = (graph, identifier_arity, matcher)
-                if len(self._views) > self._views_maxsize:
-                    self._views.popitem(last=False)
+            return cached
+        scope = self._snapshot_scope
+        if scope is not None and key is not None and self.statistics is None:
+            entry = scope.view(key, lambda: self._build_view(sources, query.max_arity))
+            if entry is not None:
+                return entry[0]
+        built = self._build_view(sources, query.max_arity)
+        if key is not None:
+            self._views[key] = built
+            if len(self._views) > self._views_maxsize:
+                self._views.popitem(last=False)
+        return built
+
+    def _eval_graph_pattern(self, query: GraphPattern) -> Relation:
+        bindings = self._bindings
+        graph, identifier_arity, matcher = self._resolve_graph_pattern(query)
         if bindings and getattr(matcher, "supports_parameters", False):
             # Parameter-aware matchers (the planner) keep the parameterized
             # pattern as their plan-cache key and bind per execution: one

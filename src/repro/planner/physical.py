@@ -35,12 +35,14 @@ executor, i.e. per graph, so the effective memo key is (graph, pattern).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     TYPE_CHECKING,
     Dict,
     FrozenSet,
+    Iterator,
     List,
     NamedTuple,
     Optional,
@@ -153,8 +155,19 @@ class PlanCache:
     one cache (see the cross-session regression tests).
     """
 
-    def __init__(self, maxsize: int = 512):
+    def __init__(self, maxsize: int = 512, *, shared: bool = False):
         self.maxsize = maxsize
+        #: Provenance flag: ``True`` when the cache is owned by a
+        #: cross-connection scope (a snapshot cache) rather than one
+        #: engine.  Shared caches say so in :meth:`info` — counters then
+        #: aggregate every sharer's activity and survive engine swaps,
+        #: instead of silently resetting with the engine.
+        self.shared = shared
+        #: Guards the LRU structure and counters: snapshot-scoped caches
+        #: serve several connections' engines concurrently, and holding
+        #: the lock across a cold ``optimize`` also makes each plan shape
+        #: compile exactly once under contention.
+        self._lock = threading.Lock()
         self._plans: "OrderedDict[Tuple, Tuple[LogicalPlan, bool]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -180,34 +193,38 @@ class PlanCache:
         needed = frozenset(needed)
         key = (pattern, needed, stats.fingerprint() if stats is not None else None)
         try:
-            entry = self._plans.get(key)
+            hash(key)
         except TypeError:  # unhashable constant somewhere in a condition
-            self.uncacheable += 1
+            with self._lock:
+                self.uncacheable += 1
             return optimize(build_logical_plan(pattern), needed, stats)
-        if entry is not None:
-            plan, parameterized = entry
-            self.hits += 1
+        with self._lock:
+            entry = self._plans.get(key)
+            if entry is not None:
+                plan, parameterized = entry
+                self.hits += 1
+                if parameterized:
+                    self.prepared_hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            parameterized = bool(pattern_parameters(pattern))
+            self.misses += 1
             if parameterized:
-                self.prepared_hits += 1
-            self._plans.move_to_end(key)
+                self.prepared_misses += 1
+            plan = optimize(build_logical_plan(pattern), needed, stats)
+            self._plans[key] = (plan, parameterized)
+            if len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
             return plan
-        parameterized = bool(pattern_parameters(pattern))
-        self.misses += 1
-        if parameterized:
-            self.prepared_misses += 1
-        plan = optimize(build_logical_plan(pattern), needed, stats)
-        self._plans[key] = (plan, parameterized)
-        if len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
-        return plan
 
     def clear(self) -> None:
-        self._plans.clear()
-        self.hits = 0
-        self.misses = 0
-        self.uncacheable = 0
-        self.prepared_hits = 0
-        self.prepared_misses = 0
+        with self._lock:
+            self._plans.clear()
+            self.hits = 0
+            self.misses = 0
+            self.uncacheable = 0
+            self.prepared_hits = 0
+            self.prepared_misses = 0
 
     def info(self) -> Dict[str, float]:
         """Cache statistics; counts are ints, ``compact_encode_s`` (when
@@ -222,6 +239,10 @@ class PlanCache:
             "uncacheable": self.uncacheable,
             "size": len(self._plans),
         }
+        if self.shared:
+            # Only shared caches carry the flag: bare/private caches keep
+            # the legacy info shape their tests (and callers) rely on.
+            info["shared"] = True
         if self.counters is not None:
             info["fixpoint_shards"] = self.counters.fixpoint_shards
             info["parallel_rounds"] = self.counters.parallel_rounds
@@ -343,14 +364,9 @@ class PlanExecutor:
     # ------------------------------------------------------------------ #
     # Oracle interface
     # ------------------------------------------------------------------ #
-    def evaluate_output(self, output: OutputPattern, bindings=None) -> FrozenSet[Tuple]:
-        """Plan, execute and project one output pattern on the graph.
-
-        ``bindings`` resolve the pattern's parameter slots *after* plan
-        compilation: the (cached) plan is keyed on the parameterized shape
-        and the substitution below is a cheap structural walk, so repeated
-        executions with different bindings never recompile.
-        """
+    def _plan_for_output(self, output: OutputPattern, bindings) -> LogicalPlan:
+        """Shared front half of the oracle interface: validate, fetch the
+        (cached) plan for the parameterized shape, bind, trim memos."""
         output.validate()
         self._invalidate_if_mutated()
         needed = frozenset(output.output_variables())
@@ -364,6 +380,17 @@ class PlanExecutor:
             self._tables.clear()
         if len(self._compact_tables) > self._MEMO_MAX:
             self._compact_tables.clear()
+        return plan
+
+    def evaluate_output(self, output: OutputPattern, bindings=None) -> FrozenSet[Tuple]:
+        """Plan, execute and project one output pattern on the graph.
+
+        ``bindings`` resolve the pattern's parameter slots *after* plan
+        compilation: the (cached) plan is keyed on the parameterized shape
+        and the substitution below is a cheap structural walk, so repeated
+        executions with different bindings never recompile.
+        """
+        plan = self._plan_for_output(output, bindings)
         if self.compact:
             counters = self.counters
             snapshot = (
@@ -390,10 +417,81 @@ class PlanExecutor:
                 ) = snapshot
         return self.execute_output(plan, output)
 
-    def execute_output(self, plan: LogicalPlan, output: OutputPattern) -> FrozenSet[Tuple]:
+    # ------------------------------------------------------------------ #
+    # Streaming projection (server-side cursors)
+    # ------------------------------------------------------------------ #
+    def stream_output(self, output: OutputPattern, bindings=None) -> Iterator[Tuple]:
+        """Plan and execute eagerly, then *stream* the output projection.
+
+        The physical plan (scans, joins, the repetition fixpoint) runs
+        before this method returns — so binding errors, depth-bound
+        ``PatternError`` and plan failures surface at call time exactly
+        like :meth:`evaluate_output` — but projection and identifier
+        decoding are deferred: the returned generator yields distinct
+        output rows one at a time instead of materializing the full
+        frozenset.  Mask-form repetition results decode straight from the
+        reachability bitmasks, so the first row of a large closure is
+        available in O(1) after the fixpoint.
+        """
+        plan = self._plan_for_output(output, bindings)
+        if self.compact:
+            counters = self.counters
+            snapshot = (
+                counters.rows_produced,
+                counters.join_probes,
+                counters.fixpoint_rounds,
+                counters.delta_pairs,
+                counters.fixpoint_shards,
+                counters.parallel_rounds,
+            )
+            try:
+                table = self.execute_compact(plan)
+            except _CompactUnsupported:
+                (
+                    counters.rows_produced,
+                    counters.join_probes,
+                    counters.fixpoint_rounds,
+                    counters.delta_pairs,
+                    counters.fixpoint_shards,
+                    counters.parallel_rounds,
+                ) = snapshot
+            else:
+                return self._stream_project_compact(table, output)
         columns, rows = self.execute(plan)
-        # Pre-resolve each output item to (row index, property index or
-        # None); property values come from one bulk pass per key.
+        return self._stream_project_boxed(columns, rows, output)
+
+    def _resolve_compact_items(
+        self, table: CompactTable, output: OutputPattern
+    ) -> List[Tuple[Optional[int], Optional[List], bool]]:
+        """Pre-resolve output items against a compact table: ``(row index,
+        decoder, is_property)`` per item — the decoder is an interning
+        table for plain variables and a dense value column for property
+        references.  Shared by the materializing and streaming paths so
+        the resolution rules can never diverge between them."""
+        encoded = self._compact_graph()
+        columns, kinds = table.columns, table.kinds
+        decoders = {"node": encoded.node_ids, "edge": encoded.edge_ids}
+        items: List[Tuple[Optional[int], Optional[List], bool]] = []
+        for item in output.items:
+            if isinstance(item, PropertyRef):
+                index = columns.get(item.variable)
+                values = None
+                if index is not None:  # unbound variable: rows drop anyway
+                    kind = kinds.get(item.variable, "node")
+                    values = encoded.property_column(item.key, kind)
+                items.append((index, values, True))
+            else:
+                index = columns.get(item)
+                ids = decoders[kinds.get(item, "node")] if index is not None else None
+                items.append((index, ids, False))
+        return items
+
+    def _resolve_boxed_items(
+        self, columns: ColumnMap, output: OutputPattern
+    ) -> List[Tuple[Optional[int], Optional[Dict[Identifier, object]]]]:
+        """Pre-resolve output items against a boxed table: ``(row index,
+        property index or None)`` per item, property values from one bulk
+        pass per key.  Shared by both projection paths."""
         items: List[Tuple[Optional[int], Optional[Dict[Identifier, object]]]] = []
         property_indexes: Dict[str, Dict[Identifier, object]] = {}
         for item in output.items:
@@ -408,6 +506,115 @@ class PlanExecutor:
                 items.append((index, values))
             else:
                 items.append((columns.get(item), None))
+        return items
+
+    def _stream_project_compact(
+        self, table: CompactTable, output: OutputPattern
+    ) -> Iterator[Tuple]:
+        """Generator over the decoded projection of a compact table."""
+        items = self._resolve_compact_items(table, output)
+        plain = bool(items) and all(not p and i is not None for i, _, p in items)
+        if plain and table.masks is not None:
+            masks = table.masks
+            if len(items) == 1:
+                index, ids, _ = items[0]
+
+                def stream_single() -> Iterator[Tuple]:
+                    if index == 0:
+                        for i, mask in enumerate(masks):
+                            if mask:
+                                yield ids[i]
+                    else:
+                        union = 0
+                        for mask in masks:
+                            union |= mask
+                        for j in iter_bits(union):
+                            yield ids[j]
+
+                return stream_single()
+            if len(items) == 2 and {items[0][0], items[1][0]} == {0, 1}:
+                (i1, ids1, _), (_i2, ids2, _) = items
+                swapped = i1 == 1
+
+                def stream_pairs() -> Iterator[Tuple]:
+                    # (i, j) pairs are distinct and identifier decoding is
+                    # injective per ID space, so no dedup set is needed.
+                    for i, mask in enumerate(masks):
+                        if not mask:
+                            continue
+                        if swapped:
+                            tail = ids2[i]
+                            for j in iter_bits(mask):
+                                yield ids1[j] + tail
+                        else:
+                            head = ids1[i]
+                            for j in iter_bits(mask):
+                                yield head + ids2[j]
+
+                return stream_pairs()
+        rows = self._unpacked(table).rows
+
+        def stream_rows() -> Iterator[Tuple]:
+            seen: Set[Tuple] = set()
+            for row in rows:
+                projected: List = []
+                defined = True
+                for index, decoder, is_property in items:
+                    if index is None:
+                        defined = False
+                        break
+                    value_id = row[index]
+                    if is_property:
+                        value = decoder[value_id]
+                        if value is _COMPACT_MISSING:
+                            defined = False
+                            break
+                        projected.append(value)
+                    else:
+                        projected.extend(decoder[value_id])
+                if defined:
+                    result = tuple(projected)
+                    if result not in seen:
+                        seen.add(result)
+                        yield result
+
+        return stream_rows()
+
+    def _stream_project_boxed(
+        self, columns: ColumnMap, rows: Set[Row], output: OutputPattern
+    ) -> Iterator[Tuple]:
+        """Generator over the projection of a boxed-identifier table."""
+        items = self._resolve_boxed_items(columns, output)
+
+        def stream_rows() -> Iterator[Tuple]:
+            seen: Set[Tuple] = set()
+            for row in rows:
+                projected: List = []
+                defined = True
+                for index, values in items:
+                    if index is None:
+                        defined = False
+                        break
+                    element = row[index]
+                    if values is None:
+                        projected.extend(element)
+                    else:
+                        value = values.get(element, _MISSING)
+                        if value is _MISSING:
+                            defined = False
+                            break
+                        projected.append(value)
+                if defined:
+                    result = tuple(projected)
+                    if result not in seen:
+                        seen.add(result)
+                        yield result
+
+        return stream_rows()
+
+    def execute_output(self, plan: LogicalPlan, output: OutputPattern) -> FrozenSet[Tuple]:
+        columns, rows = self.execute(plan)
+        items = self._resolve_boxed_items(columns, output)
         # Fast path: outputs of plain variables are concatenations of
         # identifier tuples — no property lookups, no undefinedness.
         if items and all(v is None and i is not None for i, v in items):
@@ -1298,26 +1505,8 @@ class PlanExecutor:
     def _execute_output_compact(
         self, plan: LogicalPlan, output: OutputPattern
     ) -> FrozenSet[Tuple]:
-        encoded = self._compact_graph()
         table = self.execute_compact(plan)
-        columns, kinds = table.columns, table.kinds
-        decoders = {"node": encoded.node_ids, "edge": encoded.edge_ids}
-        # Pre-resolve each output item to (row index, decoder, is_property):
-        # decoder is an interning table for plain variables and a dense
-        # value column for property references.
-        items: List[Tuple[Optional[int], Optional[List], bool]] = []
-        for item in output.items:
-            if isinstance(item, PropertyRef):
-                index = columns.get(item.variable)
-                values = None
-                if index is not None:  # unbound variable: rows drop anyway
-                    kind = kinds.get(item.variable, "node")
-                    values = encoded.property_column(item.key, kind)
-                items.append((index, values, True))
-            else:
-                index = columns.get(item)
-                ids = decoders[kinds.get(item, "node")] if index is not None else None
-                items.append((index, ids, False))
+        items = self._resolve_compact_items(table, output)
         # Fast path: outputs of plain bound variables decode straight from
         # the interning tables (mask-form pair relations without ever
         # materializing intermediate int rows).

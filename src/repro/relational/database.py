@@ -10,6 +10,7 @@ relation and as a comparison function, which the FO[TC] layer relies on.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.errors import SchemaError
@@ -35,6 +36,7 @@ class Database:
             self._validate_against(schema)
         self._schema = schema
         self._adom_cache: Optional[Tuple[Any, ...]] = None
+        self._fingerprint_cache: Optional[str] = None
 
     def _validate_against(self, schema: Schema) -> None:
         for name, relation in self._relations.items():
@@ -126,6 +128,37 @@ class Database:
     def total_rows(self) -> int:
         """Total number of tuples across all relations (the database size)."""
         return sum(len(rel) for rel in self._relations.values())
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of the database contents (names, column
+        names, rows).
+
+        Two database instances holding the same relations produce the
+        same fingerprint, which is what lets snapshot-scoped caches
+        (:class:`repro.engine.database.SnapshotCache`) key shared derived
+        state — materialized views, compact encodings, plans — on *data
+        identity* rather than object identity.  Values are serialized via
+        ``repr`` under the same convention as the active-domain order, so
+        the digest is deterministic within a process family; computed
+        once per instance (instances are immutable).
+        """
+        if self._fingerprint_cache is None:
+            digest = hashlib.sha256()
+            for name in sorted(self._relations):
+                relation = self._relations[name]
+                columns = (
+                    self._schema.relation(name).columns if name in self._schema else None
+                )
+                # Per-relation digests are cached on the (immutable,
+                # version-shared) Relation instances, so re-fingerprinting
+                # after a catalog change rehashes only changed relations.
+                digest.update(
+                    f"{name!r}/{columns!r}/{relation.content_digest()}\n".encode(
+                        "utf-8", "replace"
+                    )
+                )
+            self._fingerprint_cache = digest.hexdigest()
+        return self._fingerprint_cache
 
     # ------------------------------------------------------------------ #
     # Active domain and order (Remark 2.1)

@@ -44,7 +44,7 @@ class Relation:
     either empty (false) or the singleton containing the empty tuple (true).
     """
 
-    __slots__ = ("_arity", "_rows", "_name")
+    __slots__ = ("_arity", "_rows", "_name", "_digest")
 
     def __init__(self, arity: int, rows: Iterable[Any] = (), *, name: Optional[str] = None):
         if arity < 0:
@@ -61,6 +61,7 @@ class Relation:
         self._arity = arity
         self._rows: FrozenSet[Row] = frozenset(normalized)
         self._name = name
+        self._digest: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -94,7 +95,25 @@ class Relation:
         relation._arity = arity
         relation._rows = frozenset(rows)
         relation._name = name
+        relation._digest = None
         return relation
+
+    def content_digest(self) -> str:
+        """Stable hex digest of this relation's rows (arity included).
+
+        Cached on the instance: relations are immutable and reused across
+        database versions, so a catalog fingerprint over many versions
+        rehashes only the relations that actually changed.
+        """
+        if self._digest is None:
+            import hashlib
+
+            digest = hashlib.sha256(f"{self._arity}\n".encode("ascii"))
+            for row in sorted(self._rows, key=repr):
+                digest.update(repr(row).encode("utf-8", "replace"))
+                digest.update(b"\n")
+            self._digest = digest.hexdigest()
+        return self._digest
 
     @classmethod
     def unary(cls, values: Iterable[Any], *, name: Optional[str] = None) -> "Relation":

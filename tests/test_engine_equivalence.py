@@ -203,15 +203,40 @@ def _transfer_session(engine: str, seed: int) -> PGQSession:
     return session
 
 
+def _transfer_catalog(seed: int):
+    """A Database catalog with the randomized transfer workload loaded."""
+    import random
+
+    from repro.engine.database import Database as CatalogDatabase
+
+    rng = random.Random(seed)
+    accounts = [f"A{i}" for i in range(8)]
+    db = CatalogDatabase()
+    db.create_table("Account", ["iban"], [(a,) for a in accounts])
+    db.create_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(accounts), rng.choice(accounts), i, rng.randint(1, 500))
+            for i in range(20)
+        ],
+    )
+    db.execute(DDL)
+    return db
+
+
 @settings(max_examples=10, deadline=None)
 @given(seed=st.integers(min_value=0, max_value=10_000), index=st.integers(0, len(QUERIES) - 1))
 def test_session_equivalence_across_engines(seed, index):
+    # All three engines connect over ONE snapshot of one Database — the
+    # new Connection API — sharing the snapshot cache across engine kinds.
     results = {}
-    for engine in ("naive", "planned", "sqlite"):
-        with _transfer_session(engine, seed) as session:
-            results[engine] = session.execute(QUERIES[index])
-    assert results["naive"].equals_unordered(results["planned"])
-    assert results["naive"].equals_unordered(results["sqlite"])
+    with _transfer_catalog(seed) as db:
+        for engine in ("naive", "planned", "sqlite"):
+            with db.connect(engine=engine) as connection:
+                results[engine] = connection.execute(QUERIES[index])
+        assert results["naive"].equals_unordered(results["planned"])
+        assert results["naive"].equals_unordered(results["sqlite"])
 
 
 #: Parameterized statement shapes exercising every slot position the
