@@ -37,6 +37,15 @@ level (>= 2x) where the columnar change applies in isolation.  The
 query-level pairs ratio is Amdahl-bound by the shared relational/view
 layer (see ROADMAP) and is recorded, not gated.
 
+The ``observability_gate`` workload (PR 6) times the full Database →
+Connection stack with the default disabled tracer against the warm
+engine invoked directly on the largest transfers size; the smoke job
+asserts the instrumented-but-off path adds < 3%.  Every timed sample
+additionally feeds a per-workload latency histogram; the payload's
+``latency_percentiles`` section reports p50/p95/p99 (computed by the
+``repro.observability.metrics.Histogram`` the engine itself uses)
+alongside the best-of timings in the ``workloads`` tables.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_planner.py            # full run
@@ -97,14 +106,51 @@ PREPARED_QUERY = """SELECT * FROM GRAPH_TABLE ( Transfers
   COLUMNS (x.iban, y.iban) )"""
 
 
-def _time(function: Callable[[], object], repeats: int) -> float:
-    """Best-of-N wall-clock seconds for one call."""
+#: Per-label raw timing samples collected by :func:`_time`; rendered into
+#: the ``latency_percentiles`` payload section (p50/p95/p99 alongside the
+#: best-of numbers the gates use).
+_LATENCY_SAMPLES: Dict[str, List[float]] = {}
+
+
+def _time(function: Callable[[], object], repeats: int, label: str | None = None) -> float:
+    """Best-of-N wall-clock seconds for one call.
+
+    With ``label`` set, every individual sample is also recorded for the
+    percentile summary — best-of stays the headline (and gate) number,
+    the percentiles document run-to-run spread.
+    """
+    samples = _LATENCY_SAMPLES.setdefault(label, []) if label is not None else None
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
         function()
-        best = min(best, time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        if samples is not None:
+            samples.append(elapsed)
+        best = min(best, elapsed)
     return best
+
+
+def _latency_percentiles() -> Dict[str, dict]:
+    """p50/p95/p99 per labelled timing series, via the observability
+    histogram (exact while the sample count fits its reservoir)."""
+    from repro.observability.metrics import Histogram
+
+    summary: Dict[str, dict] = {}
+    for label in sorted(_LATENCY_SAMPLES):
+        samples = _LATENCY_SAMPLES[label]
+        histogram = Histogram()
+        for value in samples:
+            histogram.observe(value)
+        quantiles = histogram.percentiles()
+        summary[label] = {
+            "count": len(samples),
+            "best_s": min(samples),
+            "p50_s": quantiles["p50"],
+            "p95_s": quantiles["p95"],
+            "p99_s": quantiles["p99"],
+        }
+    return summary
 
 
 def _filtered_reachability_output(threshold: int = 500):
@@ -159,11 +205,12 @@ def bench_transfers(sizes, repeats: int) -> Dict[str, List[dict]]:
         assert columnar_engine.evaluate(query).rows == expected.rows
         assert sqlite_engine.evaluate(query).rows == expected.rows
 
-        naive_s = _time(lambda: naive_engine.evaluate(query), repeats)
-        planned_s = _time(lambda: planned_engine.evaluate(query), repeats)
-        costed_s = _time(lambda: costed_engine.evaluate(query), repeats)
-        columnar_s = _time(lambda: columnar_engine.evaluate(query), repeats)
-        sqlite_s = _time(lambda: sqlite_engine.evaluate(query), repeats)
+        tag = f"transfers_query[{accounts}x{transfers}]"
+        naive_s = _time(lambda: naive_engine.evaluate(query), repeats, f"{tag}.naive")
+        planned_s = _time(lambda: planned_engine.evaluate(query), repeats, f"{tag}.planned")
+        costed_s = _time(lambda: costed_engine.evaluate(query), repeats, f"{tag}.costed")
+        columnar_s = _time(lambda: columnar_engine.evaluate(query), repeats, f"{tag}.columnar")
+        sqlite_s = _time(lambda: sqlite_engine.evaluate(query), repeats, f"{tag}.sqlite")
         sqlite_engine.close()
         query_rows.append(
             {
@@ -227,11 +274,12 @@ def bench_pairs(sizes, repeats: int) -> Dict[str, List[dict]]:
         assert columnar_engine.evaluate(query).rows == expected.rows
         assert sqlite_engine.evaluate(query).rows == expected.rows
 
-        naive_s = _time(lambda: naive_engine.evaluate(query), repeats)
-        planned_s = _time(lambda: planned_engine.evaluate(query), repeats)
-        costed_s = _time(lambda: costed_engine.evaluate(query), repeats)
-        columnar_s = _time(lambda: columnar_engine.evaluate(query), repeats)
-        sqlite_s = _time(lambda: sqlite_engine.evaluate(query), repeats)
+        tag = f"pairs_reachability[{values}]"
+        naive_s = _time(lambda: naive_engine.evaluate(query), repeats, f"{tag}.naive")
+        planned_s = _time(lambda: planned_engine.evaluate(query), repeats, f"{tag}.planned")
+        costed_s = _time(lambda: costed_engine.evaluate(query), repeats, f"{tag}.costed")
+        columnar_s = _time(lambda: columnar_engine.evaluate(query), repeats, f"{tag}.columnar")
+        sqlite_s = _time(lambda: sqlite_engine.evaluate(query), repeats, f"{tag}.sqlite")
         sqlite_engine.close()
         query_rows.append(
             {
@@ -409,8 +457,8 @@ def bench_prepared(repeats: int) -> Dict[str, List[dict]]:
         for threshold in thresholds:
             prepared.execute(minimum=threshold)
 
-    adhoc_s = _time(adhoc_sweep, repeats)
-    prepared_s = _time(prepared_sweep, repeats)
+    adhoc_s = _time(adhoc_sweep, repeats, "prepared_session.adhoc")
+    prepared_s = _time(prepared_sweep, repeats, "prepared_session.prepared")
     info = session._get_engine().plan_cache.info()
     session.close()
     return {
@@ -489,8 +537,8 @@ def bench_snapshot_session(repeats: int) -> Dict[str, List[dict]]:
     def warm_run() -> None:
         warm_db.connect(engine="planned").execute(query_text).rows
 
-    cold_s = _time(cold_run, repeats)
-    warm_s = _time(warm_run, repeats)
+    cold_s = _time(cold_run, repeats, "snapshot_session.cold")
+    warm_s = _time(warm_run, repeats, "snapshot_session.warm")
     stats = warm_db.snapshot_cache.stats()
     return {
         "snapshot_session": [
@@ -526,8 +574,10 @@ def bench_columnar_gate(repeats: int) -> Dict[str, List[dict]]:
     costed = PlannedEngine(view_db, reuse_views=False, compact=False)
     columnar = PlannedEngine(view_db, reuse_views=False)
     assert costed.evaluate(query).rows == columnar.evaluate(query).rows
-    costed_s = _time(lambda: costed.evaluate(query), repeats)
-    columnar_s = _time(lambda: columnar.evaluate(query), repeats)
+    costed_s = _time(lambda: costed.evaluate(query), repeats, "columnar_gate.transfers.costed")
+    columnar_s = _time(
+        lambda: columnar.evaluate(query), repeats, "columnar_gate.transfers.columnar"
+    )
     rows.append(
         {
             "workload": f"transfers_query {accounts}/{transfers}",
@@ -567,6 +617,76 @@ def bench_columnar_gate(repeats: int) -> Dict[str, List[dict]]:
     return {"columnar_gate": rows}
 
 
+#: Ceiling on the disabled-tracer stack overhead (percent), asserted by
+#: the CI smoke job: the Database -> Connection -> PreparedStatement path
+#: with the default NULL_TRACER may cost at most this much over invoking
+#: the warm engine directly.
+OBSERVABILITY_OVERHEAD_PCT = 3.0
+
+#: Workload of the observability gate: the largest transfers size.
+OBSERVABILITY_WORKLOAD = TRANSFER_SIZES[-1]
+
+
+def bench_observability_gate(repeats: int) -> Dict[str, List[dict]]:
+    """Disabled-tracer overhead on the largest transfers workload.
+
+    Both sides run the *same* warm engine instance on the *same* compiled
+    query: the baseline invokes ``engine.evaluate`` directly, the stack
+    side goes through ``Connection.execute`` (statement LRU, tracer
+    check, metrics recording, result wrapping) with tracing disabled —
+    so the ratio isolates everything the instrumented session layer adds
+    when observability is off.  The smoke job asserts the
+    ``OBSERVABILITY_OVERHEAD_PCT`` ceiling.
+    """
+    import random
+
+    from repro.engine.database import Database as CatalogDatabase
+    from repro.sqlpgq.compiler import compile_query
+    from repro.sqlpgq.parser import parse_statement
+
+    repeats = max(repeats, 5)
+    accounts, transfers = OBSERVABILITY_WORKLOAD
+    rng = random.Random(29)
+    names = [f"A{i}" for i in range(accounts)]
+    db = CatalogDatabase()
+    db.create_table("Account", ["iban"], [(name,) for name in names])
+    db.create_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(names), rng.choice(names), i, rng.randint(1, 1000))
+            for i in range(transfers)
+        ],
+    )
+    db.execute(PREPARED_DDL)
+    text = PREPARED_QUERY.replace(":minimum", "500")
+    connection = db.connect(engine="planned")
+    warm = connection.execute(text)
+    statement = parse_statement(text)
+    query = compile_query(statement, connection.catalog)
+    engine = connection._get_engine()
+    assert warm.equals_unordered(engine.evaluate(query).rows)
+
+    raw_s = _time(
+        lambda: engine.evaluate(query), repeats, "observability_gate.raw_engine"
+    )
+    stack_s = _time(
+        lambda: len(connection.execute(text)), repeats, "observability_gate.connection"
+    )
+    connection.close()
+    overhead_pct = round((stack_s / raw_s - 1.0) * 100, 2)
+    return {
+        "observability_gate": [
+            {
+                "workload": f"transfers_query {accounts}/{transfers}",
+                "raw_engine_s": raw_s,
+                "connection_s": stack_s,
+                "overhead_pct": overhead_pct,
+            }
+        ]
+    }
+
+
 def _print_table(title: str, rows: List[dict]) -> None:
     print(f"\n# {title}")
     if not rows:
@@ -602,6 +722,7 @@ def main(argv=None) -> int:
     workloads.update(bench_columnar_gate(repeats))
     workloads.update(bench_prepared(repeats))
     workloads.update(bench_snapshot_session(repeats))
+    workloads.update(bench_observability_gate(repeats))
 
     for name, rows in workloads.items():
         _print_table(name, rows)
@@ -617,6 +738,7 @@ def main(argv=None) -> int:
         ],
         "session_query_repeats": SESSION_QUERY_REPEATS,
         "workloads": workloads,
+        "latency_percentiles": _latency_percentiles(),
     }
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {args.output}")
@@ -654,6 +776,20 @@ def main(argv=None) -> int:
         print(
             f"snapshot_session: a warm-snapshot connection is {speedup}x a "
             f"cold private session (floor {snapshot_floor}x) [{status}]"
+        )
+    # Disabled-tracer overhead ceiling (smoke and full): the full
+    # Database -> Connection -> PreparedStatement stack with the default
+    # NULL_TRACER may add at most OBSERVABILITY_OVERHEAD_PCT over the
+    # warm engine invoked directly.
+    for row in workloads["observability_gate"]:
+        overhead = row["overhead_pct"]
+        above = overhead >= OBSERVABILITY_OVERHEAD_PCT
+        missed = missed or above
+        status = "ABOVE CEILING" if above else "ok"
+        print(
+            f"observability_gate {row['workload']}: disabled-tracer stack adds "
+            f"{overhead}% over the raw engine "
+            f"(ceiling {OBSERVABILITY_OVERHEAD_PCT}%) [{status}]"
         )
     if args.smoke:
         return 1 if missed else 0

@@ -51,6 +51,8 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import EngineError, ReproError
+from repro.observability.metrics import MetricsRegistry, default_registry
+from repro.observability.tracing import Tracer, tracer_from_env
 from repro.planner.physical import PlanCache
 from repro.relational.database import Database as RelationalDatabase
 from repro.relational.relation import Relation
@@ -86,6 +88,9 @@ class SnapshotCache:
         #: (successfully or not), so same-key racers wait instead of
         #: rebuilding and disjoint keys never serialize on each other.
         self._building: Dict[Tuple, threading.Event] = {}
+        #: Live referents per snapshot fingerprint (see :meth:`retain`):
+        #: when a fingerprint's WeakSet drains, its entries are GC'd.
+        self._referents: Dict[str, "weakref.WeakSet"] = {}
         self._stats: Dict[str, int] = {
             "views_built": 0,
             "views_shared_hits": 0,
@@ -94,6 +99,7 @@ class SnapshotCache:
             "plan_caches_built": 0,
             "plan_caches_shared_hits": 0,
             "evictions": 0,
+            "gc_evicted": 0,
         }
 
     def _get_or_build(
@@ -141,6 +147,53 @@ class SnapshotCache:
         settled.set()
         return value, True
 
+    # -- snapshot-level GC ----------------------------------------------- #
+    def retain(self, fingerprint: str, referent: Any) -> None:
+        """Register ``referent`` (a connection) as a live user of the
+        snapshot identified by ``fingerprint``.
+
+        Referents are held weakly; when the last one for a fingerprint is
+        garbage-collected, every cache entry keyed under that fingerprint
+        is dropped (tallied in the ``gc_evicted`` stat and the
+        ``repro_snapshot_cache_gc_evicted`` metric).  Entries for
+        fingerprints nobody ever retained — direct :class:`SnapshotScope`
+        users — are never GC'd this way.
+        """
+        with self._lock:
+            referents = self._referents.get(fingerprint)
+            if referents is None:
+                referents = self._referents[fingerprint] = weakref.WeakSet()
+            if referent not in referents:
+                referents.add(referent)
+                weakref.finalize(referent, self._collect_fingerprint, fingerprint)
+
+    def _collect_fingerprint(self, fingerprint: str) -> int:
+        """Drop ``fingerprint``'s entries if no live referent remains."""
+        with self._lock:
+            referents = self._referents.get(fingerprint)
+            if referents is None or len(referents):
+                return 0
+            del self._referents[fingerprint]
+            stale = [
+                key for key in self._entries if len(key) > 1 and key[1] == fingerprint
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._stats["gc_evicted"] += len(stale)
+            return len(stale)
+
+    def gc(self) -> int:
+        """Drop entries of every snapshot with no live referent left;
+        returns how many entries were evicted.
+
+        Runs automatically when a retaining connection is garbage
+        collected; calling it directly forces a sweep (useful after an
+        explicit ``del`` + ``gc.collect()``).
+        """
+        with self._lock:
+            fingerprints = list(self._referents)
+        return sum(self._collect_fingerprint(fp) for fp in fingerprints)
+
     def stats(self) -> Dict[str, int]:
         """Copy of the build/hit counters plus derived materialization
         figures (``views_cached``, ``compact_encodings``, ``entries``)."""
@@ -161,6 +214,7 @@ class SnapshotCache:
         """Drop every entry and reset the counters."""
         with self._lock:
             self._entries.clear()
+            self._referents.clear()
             for key in self._stats:
                 self._stats[key] = 0
 
@@ -351,10 +405,29 @@ class Database:
     tables — and clears the snapshot cache.
     """
 
-    def __init__(self, *, snapshot_cache: Optional[SnapshotCache] = None):
+    def __init__(
+        self,
+        *,
+        snapshot_cache: Optional[SnapshotCache] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        slow_query_seconds: Optional[float] = None,
+    ):
         """``snapshot_cache`` lets several databases (or processes' worth
         of sessions within one interpreter) share warm state; by default
-        each database owns a private cache."""
+        each database owns a private cache.
+
+        ``tracer`` is the query-lifecycle tracer connections inherit
+        (default: the one implied by the ``REPRO_TRACE`` env var, which
+        is the disabled :data:`~repro.observability.NULL_TRACER` when the
+        variable is unset).  ``metrics`` is the registry per-query
+        figures are recorded into (default: the process-shared
+        :func:`~repro.observability.default_registry`).
+        ``slow_query_seconds`` arms the slow-query log: completed queries
+        at or over the threshold emit a record — query text, bindings
+        shape, snapshot fingerprint, stage breakdown — to the tracer's
+        sinks and the ``repro.slow_query`` logger.
+        """
         self._lock = threading.RLock()
         self._relations: Dict[str, Relation] = {}
         self._columns: Dict[str, Tuple[str, ...]] = {}
@@ -368,6 +441,9 @@ class Database:
         self._cache = snapshot_cache if snapshot_cache is not None else SnapshotCache()
         self._connections: "weakref.WeakSet" = weakref.WeakSet()
         self._closed = False
+        self._tracer = tracer if tracer is not None else tracer_from_env()
+        self._metrics = metrics if metrics is not None else default_registry()
+        self.slow_query_seconds = slow_query_seconds
 
     # -- catalog state --------------------------------------------------- #
     @property
@@ -378,6 +454,41 @@ class Database:
     @property
     def snapshot_cache(self) -> SnapshotCache:
         return self._cache
+
+    # -- observability --------------------------------------------------- #
+    @property
+    def tracer(self) -> Tracer:
+        """The query-lifecycle tracer connections of this database inherit."""
+        return self._tracer
+
+    def use_tracer(self, tracer: Tracer) -> None:
+        """Swap the database tracer; connections pick it up per statement."""
+        self._tracer = tracer
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry per-query metrics are recorded into."""
+        return self._metrics
+
+    def set_slow_query_log(self, seconds: Optional[float]) -> None:
+        """Arm (or with ``None`` disarm) the slow-query log threshold."""
+        self.slow_query_seconds = seconds
+
+    def export_metrics(self) -> Dict[str, Any]:
+        """Snapshot of the registry with cache-level gauges synced in.
+
+        Folds the :meth:`SnapshotCache.stats` figures (cold builds,
+        shared hits, evictions — including ``gc_evicted``) into typed
+        gauges under ``repro_snapshot_cache_*`` before collecting, so one
+        call yields the complete per-process picture.  Use
+        ``self.metrics.to_prometheus()`` / ``to_json()`` for the wire
+        formats.
+        """
+        stats = self._cache.stats()
+        self._metrics.set_gauges(
+            {f"repro_snapshot_cache_{name}": value for name, value in stats.items()}
+        )
+        return self._metrics.collect()
 
     def table_names(self) -> Tuple[str, ...]:
         with self._lock:

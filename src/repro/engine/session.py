@@ -38,11 +38,13 @@ which is exactly the pre-snapshot behavior.  New code should hold a
 
 from __future__ import annotations
 
+import logging
 import threading
 import warnings
 import weakref
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -59,6 +61,21 @@ from typing import (
 
 from repro.errors import EngineError
 from repro.engine.registry import Engine, create_engine, engine_factory
+from repro.observability.analyze import (
+    ExecutionProfiler,
+    OperatorStats,
+    activate_profiler,
+    deactivate_profiler,
+)
+from repro.observability.tracing import (
+    NULL_TRACER,
+    RingBufferSink,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    trace_span,
+)
 from repro.parameters import Bindings, merge_bindings
 from repro.pgq.queries import Query
 from repro.relational.database import Database
@@ -74,6 +91,71 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only (import cycle guard)
 
 #: Sentinel distinguishing "argument not passed" from an explicit None.
 _UNSET: object = object()
+
+#: Slow-query records always go here too, independent of tracer sinks.
+_SLOW_QUERY_LOGGER = logging.getLogger("repro.slow_query")
+
+
+def _snippet(text: str, limit: int = 120) -> str:
+    """One-line, length-bounded rendering of a statement for span tags."""
+    flattened = " ".join(text.split())
+    return flattened if len(flattened) <= limit else flattened[: limit - 3] + "..."
+
+
+def _stats_from_span(record: Dict[str, Any]) -> OperatorStats:
+    """One emitted span record (and its children) as operator stats."""
+    tags = record.get("tags", {})
+    label = str(record.get("name", "span")).capitalize()
+    detail = [
+        f"{key}={tags[key]}"
+        for key in ("engine", "streamed", "sql", "sources")
+        if key in tags
+    ]
+    if detail:
+        label += " [" + ", ".join(detail) + "]"
+    stats = OperatorStats(
+        label=label,
+        wall_s=float(record.get("duration_s", 0.0)),
+        calls=1,
+        rows_out=tags.get("rows"),
+    )
+    stats.children = [_stats_from_span(child) for child in record.get("children", ())]
+    return stats
+
+
+def _traced_decode(tracer: Tracer, rows: Iterator[Tuple], statement_text: str):
+    """Wrap a streaming projection so the lazy per-row decode is timed.
+
+    Each ``next()`` is measured on the monotonic clock; when the stream
+    drains, one ``decode`` record with the accumulated decode time and
+    row count is emitted to the tracer's sinks (the root query span has
+    already closed by the time a streamed result decodes, so the decode
+    stage reports out-of-band).
+    """
+    count = 0
+    spent = 0.0
+    iterator = iter(rows)
+    while True:
+        mark = perf_counter()
+        try:
+            row = next(iterator)
+        except StopIteration:
+            spent += perf_counter() - mark
+            tracer.emit(
+                {
+                    "name": "decode",
+                    "duration_s": spent,
+                    "tags": {
+                        "rows": count,
+                        "statement": _snippet(statement_text),
+                        "per_row": True,
+                    },
+                }
+            )
+            return
+        spent += perf_counter() - mark
+        count += 1
+        yield row
 
 
 class QueryResult:
@@ -302,6 +384,10 @@ class Explain:
     snapshot: str = ""
     shared: Dict[str, int] = field(default_factory=dict)
     streamed: int = 0
+    #: Per-operator execution profile (wall time, rows, memo hits), set
+    #: by :meth:`Connection.explain_analyze` and rendered as an indented
+    #: tree by ``str(explain)``.
+    analyze: Optional[OperatorStats] = None
 
     def __str__(self) -> str:
         text = self.plan
@@ -336,6 +422,8 @@ class Explain:
                 f"views_built={self.shared.get('views_built', 0)} "
                 f"streamed={self.streamed}"
             )
+        if self.analyze is not None:
+            text += "\n-- EXPLAIN ANALYZE\n" + self.analyze.render()
         return text
 
     def __contains__(self, item: str) -> bool:
@@ -382,7 +470,8 @@ class PreparedStatement:
         self.close()
         session._check_graph_valid(self._statement.graph_name)
         query = compile_query(self._statement, session.catalog)
-        self._compiled = session._get_engine().prepare(query)
+        with trace_span("prepare", engine=session._engine_name):
+            self._compiled = session._get_engine().prepare(query)
         self._generation = session._generation
         self.parameter_names = tuple(self._compiled.parameter_names)
 
@@ -399,6 +488,44 @@ class PreparedStatement:
         """
         session = self._session
         merged = merge_bindings(params, named)
+        # Tracing is decided once per execution, here at statement setup:
+        # an ambient tracer (EXPLAIN ANALYZE, an activate() scope) wins,
+        # else the connection's tracer applies.  When both are disabled
+        # the run takes the plain path below — the only residue of the
+        # instrumentation is this check and the wall-clock pair the
+        # metrics and the slow-query log need anyway.
+        tracer = active_tracer()
+        if not tracer.enabled:
+            tracer = session._tracer
+        if tracer.enabled:
+            return self._execute_traced(session, merged, tracer)
+        start = perf_counter()
+        result = self._run(session, merged)
+        self._finish(session, merged, result, perf_counter() - start, root=None)
+        return result
+
+    def _execute_traced(self, session: "Connection", merged, tracer: Tracer) -> QueryResult:
+        """The instrumented execution path: a ``query`` root span wraps
+        the run, and stage spans (compile, plan, execute, ...) nest under
+        it from the instrumented layers below."""
+        token = None
+        if active_tracer() is not tracer:
+            token = activate(tracer)
+        try:
+            with tracer.span(
+                "query",
+                engine=session._engine_name,
+                statement=_snippet(self.text),
+                params=sorted(merged),
+            ) as root:
+                result = self._run(session, merged)
+            self._finish(session, merged, result, root.duration_s, root=root)
+            return result
+        finally:
+            if token is not None:
+                deactivate(token)
+
+    def _run(self, session: "Connection", merged) -> QueryResult:
         result: Optional[QueryResult] = None
         # The engine-invoking section runs under the connection lock:
         # engine evaluation state (in-flight bindings, per-evaluation
@@ -410,18 +537,38 @@ class PreparedStatement:
         with session._lock:
             self._ensure_compiled()
             stream = getattr(self._compiled, "execute_stream", None)
-            if stream is not None:
-                streamed = stream(merged)
-                if streamed is not None:
-                    arity, rows = streamed
-                    result = session._stream_result_for(self._statement, arity, rows)
-            if result is None:
-                relation = self._compiled.execute(merged)
-                result = session._result_for(self._statement, relation)
+            with trace_span("execute") as span:
+                if stream is not None:
+                    streamed = stream(merged)
+                    if streamed is not None:
+                        arity, rows = streamed
+                        span.tag(streamed=True)
+                        tracer = active_tracer()
+                        if tracer.enabled:
+                            rows = _traced_decode(tracer, rows, self.text)
+                        result = session._stream_result_for(self._statement, arity, rows)
+                if result is None:
+                    relation = self._compiled.execute(merged)
+                    span.tag(rows=len(relation))
+                    result = session._result_for(self._statement, relation)
+        return result
+
+    def _finish(
+        self,
+        session: "Connection",
+        merged,
+        result: QueryResult,
+        elapsed_s: float,
+        *,
+        root,
+    ) -> None:
+        """Post-execution bookkeeping shared by both paths: prepared
+        accounting, per-query metrics, and the slow-query check."""
         reused = self.executions > 0
         self.executions += 1
         session._note_prepared_execution(reused=reused)
-        return result
+        session._record_query_metrics(elapsed_s, result)
+        session._check_slow_query(self.text, merged, elapsed_s, root)
 
     def explain(self) -> Explain:
         """The statement's optimized plan plus per-statement reuse counts."""
@@ -479,12 +626,15 @@ class Connection:
         *,
         engine: str = "naive",
         max_repetitions: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
         **engine_options,
     ) -> None:
         """``engine_options`` are forwarded to the backend factory verbatim
         (e.g. ``compact=False`` or ``fixpoint_shards=8`` for the planned
         engine); factories ignore options that do not apply to them.
         ``snapshot=None`` pins lazily to the database's head on first use.
+        ``tracer`` overrides the owning database's query-lifecycle tracer
+        for this connection only.
         """
         engine_factory(engine)  # fail fast on unknown backend names
         self._owner = database
@@ -493,6 +643,22 @@ class Connection:
         self._engine_name = engine
         self._max_repetitions = max_repetitions
         self._engine: Optional[Engine] = None
+        #: The query-lifecycle tracer checked at statement setup; the
+        #: database default is the disabled NULL_TRACER singleton.
+        self._tracer: Tracer = (
+            tracer
+            if tracer is not None
+            else getattr(database, "_tracer", None) or NULL_TRACER
+        )
+        #: Engine plan-counter values at the last metrics flush, so each
+        #: query records only its own delta into the registry.
+        self._plan_counter_baseline: Dict[str, float] = {}
+        #: The snapshot fingerprint this connection keeps live in the
+        #: shared cache (snapshot-level GC: entries of fingerprints with
+        #: no live retaining connection are dropped).
+        self._retained_fingerprint: Optional[str] = None
+        if snapshot is not None:
+            self._retain_snapshot(snapshot)
         #: Bumped whenever prepared statements must recompile: snapshot
         #: moves, engine changes (``_invalidate_engine``) and DDL.
         self._generation = 0
@@ -523,6 +689,12 @@ class Connection:
         self._cache_baseline: Dict[str, float] = {}
         #: Results served through the streaming projection path.
         self._streamed_results = 0
+        #: Weak refs to live streamed results backed by engine state (e.g.
+        #: an open SQLite cursor); drained before the engine is closed or
+        #: replaced so results stay readable after ``close()``.  A plain
+        #: list of refs, not a WeakSet: hashing a QueryResult would
+        #: materialize it, defeating the stream.
+        self._live_streams: List["weakref.ref"] = []
 
     # ------------------------------------------------------------------ #
     # Snapshot and catalog surface
@@ -549,6 +721,14 @@ class Connection:
 
     def _check_graph_valid(self, name: str) -> None:
         self.snapshot.check_graph_valid(name)
+
+    def _retain_snapshot(self, snapshot: "Snapshot") -> None:
+        """Register this connection as a live user of the snapshot's
+        shared-cache entries (see :meth:`SnapshotCache.retain`)."""
+        fingerprint = snapshot.data_fingerprint
+        if fingerprint != self._retained_fingerprint:
+            snapshot.cache.retain(fingerprint, self)
+            self._retained_fingerprint = fingerprint
 
     def graph_names(self) -> Tuple[str, ...]:
         """All registered graphs, including ones a schema change broke
@@ -621,14 +801,32 @@ class Connection:
             tuple(sorted(self._engine_options.items(), key=lambda item: item[0])),
         )
 
+    def _drain_live_streams(self) -> None:
+        """Materialize streamed results that still read live engine state.
+
+        Streamed results are valid after ``close()`` (the historical
+        contract, and what the cross-engine tests rely on), but a SQLite
+        stream reads from an open cursor on the backend connection; pull
+        the remaining rows into the result buffer before that connection
+        (or a temp table it reads) goes away.
+        """
+        with self._lock:
+            streams, self._live_streams = self._live_streams, []
+        for ref in streams:
+            result = ref()
+            if result is not None:
+                result._materialize()
+
     def _invalidate_engine(self) -> None:
         with self._lock:
+            self._drain_live_streams()
             self._generation += 1
             engine = self._engine
             if engine is not None:
                 self._retire_cache_counters(engine)
                 engine.close()
                 self._engine = None
+                self._plan_counter_baseline = {}
 
     def _retire_cache_counters(self, engine: Engine) -> None:
         """Fold the retiring engine's plan-cache activity (measured from
@@ -659,6 +857,7 @@ class Connection:
         with self._lock:
             if self._engine is None:
                 snapshot = self.snapshot
+                self._retain_snapshot(snapshot)
                 engine = create_engine(
                     self._engine_name,
                     snapshot.database,
@@ -801,15 +1000,208 @@ class Connection:
         whenever it is asked for.
         """
         columns = self._result_columns(statement, arity)
+        result = QueryResult(columns, rows, order_key=repr, streamed=True)
         with self._lock:
             self._streamed_results += 1
-        return QueryResult(columns, rows, order_key=repr, streamed=True)
+            self._live_streams.append(weakref.ref(result))
+            if len(self._live_streams) > 64:  # prune collected results
+                self._live_streams = [
+                    ref for ref in self._live_streams if ref() is not None
+                ]
+        return result
 
     def _note_prepared_execution(self, *, reused: bool) -> None:
         with self._lock:
             self._prepared_executions += 1
             if reused:
                 self._prepared_reuse += 1
+
+    # ------------------------------------------------------------------ #
+    # Observability: tracing, metrics, slow queries, EXPLAIN ANALYZE
+    # ------------------------------------------------------------------ #
+    @property
+    def tracer(self) -> Tracer:
+        """The query-lifecycle tracer consulted at statement setup."""
+        return self._tracer
+
+    def use_tracer(self, tracer: Tracer) -> None:
+        """Attach a tracer to this connection (``NULL_TRACER`` disables)."""
+        self._tracer = tracer
+
+    #: ``PlanCounters`` attributes mirrored into registry counters, with
+    #: their metric names.
+    _COUNTER_METRICS = (
+        ("rows_produced", "repro_rows_produced_total"),
+        ("join_probes", "repro_join_probes_total"),
+        ("fixpoint_rounds", "repro_fixpoint_rounds_total"),
+    )
+
+    def _record_query_metrics(self, elapsed_s: float, result: QueryResult) -> None:
+        """Fold one completed query into the owning database's registry."""
+        registry = getattr(self._owner, "_metrics", None)
+        if registry is None:
+            return
+        engine = self._engine_name
+        registry.counter(
+            "repro_queries_total", "Completed GRAPH_TABLE queries", engine=engine
+        ).inc()
+        registry.histogram(
+            "repro_query_seconds", "Per-query wall-clock latency", engine=engine
+        ).observe(elapsed_s)
+        if result.streamed:
+            registry.counter(
+                "repro_streamed_results_total",
+                "Results served through the streaming projection path",
+                engine=engine,
+            ).inc()
+        counters = getattr(self._engine, "plan_counters", None)
+        if counters is not None:
+            baseline = self._plan_counter_baseline
+            current: Dict[str, float] = {}
+            for attribute, metric in self._COUNTER_METRICS:
+                value = getattr(counters, attribute, 0)
+                current[attribute] = value
+                delta = value - baseline.get(attribute, 0)
+                if delta > 0:
+                    registry.counter(metric, engine=engine).inc(delta)
+            self._plan_counter_baseline = current
+        plan_cache = getattr(self._engine, "plan_cache", None)
+        if plan_cache is not None:
+            info = plan_cache.info()
+            for key in ("hits", "misses", "prepared_hits", "prepared_misses", "size"):
+                registry.gauge(f"repro_plan_cache_{key}", engine=engine).set(
+                    info.get(key, 0)
+                )
+
+    def _check_slow_query(
+        self, text: str, merged, elapsed_s: float, root
+    ) -> None:
+        """Emit a slow-query record when the database threshold is hit.
+
+        The record carries the statement text, the bindings *shape*
+        (parameter names, never values), the snapshot fingerprint and —
+        when the run was traced — the per-stage breakdown of the root
+        span.  It goes to the run's tracer sinks (falling back to the
+        database tracer) and always to the ``repro.slow_query`` logger.
+        """
+        threshold = getattr(self._owner, "slow_query_seconds", None)
+        if threshold is None or elapsed_s < threshold:
+            return
+        record: Dict[str, Any] = {
+            "kind": "slow_query",
+            "engine": self._engine_name,
+            "duration_s": elapsed_s,
+            "threshold_s": threshold,
+            "statement": _snippet(text, limit=400),
+            "bindings": sorted(merged),
+            "snapshot": self.snapshot.fingerprint[:12],
+        }
+        if root is not None:
+            record["stages"] = [
+                {"name": child.name, "duration_s": child.duration_s}
+                for child in root.children
+            ]
+        emitter = self._tracer
+        tracer = active_tracer()
+        if tracer.enabled:
+            emitter = tracer
+        emitter.emit(record)
+        registry = getattr(self._owner, "_metrics", None)
+        if registry is not None:
+            registry.counter(
+                "repro_slow_queries_total",
+                "Queries at or over the slow-query threshold",
+                engine=self._engine_name,
+            ).inc()
+        _SLOW_QUERY_LOGGER.warning(
+            "slow query (%.4fs >= %.4fs) on %s: %s",
+            elapsed_s,
+            threshold,
+            self._engine_name,
+            record["statement"],
+        )
+
+    def explain_analyze(
+        self, statement_text: str, params: Optional[Bindings] = None
+    ) -> Explain:
+        """Execute the statement once and return its :class:`Explain`
+        with a per-operator execution profile in ``analyze``.
+
+        The statement runs for real (through the same prepared-statement
+        LRU as :meth:`execute`) under a private recording tracer and an
+        :class:`~repro.observability.ExecutionProfiler`, independent of
+        whether the connection's own tracer is enabled.  The resulting
+        tree always carries the lifecycle stages (parse/compile when they
+        ran, execute, decode) with wall times and row counts; on the
+        planned engine the execute stage additionally expands into the
+        physical plan's per-node profile — rows produced, inclusive wall
+        time and memo hits for every scan, join, filter and fixpoint,
+        on both the boxed and the columnar path.
+        """
+        statement = parse_statement(statement_text)
+        if not isinstance(statement, GraphTableQuery):
+            raise EngineError(
+                "explain_analyze() expects a SELECT ... FROM GRAPH_TABLE(...) statement"
+            )
+        ring = RingBufferSink(capacity=16)
+        recorder = Tracer(sinks=(ring,))
+        profiler = ExecutionProfiler()
+        tracer_token = activate(recorder)
+        profiler_token = activate_profiler(profiler)
+        start = perf_counter()
+        try:
+            result = self.execute(statement_text, params)
+            decode_start = perf_counter()
+            rows = result.rows  # drain the stream inside the profile window
+            decode_s = perf_counter() - decode_start
+        finally:
+            total_s = perf_counter() - start
+            deactivate_profiler(profiler_token)
+            deactivate(tracer_token)
+        explain = self._explain_statement(statement)
+        explain.analyze = self._build_analyze_tree(
+            ring.records(), profiler, total_s, len(rows), decode_s
+        )
+        return explain
+
+    def _build_analyze_tree(
+        self,
+        records: List[Dict[str, Any]],
+        profiler: ExecutionProfiler,
+        total_s: float,
+        row_count: int,
+        decode_s: float,
+    ) -> OperatorStats:
+        """Assemble the operator profile from the recorded spans and the
+        executor's per-node figures."""
+        root = OperatorStats(
+            label=f"Query [engine={self._engine_name}]",
+            wall_s=total_s,
+            calls=1,
+            rows_out=row_count,
+        )
+        plan_trees = profiler.plan_trees()
+        for record in records:
+            name = record.get("name")
+            if name == "query":
+                for child in record.get("children", ()):
+                    stats = _stats_from_span(child)
+                    if child.get("name") == "execute" and plan_trees:
+                        stats.children.extend(plan_trees)
+                        plan_trees = []
+                    root.children.append(stats)
+            elif name not in ("decode", "slow_query", None):
+                # Stages that ran outside the root query span (cold parse
+                # and compile happen before the statement executes).
+                root.children.append(_stats_from_span(record))
+        if plan_trees:  # no execute span surfaced (defensive)
+            root.children.extend(plan_trees)
+        root.children.append(
+            OperatorStats(
+                label="Decode", wall_s=decode_s, calls=1, rows_out=row_count
+            )
+        )
+        return root
 
     def compile(self, statement_text: str) -> Query:
         """Parse and compile a GRAPH_TABLE query without executing it."""
@@ -894,6 +1286,7 @@ class Connection:
         session behavior.
         """
         with self._lock:
+            self._drain_live_streams()
             statements = list(self._statements.values())
             self._statements.clear()
             registry = list(self._prepared_registry)

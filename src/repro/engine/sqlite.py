@@ -26,8 +26,10 @@ import itertools
 import re
 import sqlite3
 import weakref
-from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections import OrderedDict, deque
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.observability.tracing import trace_span
 
 from repro.errors import BindingError, EngineError
 from repro.matching.endpoint import EndpointEvaluator
@@ -139,6 +141,9 @@ class SQLiteEngine:
         #: Snapshot-cache scope attached by connections (see
         #: :meth:`use_snapshot_cache`); ``None`` = private evaluation.
         self._snapshot_scope = None
+        #: Weak refs to live :class:`_CursorStream` results; detached
+        #: (their remaining rows buffered) before the connection closes.
+        self._open_streams: List["weakref.ref"] = []
 
     def use_snapshot_cache(self, scope) -> None:
         """Attach a snapshot-cache scope for cross-connection sharing.
@@ -215,6 +220,9 @@ class SQLiteEngine:
         self._connection.commit()
 
     def close(self) -> None:
+        # Streams still reading the connection buffer their remaining
+        # rows first, so their results stay readable after the close.
+        self._detach_open_streams()
         if self._connection is not None:
             self._connection.close()
             self._connection = None
@@ -254,10 +262,75 @@ class SQLiteEngine:
                 sql, arity = self._compile(query)
             except _SQLUnsupported:
                 return self._fallback_evaluator().evaluate(query)
-            rows = self.connection.execute(sql).fetchall()
+            # Iterate the cursor rather than fetchall(): rows decode one at
+            # a time into the relation (the temp tables must outlive the
+            # iteration, hence the consumption inside this try block).
+            with trace_span("sqlite.execute", sql=_sql_snippet(sql)):
+                relation = _relation_from_rows(self.connection.execute(sql), arity)
         finally:
             self._drop_in_flight_temp_tables()
-        return _relation_from_rows(rows, arity)
+        return relation
+
+    def stream(
+        self, query: Query, bindings: Optional[Bindings] = None
+    ) -> Optional[Tuple[int, Iterator[Tuple]]]:
+        """One-shot streaming evaluation: ``(arity, row iterator)`` or None.
+
+        The SQL compiles and the statement starts executing here (compile
+        errors and missing bindings surface at call time), but rows are
+        fetched from the SQLite cursor incrementally as the iterator is
+        consumed; in-flight temp tables are dropped when the iterator is
+        exhausted or closed.  Returns ``None`` — the caller then takes the
+        materializing :meth:`evaluate` path — for queries the SQL
+        translation cannot serve, for depth-bounded sessions whose queries
+        contain repetition (the formal evaluator enforces the bound), and
+        for zero-arity results (the ``{()}`` vs ``{}`` distinction is not
+        a row stream).
+        """
+        query = resolve_bindings(query, bindings)
+        if self.max_repetitions is not None and _contains_repetition(query):
+            return None
+        self._temp_tables_in_flight = []
+        try:
+            sql, arity = self._compile(query)
+        except _SQLUnsupported:
+            self._drop_in_flight_temp_tables()
+            return None
+        except BaseException:
+            self._drop_in_flight_temp_tables()
+            raise
+        if arity == 0:
+            self._drop_in_flight_temp_tables()
+            return None
+        tables, self._temp_tables_in_flight = self._temp_tables_in_flight, []
+        try:
+            with trace_span("sqlite.execute", sql=_sql_snippet(sql)):
+                cursor = self.connection.execute(sql)
+        except BaseException:
+            self._drop_tables(tables)
+            raise
+        return arity, self._stream_cursor(cursor, tables)
+
+    def _stream_cursor(
+        self, cursor: sqlite3.Cursor, tables: List[str]
+    ) -> "_CursorStream":
+        """A distinct-row stream over ``cursor``, registered with the
+        engine so :meth:`close` can detach (buffer) it first."""
+        stream = _CursorStream(self, cursor, tables)
+        self._open_streams.append(weakref.ref(stream))
+        if len(self._open_streams) > 64:  # prune collected streams
+            self._open_streams = [
+                ref for ref in self._open_streams if ref() is not None
+            ]
+        return stream
+
+    def _detach_open_streams(self) -> None:
+        """Buffer every live stream's remaining rows (connection closing)."""
+        streams, self._open_streams = self._open_streams, []
+        for ref in streams:
+            stream = ref()
+            if stream is not None:
+                stream.detach()
 
     def prepare(self, query: Query) -> CompiledQuery:
         """Compile once to SQL with native ``?`` parameters, execute many.
@@ -289,7 +362,12 @@ class SQLiteEngine:
             return
         cursor = self._connection.cursor()
         for table in tables:
-            cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            try:
+                cursor.execute(f"DROP TABLE IF EXISTS {table}")
+            except sqlite3.OperationalError:
+                # A streaming cursor is still reading the table; leave it
+                # behind — temp tables die with the connection anyway.
+                pass
         self._connection.commit()
 
     def evaluate_sql(self, sql: str) -> List[Tuple]:
@@ -580,9 +658,87 @@ class _ParamSink(_LiteralSink):
 _LITERALS = _LiteralSink()
 
 
-def _relation_from_rows(rows: List[Tuple], arity: int) -> Relation:
+class _CursorStream:
+    """Distinct-row iterator over a SQLite cursor, detachable by the engine.
+
+    SQL row sets are bags while the engines' relations are sets, so a
+    seen-set keeps the yielded rows distinct (matching
+    :meth:`SQLiteEngine.evaluate`'s semantics exactly).  The engine holds
+    a weak ref to every live stream: :meth:`SQLiteEngine.close` calls
+    :meth:`detach` first, buffering the remaining rows so a streamed
+    :class:`~repro.engine.session.QueryResult` stays readable after the
+    backend connection (or an engine swap) takes the cursor away.  Temp
+    tables owned by the stream (one-shot evaluation) are dropped when the
+    cursor is exhausted, detached or abandoned.
+    """
+
+    def __init__(self, engine: "SQLiteEngine", cursor: sqlite3.Cursor, tables: List[str]):
+        self._engine = engine
+        self._cursor: Optional[sqlite3.Cursor] = cursor
+        self._tables = tables
+        self._seen: set = set()
+        self._buffer: "deque[Tuple]" = deque()
+        self._done = False
+
+    def __iter__(self) -> "_CursorStream":
+        return self
+
+    def __next__(self) -> Tuple:
+        while True:
+            if self._buffer:
+                return self._buffer.popleft()
+            if self._done:
+                raise StopIteration
+            self._fetch_batch()
+
+    def _fetch_batch(self) -> None:
+        chunk = self._cursor.fetchmany(256)
+        if not chunk:
+            self._finish()
+            return
+        seen = self._seen
+        for raw in chunk:
+            row = tuple(raw)
+            if row not in seen:
+                seen.add(row)
+                self._buffer.append(row)
+
+    def _finish(self) -> None:
+        self._done = True
+        cursor, self._cursor = self._cursor, None
+        if cursor is not None:
+            try:
+                cursor.close()
+            except sqlite3.Error:  # pragma: no cover - connection already gone
+                pass
+        tables, self._tables = self._tables, []
+        self._engine._drop_tables(tables)
+
+    def detach(self) -> None:
+        """Buffer every remaining row and release the cursor."""
+        while not self._done:
+            self._fetch_batch()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        if not self._done:
+            try:
+                self._finish()
+            except Exception:
+                pass
+
+
+def _sql_snippet(sql: str, limit: int = 120) -> str:
+    """Whitespace-flattened SQL prefix for span tags."""
+    flattened = " ".join(sql.split())
+    return flattened if len(flattened) <= limit else flattened[: limit - 3] + "..."
+
+
+def _relation_from_rows(rows, arity: int) -> Relation:
+    # Materialize first: ``rows`` may be a sqlite3.Cursor, whose truth
+    # value would not reflect emptiness in the arity-0 branch.
+    rows = [tuple(row) for row in rows]
     if arity > 0:
-        return Relation(arity, [tuple(row) for row in rows])
+        return Relation(arity, rows)
     return Relation(0, [()] if rows else [])
 
 
@@ -654,9 +810,39 @@ class _SQLiteCompiledQuery:
         if self._deferred:
             self._connection.commit()
         arguments = tuple(merged[name] for name in self._main_slots)
-        rows = self._connection.execute(self._sql, arguments).fetchall()
+        with trace_span("sqlite.execute", sql=_sql_snippet(self._sql), prepared=True):
+            relation = _relation_from_rows(
+                self._connection.execute(self._sql, arguments), self._arity
+            )
         self.executions += 1
-        return _relation_from_rows(rows, self._arity)
+        return relation
+
+    def execute_stream(
+        self, bindings: Optional[Bindings] = None, /, **named
+    ) -> Optional[Tuple[int, Iterator[Tuple]]]:
+        """Execute and stream the result rows off the SQLite cursor.
+
+        Mirrors the engine-level :meth:`SQLiteEngine.stream` contract:
+        ``(arity, distinct-row iterator)``, with binding errors raised
+        here and rows fetched incrementally.  Returns ``None`` — the
+        caller falls back to :meth:`execute` — for zero-arity results and
+        for statements with parameter-dependent pair tables (those are
+        re-materialized per execution, which an open streaming cursor
+        from a previous execution must not observe).
+        """
+        if self._arity == 0 or self._deferred:
+            return None
+        merged = merge_bindings(bindings, named)
+        require_bindings(self.parameter_names, merged)
+        if self.engine._connection is not self._connection:
+            self._compile()
+        arguments = tuple(merged[name] for name in self._main_slots)
+        with trace_span("sqlite.execute", sql=_sql_snippet(self._sql), prepared=True):
+            cursor = self._connection.execute(self._sql, arguments)
+        self.executions += 1
+        # Statement-owned temp tables persist for the statement's
+        # lifetime; the stream only owns (and closes) its cursor.
+        return self._arity, self.engine._stream_cursor(cursor, [])
 
     def close(self) -> None:
         """Drop the statement's persisted temp tables (deferred included —

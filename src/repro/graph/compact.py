@@ -56,6 +56,7 @@ from typing import (
 )
 
 from repro.graph.identifiers import Identifier
+from repro.observability.tracing import active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.graph.property_graph import PropertyGraph
@@ -136,6 +137,14 @@ class CompactGraph:
         self._edge_label_masks: Optional[Dict[str, int]] = None
         self._property_columns: Dict[Tuple[str, str], List[Any]] = {}
         self.encode_seconds = perf_counter() - start
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "compact.encode",
+                seconds=self.encode_seconds,
+                nodes=len(self.node_ids),
+                edges=len(self.edge_ids),
+            )
 
     def _build_label_masks(self) -> None:
         node_masks: Dict[str, int] = {}

@@ -1,0 +1,76 @@
+"""Dependency-free observability layer: tracing, metrics, EXPLAIN ANALYZE.
+
+Three cooperating pieces, all stdlib-only and import-cycle-free (nothing
+here imports the engine or the planner):
+
+* :mod:`repro.observability.tracing` — nested, monotonic-clock
+  :class:`Span` trees over the query lifecycle, produced by a
+  :class:`Tracer` and written to pluggable sinks (ring buffer, JSON
+  lines, stdlib logging).  Disabled by default via :data:`NULL_TRACER`.
+* :mod:`repro.observability.metrics` — a :class:`MetricsRegistry` of
+  counters, gauges and streaming histograms with p50/p95/p99 estimates,
+  exportable as a dict, JSON or Prometheus text.
+* :mod:`repro.observability.analyze` — the :class:`ExecutionProfiler`
+  behind ``Connection.explain_analyze``, assembling per-operator
+  :class:`OperatorStats` trees (wall time, rows, memo hits).
+
+See the README's "Observability" section for the end-to-end tour.
+"""
+
+from repro.observability.analyze import (
+    ExecutionProfiler,
+    OperatorStats,
+    activate_profiler,
+    active_profiler,
+    deactivate_profiler,
+)
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    DEFAULT_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.observability.tracing import (
+    NULL_TRACER,
+    JsonLinesSink,
+    LoggingSink,
+    RingBufferSink,
+    Span,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    iter_spans,
+    trace_span,
+    tracer_from_env,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "ExecutionProfiler",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "LoggingSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "OperatorStats",
+    "RingBufferSink",
+    "Span",
+    "Tracer",
+    "activate",
+    "activate_profiler",
+    "active_profiler",
+    "active_tracer",
+    "deactivate",
+    "deactivate_profiler",
+    "default_registry",
+    "iter_spans",
+    "trace_span",
+    "tracer_from_env",
+]

@@ -23,6 +23,7 @@ from typing import Dict, Iterator, Optional, Protocol, Tuple
 
 from repro.errors import ArityError, QueryError
 from repro.matching.endpoint import EndpointEvaluator, EvaluationCounters
+from repro.observability.tracing import trace_span
 from repro.parameters import Bindings, merge_bindings, require_bindings
 from repro.patterns.ast import bind_output
 from repro.pgq.queries import (
@@ -386,15 +387,17 @@ class PGQEvaluator:
     ) -> Tuple[PropertyGraph, int, "PatternMatcher"]:
         """Cold path: evaluate the view subqueries, materialize the graph,
         build its pattern matcher."""
-        view_relations = tuple(self._eval(source) for source in sources)
-        if self.statistics is not None:
-            self.statistics.intermediate_rows += sum(len(r) for r in view_relations)
-        graph, identifier_arity = materialize_graph(view_relations, max_arity)
-        if self.statistics is not None:
-            self.statistics.views_built += 1
-            self.statistics.view_nodes += graph.node_count()
-            self.statistics.view_edges += graph.edge_count()
-        return graph, identifier_arity, self._make_matcher(graph)
+        with trace_span("view.materialize", sources=len(sources)) as span:
+            view_relations = tuple(self._eval(source) for source in sources)
+            if self.statistics is not None:
+                self.statistics.intermediate_rows += sum(len(r) for r in view_relations)
+            graph, identifier_arity = materialize_graph(view_relations, max_arity)
+            span.tag(nodes=graph.node_count(), edges=graph.edge_count())
+            if self.statistics is not None:
+                self.statistics.views_built += 1
+                self.statistics.view_nodes += graph.node_count()
+                self.statistics.view_edges += graph.edge_count()
+            return graph, identifier_arity, self._make_matcher(graph)
 
     def _resolve_graph_pattern(
         self, query: GraphPattern

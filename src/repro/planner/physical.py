@@ -38,6 +38,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     TYPE_CHECKING,
     Dict,
@@ -60,6 +61,8 @@ from repro.graph.compact import (
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
 from repro.matching import fixpoint
+from repro.observability.analyze import active_profiler
+from repro.observability.tracing import trace_span
 from repro.parameters import Parameter
 from repro.patterns.conditions import (
     COMPARATORS,
@@ -84,6 +87,7 @@ from repro.planner.logical import (
     UnionStep,
     bind_plan,
     build_logical_plan,
+    describe,
 )
 from repro.planner.rules import optimize
 
@@ -96,6 +100,19 @@ Row = Tuple
 ColumnMap = Dict[str, int]
 #: A pair of path endpoints.
 Pair = Tuple[Identifier, Identifier]
+
+
+def _compile_plan(pattern, needed, stats) -> LogicalPlan:
+    """Build and optimize one plan under ``plan`` / ``optimize`` spans."""
+    with trace_span("plan"):
+        logical = build_logical_plan(pattern)
+    with trace_span("optimize"):
+        return optimize(logical, needed, stats)
+
+
+def _profile_label(plan: LogicalPlan) -> str:
+    """The node's own :func:`describe` line (children stripped)."""
+    return describe(plan).splitlines()[0].strip()
 
 _MISSING = object()
 
@@ -197,7 +214,7 @@ class PlanCache:
         except TypeError:  # unhashable constant somewhere in a condition
             with self._lock:
                 self.uncacheable += 1
-            return optimize(build_logical_plan(pattern), needed, stats)
+            return _compile_plan(pattern, needed, stats)
         with self._lock:
             entry = self._plans.get(key)
             if entry is not None:
@@ -211,7 +228,7 @@ class PlanCache:
             self.misses += 1
             if parameterized:
                 self.prepared_misses += 1
-            plan = optimize(build_logical_plan(pattern), needed, stats)
+            plan = _compile_plan(pattern, needed, stats)
             self._plans[key] = (plan, parameterized)
             if len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
@@ -373,13 +390,17 @@ class PlanExecutor:
         if self.plan_cache is not None:
             plan = self.plan_cache.plan_for(output.pattern, needed, self.graph_stats)
         else:
-            plan = optimize(build_logical_plan(output.pattern), needed, self.graph_stats)
+            plan = _compile_plan(output.pattern, needed, self.graph_stats)
         if bindings:
             plan = bind_plan(plan, bindings)
         if len(self._tables) > self._MEMO_MAX:
             self._tables.clear()
         if len(self._compact_tables) > self._MEMO_MAX:
             self._compact_tables.clear()
+        profiler = active_profiler()
+        if profiler is not None:
+            profiler.use_labeler(_profile_label)
+            profiler.add_root(plan)
         return plan
 
     def evaluate_output(self, output: OutputPattern, bindings=None) -> FrozenSet[Tuple]:
@@ -415,6 +436,10 @@ class PlanExecutor:
                     counters.fixpoint_shards,
                     counters.parallel_rounds,
                 ) = snapshot
+                profiler = active_profiler()
+                if profiler is not None:
+                    profiler.reset()
+                    profiler.add_root(plan)
         return self.execute_output(plan, output)
 
     # ------------------------------------------------------------------ #
@@ -455,6 +480,10 @@ class PlanExecutor:
                     counters.fixpoint_shards,
                     counters.parallel_rounds,
                 ) = snapshot
+                profiler = active_profiler()
+                if profiler is not None:
+                    profiler.reset()
+                    profiler.add_root(plan)
             else:
                 return self._stream_project_compact(table, output)
         columns, rows = self.execute(plan)
@@ -659,9 +688,19 @@ class PlanExecutor:
             cached = self._tables.get(plan)
         except TypeError:
             cached = None
+        profiler = active_profiler()
         if cached is not None:
+            if profiler is not None:
+                profiler.memo_hit(plan, _profile_label(plan))
             return cached
-        result = self._execute(plan)
+        if profiler is None:
+            result = self._execute(plan)
+        else:
+            start = perf_counter()
+            result = self._execute(plan)
+            profiler.record(
+                plan, _profile_label(plan), perf_counter() - start, len(result[1])
+            )
         self.counters.rows_produced += len(result[1])
         try:
             self._tables[plan] = result
@@ -841,20 +880,26 @@ class PlanExecutor:
     # ------------------------------------------------------------------ #
     def _execute_fixpoint(self, plan: FixpointStep) -> Tuple[ColumnMap, Set[Row]]:
         _columns, body_rows = self.execute(plan.body)
-        # Project to endpoint pairs before indexing: rows distinct only in
-        # residue binding columns would otherwise add duplicate successors.
-        adjacency = fixpoint.adjacency_of({(row[0], row[1]) for row in body_rows})
-        identity: Set[Pair] = {(node, node) for node in self.graph.nodes}
-        if plan.is_unbounded:
-            pairs = self._pairs_at_least(adjacency, plan.lower, identity)
-        else:
-            pairs = fixpoint.bounded_pairs(
-                adjacency,
-                plan.lower,
-                int(plan.upper),
-                identity,
-                max_repetitions=self.max_repetitions,
-                on_round=self._count_round,
+        rounds_before = self.counters.fixpoint_rounds
+        with trace_span("fixpoint", compact=False) as span:
+            # Project to endpoint pairs before indexing: rows distinct only in
+            # residue binding columns would otherwise add duplicate successors.
+            adjacency = fixpoint.adjacency_of({(row[0], row[1]) for row in body_rows})
+            identity: Set[Pair] = {(node, node) for node in self.graph.nodes}
+            if plan.is_unbounded:
+                pairs = self._pairs_at_least(adjacency, plan.lower, identity)
+            else:
+                pairs = fixpoint.bounded_pairs(
+                    adjacency,
+                    plan.lower,
+                    int(plan.upper),
+                    identity,
+                    max_repetitions=self.max_repetitions,
+                    on_round=self._count_round,
+                )
+            span.tag(
+                rounds=self.counters.fixpoint_rounds - rounds_before,
+                pairs=len(pairs),
             )
         return {}, set(pairs)
 
@@ -997,13 +1042,24 @@ class PlanExecutor:
             cached = self._compact_tables.get(plan)
         except TypeError:
             cached = None
+        profiler = active_profiler()
         if cached is not None:
+            if profiler is not None:
+                profiler.memo_hit(plan, _profile_label(plan))
             return cached
-        result = self._execute_compact(plan)
-        if result.masks is not None:
-            self.counters.rows_produced += sum(mask.bit_count() for mask in result.masks)
+        if profiler is None:
+            result = self._execute_compact(plan)
         else:
-            self.counters.rows_produced += len(result.rows)
+            start = perf_counter()
+            result = self._execute_compact(plan)
+            elapsed = perf_counter() - start
+        if result.masks is not None:
+            produced = sum(mask.bit_count() for mask in result.masks)
+        else:
+            produced = len(result.rows)
+        if profiler is not None:
+            profiler.record(plan, _profile_label(plan), elapsed, produced)
+        self.counters.rows_produced += produced
         try:
             self._compact_tables[plan] = result
         except TypeError:
@@ -1377,39 +1433,48 @@ class PlanExecutor:
     def _compact_fixpoint(self, plan: FixpointStep) -> CompactTable:
         body = self.execute_compact(plan.body)
         node_count = self._compact_graph().node_count
-        if plan.is_unbounded and self.max_repetitions is None:
-            if body.masks is not None:  # nested repetition: already a pair relation
-                successor_masks = list(body.masks)
-                successor_masks += [0] * (node_count - len(successor_masks))
+        rounds_before = self.counters.fixpoint_rounds
+        with trace_span("fixpoint", compact=True) as span:
+            if plan.is_unbounded and self.max_repetitions is None:
+                if body.masks is not None:  # nested repetition: already a pair relation
+                    successor_masks = list(body.masks)
+                    successor_masks += [0] * (node_count - len(successor_masks))
+                else:
+                    successor_masks = [0] * node_count
+                    for row in body.rows:
+                        successor_masks[row[0]] |= 1 << row[1]
+                masks = self._compact_closure_masks(
+                    successor_masks, plan.lower, node_count
+                )
+                span.tag(rounds=self.counters.fixpoint_rounds - rounds_before)
+                return CompactTable({}, {}, set(), masks)
+            pairs = {(row[0], row[1]) for row in self._unpacked(body).rows}
+            # Depth-guarded paths reuse the shared kernels (the
+            # ``max_repetitions`` error behavior must not drift between
+            # engines); int IDs are ordinary hashables to them.
+            identity = {(i, i) for i in range(node_count)}
+            adjacency = fixpoint.adjacency_of(pairs)
+            if plan.is_unbounded:
+                result = fixpoint.unbounded_pairs_delta(
+                    adjacency,
+                    plan.lower,
+                    identity,
+                    max_repetitions=self.max_repetitions,
+                    on_round=self._count_round,
+                    on_delta=self._count_delta,
+                )
             else:
-                successor_masks = [0] * node_count
-                for row in body.rows:
-                    successor_masks[row[0]] |= 1 << row[1]
-            masks = self._compact_closure_masks(successor_masks, plan.lower, node_count)
-            return CompactTable({}, {}, set(), masks)
-        pairs = {(row[0], row[1]) for row in self._unpacked(body).rows}
-        # Depth-guarded paths reuse the shared kernels (the
-        # ``max_repetitions`` error behavior must not drift between
-        # engines); int IDs are ordinary hashables to them.
-        identity = {(i, i) for i in range(node_count)}
-        adjacency = fixpoint.adjacency_of(pairs)
-        if plan.is_unbounded:
-            result = fixpoint.unbounded_pairs_delta(
-                adjacency,
-                plan.lower,
-                identity,
-                max_repetitions=self.max_repetitions,
-                on_round=self._count_round,
-                on_delta=self._count_delta,
-            )
-        else:
-            result = fixpoint.bounded_pairs(
-                adjacency,
-                plan.lower,
-                int(plan.upper),
-                identity,
-                max_repetitions=self.max_repetitions,
-                on_round=self._count_round,
+                result = fixpoint.bounded_pairs(
+                    adjacency,
+                    plan.lower,
+                    int(plan.upper),
+                    identity,
+                    max_repetitions=self.max_repetitions,
+                    on_round=self._count_round,
+                )
+            span.tag(
+                rounds=self.counters.fixpoint_rounds - rounds_before,
+                pairs=len(result),
             )
         return CompactTable({}, {}, set(result))
 

@@ -62,15 +62,17 @@ from repro.sqlpgq.ast import (
     PathElement,
     PropertyOperand,
 )
+from repro.observability.tracing import trace_span
 from repro.sqlpgq.catalog import GraphCatalog
 
 
 def compile_query(query: GraphTableQuery, catalog: GraphCatalog) -> Query:
     """Compile a parsed GRAPH_TABLE query to a PGQ query."""
-    definition = catalog.get(query.graph_name)
-    compiler = _QueryCompiler(query)
-    output = compiler.build_output_pattern()
-    return GraphPattern(output, definition.view_subqueries())
+    with trace_span("compile", graph=query.graph_name):
+        definition = catalog.get(query.graph_name)
+        compiler = _QueryCompiler(query)
+        output = compiler.build_output_pattern()
+        return GraphPattern(output, definition.view_subqueries())
 
 
 @dataclass(frozen=True)

@@ -51,21 +51,23 @@ from repro.sqlpgq.ast import (
     PropertyOperand,
     Quantifier,
 )
+from repro.observability.tracing import trace_span
 from repro.sqlpgq.lexer import Token, TokenStream, tokenize
 
 
 def parse_statement(text: str) -> Union[CreatePropertyGraph, GraphTableQuery]:
     """Parse one SQL/PGQ statement (DDL or query)."""
-    stream = TokenStream(tokenize(text))
-    if stream.peek().is_keyword("CREATE"):
-        statement = _parse_create_graph(stream)
-    elif stream.peek().is_keyword("SELECT"):
-        statement = _parse_query(stream)
-    else:
-        raise stream.error("expected CREATE PROPERTY GRAPH or SELECT")
-    stream.accept_symbol(";")
-    if not stream.at_end():
-        raise stream.error("unexpected trailing input")
+    with trace_span("parse", chars=len(text)):
+        stream = TokenStream(tokenize(text))
+        if stream.peek().is_keyword("CREATE"):
+            statement = _parse_create_graph(stream)
+        elif stream.peek().is_keyword("SELECT"):
+            statement = _parse_query(stream)
+        else:
+            raise stream.error("expected CREATE PROPERTY GRAPH or SELECT")
+        stream.accept_symbol(";")
+        if not stream.at_end():
+            raise stream.error("unexpected trailing input")
     return statement
 
 

@@ -1,0 +1,417 @@
+"""Tests for the observability layer: tracing, metrics, EXPLAIN ANALYZE,
+the slow-query log and snapshot-cache GC (PR 6).
+
+Spans and histograms are tested against hand-built references; the
+engine-facing pieces run real queries through the Database -> Connection
+stack on all three engines.
+"""
+
+import gc
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine.database import Database as CatalogDatabase
+from repro.observability import (
+    Histogram,
+    JsonLinesSink,
+    MetricsRegistry,
+    NULL_TRACER,
+    RingBufferSink,
+    Tracer,
+    activate,
+    active_tracer,
+    deactivate,
+    iter_spans,
+    trace_span,
+)
+
+ENGINES = ["naive", "planned", "sqlite"]
+
+DDL = """
+CREATE PROPERTY GRAPH Transfers (
+  NODES TABLE Account KEY (iban) LABEL Account,
+  EDGES TABLE Transfer KEY (t_id)
+    SOURCE KEY src_iban REFERENCES Account
+    TARGET KEY tgt_iban REFERENCES Account
+    LABELS Transfer PROPERTIES (ts, amount))
+"""
+
+HOP_QUERY = """SELECT * FROM GRAPH_TABLE ( Transfers
+  MATCH (x) -[t:Transfer]-> (y) COLUMNS (x.iban, t.amount, y.iban) )"""
+
+PATH_QUERY = """SELECT * FROM GRAPH_TABLE ( Transfers
+  MATCH (x) -[t:Transfer]->+ (y) WHERE t.amount > 100 COLUMNS (x.iban, y.iban) )"""
+
+
+def transfers_database(**kwargs) -> CatalogDatabase:
+    import random
+
+    rng = random.Random(7)
+    accounts = [f"A{i}" for i in range(8)]
+    db = CatalogDatabase(**kwargs)
+    db.create_table("Account", ["iban"], [(a,) for a in accounts])
+    db.create_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(accounts), rng.choice(accounts), i, rng.randint(1, 500))
+            for i in range(24)
+        ],
+    )
+    db.execute(DDL)
+    return db
+
+
+# --------------------------------------------------------------------------- #
+# Tracing: nesting, thread safety, no-op cost
+# --------------------------------------------------------------------------- #
+def test_span_nesting_builds_one_tree_per_root():
+    ring = RingBufferSink()
+    tracer = Tracer(sinks=(ring,))
+    with tracer.span("query", engine="planned"):
+        with tracer.span("plan"):
+            pass
+        with tracer.span("execute") as execute:
+            execute.tag(rows=3)
+            tracer.event("compact.encode", nodes=5)
+
+    records = ring.records()
+    assert len(records) == 1  # only the root is emitted
+    root = records[0]
+    assert root["name"] == "query"
+    assert root["tags"] == {"engine": "planned"}
+    assert [child["name"] for child in root["children"]] == ["plan", "execute"]
+    execute_rec = root["children"][1]
+    assert execute_rec["tags"]["rows"] == 3
+    assert execute_rec["children"][0]["name"] == "compact.encode"
+    assert root["duration_s"] >= execute_rec["duration_s"] >= 0.0
+    assert sorted(span["name"] for span in iter_spans(root)) == [
+        "compact.encode", "execute", "plan", "query",
+    ]
+
+
+def test_tracer_is_thread_safe_with_independent_trees():
+    ring = RingBufferSink()
+    tracer = Tracer(sinks=(ring,))
+    barrier = threading.Barrier(2)
+
+    def worker(label: str) -> None:
+        barrier.wait()
+        for index in range(20):
+            with tracer.span("query", worker=label):
+                with tracer.span("execute", step=index):
+                    pass
+
+    threads = [threading.Thread(target=worker, args=(name,)) for name in ("a", "b")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    records = ring.records()
+    assert len(records) == 40
+    for root in records:
+        # No cross-thread contamination: every root has exactly its own child.
+        assert root["name"] == "query"
+        assert [child["name"] for child in root["children"]] == ["execute"]
+    by_worker = {"a": 0, "b": 0}
+    for root in records:
+        by_worker[root["tags"]["worker"]] += 1
+    assert by_worker == {"a": 20, "b": 20}
+
+
+def test_activate_deactivate_scopes_the_ambient_tracer():
+    assert active_tracer() is NULL_TRACER
+    tracer = Tracer(sinks=(RingBufferSink(),))
+    token = activate(tracer)
+    try:
+        assert active_tracer() is tracer
+    finally:
+        deactivate(token)
+    assert active_tracer() is NULL_TRACER
+
+
+def test_disabled_tracer_spans_are_free():
+    # Identity: the null tracer hands out one shared no-op span, so the
+    # hot path allocates nothing.
+    assert NULL_TRACER.span("execute", rows=1) is NULL_TRACER.span("plan")
+    assert not NULL_TRACER.enabled
+
+    # Generous relative guard: a trace_span-wrapped loop under the null
+    # tracer must stay within an order of magnitude of the bare loop.
+    iterations = 20_000
+
+    def bare() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            pass
+        return time.perf_counter() - start
+
+    def wrapped() -> float:
+        start = time.perf_counter()
+        for _ in range(iterations):
+            with trace_span("execute"):
+                pass
+        return time.perf_counter() - start
+
+    bare_s = min(bare() for _ in range(3))
+    wrapped_s = min(wrapped() for _ in range(3))
+    assert wrapped_s < max(bare_s * 50, 0.05)
+
+
+def test_json_lines_sink_round_trips(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(sinks=(JsonLinesSink(path),))
+    with tracer.span("query", engine="planned"):
+        with tracer.span("execute") as span:
+            span.tag(rows=2, obj=object())  # non-JSON-native tag value
+    tracer.emit({"kind": "slow_query", "duration_s": 1.0})
+
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[0]["name"] == "query"
+    assert records[0]["children"][0]["tags"]["rows"] == 2
+    assert records[1]["kind"] == "slow_query"
+
+
+# --------------------------------------------------------------------------- #
+# Metrics: quantile accuracy, Prometheus rendering
+# --------------------------------------------------------------------------- #
+def test_histogram_quantiles_match_sorted_reference():
+    import random
+
+    rng = random.Random(42)
+    samples = [rng.uniform(0.0001, 2.0) for _ in range(800)]
+    histogram = Histogram()
+    for sample in samples:
+        histogram.observe(sample)
+
+    ordered = sorted(samples)
+    for q in (0.5, 0.95, 0.99):
+        expected = ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+        # <= 1024 observations keep the reservoir exact.
+        assert histogram.quantile(q) == pytest.approx(expected)
+    assert histogram.count == len(samples)
+    assert histogram.sum == pytest.approx(sum(samples))
+    percentiles = histogram.percentiles()
+    assert set(percentiles) == {"p50", "p95", "p99"}
+    assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+
+
+def test_histogram_buckets_are_cumulative():
+    histogram = Histogram(buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 0.5, 5.0):
+        histogram.observe(value)
+    assert histogram.cumulative_buckets() == [(0.1, 1), (1.0, 3), (float("inf"), 4)]
+
+
+def test_prometheus_export_format():
+    registry = MetricsRegistry()
+    registry.counter("repro_queries_total", "Completed queries", engine="planned").inc(3)
+    registry.gauge("repro_plan_cache_size", "Cached plans").set(7)
+    histogram = registry.histogram(
+        "repro_query_seconds", "Latency", buckets=(0.1, 1.0), engine="planned"
+    )
+    histogram.observe(0.05)
+    histogram.observe(0.5)
+
+    text = registry.to_prometheus()
+    assert "# HELP repro_queries_total Completed queries" in text
+    assert "# TYPE repro_queries_total counter" in text
+    assert 'repro_queries_total{engine="planned"} 3' in text
+    assert "# TYPE repro_plan_cache_size gauge" in text
+    assert "repro_plan_cache_size 7" in text
+    assert "# TYPE repro_query_seconds histogram" in text
+    assert 'repro_query_seconds_bucket{engine="planned",le="0.1"} 1' in text
+    assert 'repro_query_seconds_bucket{engine="planned",le="+Inf"} 2' in text
+    assert 'repro_query_seconds_count{engine="planned"} 2' in text
+    assert text.endswith("\n")
+
+
+def test_database_metrics_record_queries():
+    db = transfers_database(metrics=MetricsRegistry())
+    with db.connect(engine="planned") as connection:
+        connection.execute(HOP_QUERY)
+        connection.execute(HOP_QUERY)
+    exported = db.export_metrics()
+    queries = exported["repro_queries_total"]["values"][0]
+    assert queries["value"] == 2
+    assert queries["labels"] == {"engine": "planned"}
+    latency = exported["repro_query_seconds"]["values"][0]
+    assert latency["count"] == 2
+    assert latency["sum"] > 0.0
+    assert "repro_snapshot_cache_entries" in exported
+
+
+# --------------------------------------------------------------------------- #
+# EXPLAIN ANALYZE
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine", ENGINES)
+def test_explain_analyze_reports_rows_and_time(engine):
+    db = transfers_database()
+    with db.connect(engine=engine) as connection:
+        expected = len(connection.execute(PATH_QUERY))
+        explain = connection.explain_analyze(PATH_QUERY)
+    analyze = explain.analyze
+    assert analyze is not None
+    assert analyze.rows_out == expected
+    assert analyze.wall_s > 0.0
+    assert f"engine={engine}" in analyze.label
+    stage_names = [child.label for child in analyze.children]
+    assert any(label.startswith("Execute") for label in stage_names)
+    assert any(label.startswith("Decode") for label in stage_names)
+    rendering = str(analyze)
+    assert "wall=" in rendering and f"rows={expected}" in rendering
+
+
+def test_explain_analyze_exposes_operator_profile_on_planned_engine():
+    db = transfers_database()
+    # The naive oracle never touches the planned executor, so the profiled
+    # run below is cold and every plan node actually executes.
+    with db.connect(engine="naive") as oracle:
+        expected = len(oracle.execute(PATH_QUERY))
+    with db.connect(engine="planned") as connection:
+        explain = connection.explain_analyze(PATH_QUERY)
+    analyze = explain.analyze
+    fixpoint = analyze.find("SemiNaiveFixpoint")
+    assert fixpoint is not None
+    assert fixpoint.calls >= 1
+    scan = analyze.find("EdgeScan")
+    assert scan is not None
+    assert scan.rows_out > 0
+    # The top plan operator produced the full result set; the root stage
+    # (which drains the streamed projection) agrees with the oracle.
+    top_operator = analyze.find("BindEndpoint")
+    assert top_operator is not None and top_operator.rows_out == expected
+    assert analyze.rows_out == expected
+
+
+def test_explain_analyze_counts_memo_hits_on_repeat():
+    db = transfers_database()
+    with db.connect(engine="planned") as connection:
+        connection.execute(PATH_QUERY)  # warm the executor memo
+        explain = connection.explain_analyze(PATH_QUERY)
+    analyze = explain.analyze
+    profiled = [
+        span
+        for span in _walk(analyze)
+        if span.memo_hits or span.calls
+    ]
+    assert profiled  # something was profiled even on the warm path
+    assert analyze.rows_out > 0
+
+
+def _walk(stats):
+    yield stats
+    for child in stats.children:
+        yield from _walk(child)
+
+
+# --------------------------------------------------------------------------- #
+# Slow-query log
+# --------------------------------------------------------------------------- #
+def test_slow_query_log_emits_record_at_threshold():
+    ring = RingBufferSink()
+    db = transfers_database(
+        tracer=Tracer(sinks=(ring,)),
+        metrics=MetricsRegistry(),
+        slow_query_seconds=0.0,
+    )
+    with db.connect(engine="planned") as connection:
+        connection.execute(HOP_QUERY)
+    slow = [r for r in ring.records() if r.get("kind") == "slow_query"]
+    assert len(slow) == 1
+    record = slow[0]
+    assert record["engine"] == "planned"
+    assert record["duration_s"] >= 0.0
+    assert "GRAPH_TABLE" in record["statement"]
+    assert any(stage["name"] == "execute" for stage in record["stages"])
+
+
+def test_slow_query_log_respects_threshold_and_disarm():
+    ring = RingBufferSink()
+    db = transfers_database(tracer=Tracer(sinks=(ring,)), metrics=MetricsRegistry())
+    db.set_slow_query_log(60.0)  # nothing here takes a minute
+    with db.connect(engine="planned") as connection:
+        connection.execute(HOP_QUERY)
+    assert not [r for r in ring.records() if r.get("kind") == "slow_query"]
+
+    db.set_slow_query_log(0.0)
+    with db.connect(engine="planned") as connection:
+        connection.execute(HOP_QUERY)
+    assert [r for r in ring.records() if r.get("kind") == "slow_query"]
+    metrics = db.export_metrics()
+    assert metrics["repro_slow_queries_total"]["values"][0]["value"] == 1
+
+    db.set_slow_query_log(None)
+    ring.clear()
+    with db.connect(engine="planned") as connection:
+        connection.execute(HOP_QUERY)
+    assert not [r for r in ring.records() if r.get("kind") == "slow_query"]
+
+
+# --------------------------------------------------------------------------- #
+# SQLite streaming truthfulness
+# --------------------------------------------------------------------------- #
+def test_sqlite_results_stream_from_the_cursor():
+    db = transfers_database()
+    with db.connect(engine="sqlite") as connection:
+        result = connection.execute(HOP_QUERY)
+        assert result.streamed is True
+        first = next(iter(result))
+        assert len(first) == 3
+        rows = result.rows  # drain the remainder
+    assert len(rows) == 24
+    with db.connect(engine="naive") as connection:
+        oracle = connection.execute(HOP_QUERY)
+    assert oracle.equals_unordered(rows)
+
+
+def test_sqlite_streamed_result_survives_connection_close():
+    db = transfers_database()
+    connection = db.connect(engine="sqlite")
+    result = connection.execute(HOP_QUERY)
+    assert result.streamed is True
+    connection.close()  # drains live streams before closing sqlite
+    assert len(result.rows) == 24
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot-cache GC
+# --------------------------------------------------------------------------- #
+def test_snapshot_cache_gc_drops_unreferenced_fingerprints():
+    db = transfers_database(metrics=MetricsRegistry())
+    connection = db.connect(engine="planned")
+    connection.execute(HOP_QUERY)
+    connection.close()
+    cache = db.snapshot_cache
+    assert cache.stats()["entries"] > 0
+    # Closing alone keeps the warm state (sequential connections reuse it);
+    # GC happens when the last referent object dies.
+    del connection
+    gc.collect()
+    cache.gc()
+    stats = cache.stats()
+    assert stats["entries"] == 0
+    assert stats["gc_evicted"] > 0
+    metrics = db.export_metrics()
+    assert metrics["repro_snapshot_cache_gc_evicted"]["values"][0]["value"] > 0
+
+
+def test_snapshot_cache_keeps_entries_while_a_connection_is_live():
+    db = transfers_database()
+    first = db.connect(engine="planned")
+    first.execute(HOP_QUERY)
+    second = db.connect(engine="planned")
+    second.execute(HOP_QUERY)
+    first.close()
+    del first
+    gc.collect()
+    db.snapshot_cache.gc()
+    # The second connection still references the fingerprint.
+    assert db.snapshot_cache.stats()["entries"] > 0
+    second.close()
