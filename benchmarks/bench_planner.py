@@ -687,6 +687,89 @@ def bench_observability_gate(repeats: int) -> Dict[str, List[dict]]:
     }
 
 
+#: Ceiling asserted by the CI smoke job: the semantic analyzer may add
+#: at most this much to prepared-statement setup time (parse + analyze +
+#: compile + engine preparation on a warm plan cache).
+ANALYSIS_OVERHEAD_PCT = 2.0
+
+#: prepare() calls per timed analysis_gate sweep.
+ANALYSIS_PREPARES = 40
+
+
+def bench_analysis_gate(repeats: int) -> Dict[str, List[dict]]:
+    """Semantic-analyzer share of prepared-statement setup time.
+
+    Two connections over one warm snapshot prepare the same ``:minimum``
+    statement; one runs the analyzer (the default), the other opts out
+    with ``analyze=False``.  Both sides pay parse + compile + engine
+    preparation on a warm plan cache — the identical non-analyzer work —
+    so the ratio isolates the analyzer walk (graph-summary lookup, label
+    and property resolution, parameter type inference).  The smoke job
+    asserts the ``ANALYSIS_OVERHEAD_PCT`` ceiling, keeping the analyzer
+    inside the ``prepared_session`` prepare-time budget.
+    """
+    import random
+
+    from repro.engine.database import Database as CatalogDatabase
+
+    # The analyzer's memo-hit cost is ~1us against a ~200us prepare, so
+    # the gate needs a tight best-of: more repeats pin both sweeps to
+    # their true floor instead of comparing two noisy single draws.
+    repeats = max(repeats * 4, 20)
+    accounts, transfers = PREPARED_WORKLOAD
+    rng = random.Random(31)
+    names = [f"A{i}" for i in range(accounts)]
+    db = CatalogDatabase()
+    db.create_table("Account", ["iban"], [(name,) for name in names])
+    db.create_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(names), rng.choice(names), i, rng.randint(1, 1000))
+            for i in range(transfers)
+        ],
+    )
+    db.execute(PREPARED_DDL)
+    analyzed = db.connect(engine="planned")
+    bare = db.connect(engine="planned", analyze=False)
+    # Warm both sides: plan cache, schema-summary memo, engine state.
+    statement = analyzed.prepare(PREPARED_QUERY)
+    assert statement.parameter_types == {"minimum": "number"}
+    statement.close()
+    bare.prepare(PREPARED_QUERY).close()
+
+    def prepare_sweep(connection) -> None:
+        for _ in range(ANALYSIS_PREPARES):
+            connection.prepare(PREPARED_QUERY).close()
+
+    # Interleave the two sweeps so both sides sample the same machine
+    # conditions (a GC pause or a noisy neighbour hitting only one
+    # side's block would otherwise dominate the sub-1% signal).
+    analyzed_s = bare_s = float("inf")
+    for _ in range(repeats):
+        analyzed_s = min(
+            analyzed_s,
+            _time(lambda: prepare_sweep(analyzed), 1, "analysis_gate.analyzed"),
+        )
+        bare_s = min(
+            bare_s, _time(lambda: prepare_sweep(bare), 1, "analysis_gate.bare")
+        )
+    analyzed.close()
+    bare.close()
+    overhead_pct = round((analyzed_s / bare_s - 1.0) * 100, 2)
+    return {
+        "analysis_gate": [
+            {
+                "workload": f"prepared_session {accounts}/{transfers}",
+                "prepares": ANALYSIS_PREPARES,
+                "bare_prepare_s": bare_s,
+                "analyzed_prepare_s": analyzed_s,
+                "overhead_pct": overhead_pct,
+            }
+        ]
+    }
+
+
 def _print_table(title: str, rows: List[dict]) -> None:
     print(f"\n# {title}")
     if not rows:
@@ -723,6 +806,7 @@ def main(argv=None) -> int:
     workloads.update(bench_prepared(repeats))
     workloads.update(bench_snapshot_session(repeats))
     workloads.update(bench_observability_gate(repeats))
+    workloads.update(bench_analysis_gate(repeats))
 
     for name, rows in workloads.items():
         _print_table(name, rows)
@@ -790,6 +874,19 @@ def main(argv=None) -> int:
             f"observability_gate {row['workload']}: disabled-tracer stack adds "
             f"{overhead}% over the raw engine "
             f"(ceiling {OBSERVABILITY_OVERHEAD_PCT}%) [{status}]"
+        )
+    # Analyzer prepare-time ceiling (smoke and full): running the
+    # semantic analyzer on every prepare() may add at most
+    # ANALYSIS_OVERHEAD_PCT over an analyze=False connection.
+    for row in workloads["analysis_gate"]:
+        overhead = row["overhead_pct"]
+        above = overhead >= ANALYSIS_OVERHEAD_PCT
+        missed = missed or above
+        status = "ABOVE CEILING" if above else "ok"
+        print(
+            f"analysis_gate {row['workload']}: the semantic analyzer adds "
+            f"{overhead}% to prepare time "
+            f"(ceiling {ANALYSIS_OVERHEAD_PCT}%) [{status}]"
         )
     if args.smoke:
         return 1 if missed else 0

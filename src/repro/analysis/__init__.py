@@ -1,0 +1,45 @@
+"""Static analysis subsystem: semantic analyzer and plan verifier.
+
+* :mod:`repro.analysis.semantic` — resolves labels, properties, graph and
+  table names against the catalog schema, infers parameter types, and
+  rejects ill-formed statements before compilation with
+  position-carrying diagnostics;
+* :mod:`repro.analysis.verifier` — checks structural invariants on every
+  optimizer rewrite and logical->physical lowering, enabled via
+  ``Database(verify_plans=True)`` or ``REPRO_VERIFY_PLANS=1``;
+* :mod:`repro.analysis.diagnostics` — the diagnostic record and the
+  stable error-code registry.
+"""
+
+from repro.analysis.diagnostics import ERROR_CODES, Diagnostic
+from repro.analysis.semantic import (
+    GraphSchemaSummary,
+    QueryAnalysis,
+    analyze_ddl,
+    analyze_query,
+    graph_schema_summary,
+)
+from repro.analysis.verifier import (
+    check_plan_sanity,
+    condition_atoms,
+    physical_variables,
+    verification_enabled,
+    verify_physical_result,
+    verify_rewrite,
+)
+
+__all__ = [
+    "Diagnostic",
+    "ERROR_CODES",
+    "GraphSchemaSummary",
+    "QueryAnalysis",
+    "analyze_ddl",
+    "analyze_query",
+    "check_plan_sanity",
+    "condition_atoms",
+    "graph_schema_summary",
+    "physical_variables",
+    "verification_enabled",
+    "verify_physical_result",
+    "verify_rewrite",
+]

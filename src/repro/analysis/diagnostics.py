@@ -1,0 +1,65 @@
+"""Position-carrying diagnostics for the static analysis subsystem.
+
+Every analyzer rejection is a :class:`Diagnostic` with a stable error
+code, a message, the source span of the offending construct, and (where
+the fix is mechanical) a hint.  Diagnostics render deterministically so
+tests can pin them in a golden file; the codes themselves are documented
+in :data:`ERROR_CODES` (mirrored in the README's error-code table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+#: Stable error codes raised by the semantic analyzer.  Codes are part of
+#: the public surface (tests and downstream tooling match on them): never
+#: renumber, only append.
+ERROR_CODES: Mapping[str, str] = {
+    "A001": "unknown graph or table name",
+    "A002": "unknown label",
+    "A003": "unknown property key or column",
+    "A004": "unbound variable",
+    "A005": "arity mismatch",
+    "A006": "parameter type conflict",
+    "A007": "never-satisfiable predicate",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding: code, message, source span, optional hint."""
+
+    code: str
+    message: str
+    line: Optional[int] = None
+    column: Optional[int] = None
+    hint: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in ERROR_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def span(self) -> Optional[Tuple[int, int]]:
+        """``(line, column)`` of the offending construct, when known."""
+        if self.line is None:
+            return None
+        return (self.line, self.column if self.column is not None else 1)
+
+    def render(self) -> str:
+        location = ""
+        if self.line is not None:
+            location = f" at line {self.line}"
+            if self.column is not None:
+                location += f", column {self.column}"
+        text = f"{self.code}: {self.message}{location}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+__all__ = ["Diagnostic", "ERROR_CODES"]

@@ -1,0 +1,660 @@
+"""Semantic analyzer for SQL/PGQ statements (parse -> analyze -> compile).
+
+The analyzer sits between the parser and the compiler: it resolves every
+graph name, label, property key and view column against the catalog's
+schema, checks pattern variables and projection arities, and infers types
+for ``:name`` parameters from the properties and literals they are
+compared with — rejecting ill-formed statements with position-carrying
+:class:`~repro.analysis.diagnostics.Diagnostic` collections *before* any
+plan is built, instead of today's mid-execution failures.
+
+Schema resolution is a pure function of the graph definition, so the
+per-definition summary is memoized (id-keyed with a weakref guard, like
+``repro.pgq.queries.query_parameters``): the per-statement cost is one
+small AST walk, which keeps the analyzer inside the prepare-time budget
+enforced by ``benchmarks/bench_planner.py`` (``analysis_gate``).
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import AnalysisError, SchemaError
+from repro.relational.schema import Schema
+from repro.sqlpgq.ast import (
+    BooleanExpression,
+    Comparison,
+    ConditionExpr,
+    CreatePropertyGraph,
+    GraphTableQuery,
+    LabelTest,
+    LiteralOperand,
+    NodeElement,
+    ParameterOperand,
+    PropertyOperand,
+)
+from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition
+
+#: Inferred value types.  The lattice is flat: ``number`` and ``string``
+#: conflict, ``any`` is compatible with both.
+NUMBER = "number"
+STRING = "string"
+ANY = "any"
+
+#: Rows sampled per property column when inferring types from data.
+_TYPE_SAMPLE_LIMIT = 20
+
+
+# --------------------------------------------------------------------------- #
+# Graph schema summaries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GraphSchemaSummary:
+    """Labels and property keys a graph definition exposes, by element kind."""
+
+    node_labels: FrozenSet[str]
+    edge_labels: FrozenSet[str]
+    node_properties: FrozenSet[str]
+    edge_properties: FrozenSet[str]
+    #: property key -> ((table, column), ...) sources, for type inference.
+    property_sources: Mapping[str, Tuple[Tuple[str, str], ...]]
+
+    @property
+    def labels(self) -> FrozenSet[str]:
+        return self.node_labels | self.edge_labels
+
+    @property
+    def properties(self) -> FrozenSet[str]:
+        return self.node_properties | self.edge_properties
+
+
+def _exposed_properties(schema: Schema, table: str, declared: Tuple[str, ...]) -> Tuple[str, ...]:
+    # Mirrors the catalog's "PROPERTIES ARE ALL COLUMNS" default.
+    if declared:
+        return declared
+    try:
+        return tuple(schema.relation(table).columns)
+    except SchemaError:
+        return ()
+
+
+def _build_summary(definition: GraphDefinition, schema: Schema) -> GraphSchemaSummary:
+    statement = definition.statement
+    node_labels: set = set()
+    edge_labels: set = set()
+    node_properties: set = set()
+    edge_properties: set = set()
+    sources: Dict[str, List[Tuple[str, str]]] = {}
+    for spec in statement.node_tables:
+        node_labels.update(spec.labels)
+        for column in _exposed_properties(schema, spec.table, spec.properties):
+            node_properties.add(column)
+            sources.setdefault(column, []).append((spec.table, column))
+    for spec in statement.edge_tables:
+        edge_labels.update(spec.labels)
+        for column in _exposed_properties(schema, spec.table, spec.properties):
+            edge_properties.add(column)
+            sources.setdefault(column, []).append((spec.table, column))
+    return GraphSchemaSummary(
+        frozenset(node_labels),
+        frozenset(edge_labels),
+        frozenset(node_properties),
+        frozenset(edge_properties),
+        {key: tuple(pairs) for key, pairs in sources.items()},
+    )
+
+
+#: Bounded ``id(definition) -> (weakref(definition), summary)`` memo; the
+#: weakref guards against id reuse after garbage collection.
+_SUMMARY_MEMO: "OrderedDict[int, Tuple[weakref.ref, GraphSchemaSummary]]" = OrderedDict()
+_SUMMARY_MEMO_LIMIT = 128
+
+
+def graph_schema_summary(definition: GraphDefinition, schema: Schema) -> GraphSchemaSummary:
+    """The (memoized) label/property summary of a compiled graph definition."""
+    key = id(definition)
+    cached = _SUMMARY_MEMO.get(key)
+    if cached is not None:
+        ref, summary = cached
+        if ref() is definition:
+            _SUMMARY_MEMO.move_to_end(key)
+            return summary
+        del _SUMMARY_MEMO[key]
+    summary = _build_summary(definition, schema)
+    _SUMMARY_MEMO[key] = (weakref.ref(definition), summary)
+    while len(_SUMMARY_MEMO) > _SUMMARY_MEMO_LIMIT:
+        _SUMMARY_MEMO.popitem(last=False)
+    return summary
+
+
+# --------------------------------------------------------------------------- #
+# Type inference
+# --------------------------------------------------------------------------- #
+def _classify_value(value: object) -> str:
+    if isinstance(value, bool):
+        return ANY
+    if isinstance(value, (int, float)):
+        return NUMBER
+    if isinstance(value, str):
+        return STRING
+    return ANY
+
+
+def _literal_type(value: object) -> str:
+    return _classify_value(value)
+
+
+def _property_type(
+    summary: GraphSchemaSummary,
+    key: str,
+    database,  # Optional[repro.relational.database.Database]
+) -> str:
+    """Type of a property key, sampled from the backing table columns."""
+    if database is None:
+        return ANY
+    seen: set = set()
+    for table, column in summary.property_sources.get(key, ()):
+        try:
+            relation = database.relation(table)
+            index = database.schema.relation(table).column_index(column) - 1
+        except (KeyError, SchemaError):
+            continue
+        for row in islice(relation.rows, _TYPE_SAMPLE_LIMIT):
+            seen.add(_classify_value(row[index]))
+    seen.discard(ANY)
+    if len(seen) == 1:
+        return seen.pop()
+    return ANY
+
+
+# --------------------------------------------------------------------------- #
+# Query analysis
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class QueryAnalysis:
+    """The analyzer's verdict on one query statement."""
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    #: ``:name`` -> inferred type ("number" | "string" | "any").
+    parameter_types: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def raise_if_failed(self) -> "QueryAnalysis":
+        if self.diagnostics:
+            raise AnalysisError(self.diagnostics)
+        return self
+
+
+def _known_hint(kind: str, known: FrozenSet[str], limit: int = 6) -> Optional[str]:
+    if not known:
+        return None
+    names = sorted(known)
+    shown = ", ".join(names[:limit])
+    if len(names) > limit:
+        shown += ", ..."
+    return f"known {kind}: {shown}"
+
+
+def _position(node) -> Tuple[Optional[int], Optional[int]]:
+    position = getattr(node, "position", None)
+    if position is None:
+        return (None, None)
+    return position
+
+
+def _conjuncts(condition: Optional[ConditionExpr]) -> List[ConditionExpr]:
+    """Top-level positive conjuncts of a WHERE clause (nothing under OR/NOT)."""
+    if condition is None:
+        return []
+    if isinstance(condition, BooleanExpression) and condition.operator == "AND":
+        result: List[ConditionExpr] = []
+        for operand in condition.operands:
+            result.extend(_conjuncts(operand))
+        return result
+    return [condition]
+
+
+def _walk_condition(condition: ConditionExpr):
+    """Every Comparison / LabelTest in a condition tree (any polarity)."""
+    if isinstance(condition, BooleanExpression):
+        for operand in condition.operands:
+            yield from _walk_condition(operand)
+    else:
+        yield condition
+
+
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _statically_false(left: object, operator: str, right: object) -> bool:
+    try:
+        if operator == "=":
+            return not left == right
+        if operator == "!=":
+            return not left != right
+        if operator == "<":
+            return not left < right
+        if operator == "<=":
+            return not left <= right
+        if operator == ">":
+            return not left > right
+        if operator == ">=":
+            return not left >= right
+    except TypeError:
+        # Cross-type ordered comparisons never hold at runtime either
+        # (PropertyCompare.satisfied treats TypeError as False).
+        return True
+    return False
+
+
+class _QueryAnalyzer:
+    def __init__(
+        self,
+        query: GraphTableQuery,
+        catalog: GraphCatalog,
+        database=None,
+    ) -> None:
+        self.query = query
+        self.catalog = catalog
+        self.database = database
+        self.diagnostics: List[Diagnostic] = []
+        self.summary: Optional[GraphSchemaSummary] = None
+        #: variable -> "node" | "edge"
+        self.kinds: Dict[str, str] = {}
+        self.parameter_types: Dict[str, str] = {}
+        #: parameter name -> (type, line, column) of the first inference.
+        self._first_inference: Dict[str, Tuple[str, Optional[int], Optional[int]]] = {}
+
+    def diag(self, code: str, message: str, node, hint: Optional[str] = None) -> None:
+        line, column = _position(node)
+        self.diagnostics.append(Diagnostic(code, message, line, column, hint))
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> QueryAnalysis:
+        self._resolve_graph()
+        self._collect_variables()
+        self._check_elements()
+        self._check_condition()
+        self._check_columns()
+        self._check_select_list()
+        self._check_satisfiability()
+        return QueryAnalysis(tuple(self.diagnostics), dict(self.parameter_types))
+
+    # ------------------------------------------------------------------ #
+    def _resolve_graph(self) -> None:
+        name = self.query.graph_name
+        if name in self.catalog:
+            definition = self.catalog.get(name)
+            self.summary = graph_schema_summary(definition, self.catalog.schema)
+            return
+        self.diag(
+            "A001",
+            f"no property graph named {name!r} has been created",
+            self.query,
+            hint=_known_hint("graphs", frozenset(self.catalog.names())),
+        )
+
+    def _collect_variables(self) -> None:
+        for element in self.query.elements:
+            if element.variable is None:
+                continue
+            kind = "node" if isinstance(element, NodeElement) else "edge"
+            self.kinds.setdefault(element.variable, kind)
+
+    # ------------------------------------------------------------------ #
+    def _check_label(self, label: str, kind: Optional[str], node) -> None:
+        if self.summary is None:
+            return
+        if kind == "node":
+            known = self.summary.node_labels
+        elif kind == "edge":
+            known = self.summary.edge_labels
+        else:
+            known = self.summary.labels
+        if label not in known:
+            what = f"{kind} " if kind in ("node", "edge") else ""
+            self.diag(
+                "A002",
+                f"graph {self.query.graph_name!r} defines no {what}label {label!r}",
+                node,
+                hint=_known_hint(f"{what}labels", known),
+            )
+
+    def _check_property(self, variable: str, key: str, node) -> None:
+        if self.summary is None:
+            return
+        kind = self.kinds.get(variable)
+        if kind == "node":
+            known = self.summary.node_properties
+        elif kind == "edge":
+            known = self.summary.edge_properties
+        else:
+            known = self.summary.properties
+        if key not in known:
+            what = f"{kind} elements of " if kind in ("node", "edge") else ""
+            self.diag(
+                "A003",
+                f"{what}graph {self.query.graph_name!r} expose no property {key!r}",
+                node,
+                hint=_known_hint("properties", known),
+            )
+
+    def _check_variable(self, variable: str, node) -> None:
+        if variable not in self.kinds:
+            self.diag(
+                "A004",
+                f"variable {variable!r} is not bound by the MATCH pattern",
+                node,
+                hint=_known_hint("pattern variables", frozenset(self.kinds)),
+            )
+
+    # ------------------------------------------------------------------ #
+    def _check_elements(self) -> None:
+        for element in self.query.elements:
+            kind = "node" if isinstance(element, NodeElement) else "edge"
+            for label in element.labels:
+                self._check_label(label, kind, element)
+
+    def _check_condition(self) -> None:
+        if self.query.condition is None:
+            return
+        for atom in _walk_condition(self.query.condition):
+            if isinstance(atom, LabelTest):
+                self._check_variable(atom.variable, atom)
+                if atom.variable in self.kinds:
+                    self._check_label(atom.label, self.kinds.get(atom.variable), atom)
+                continue
+            if not isinstance(atom, Comparison):
+                continue
+            for operand in (atom.left, atom.right):
+                if isinstance(operand, PropertyOperand):
+                    self._check_variable(operand.variable, operand)
+                    if operand.variable in self.kinds:
+                        self._check_property(operand.variable, operand.key, operand)
+            self._infer_parameter_types(atom)
+
+    def _check_columns(self) -> None:
+        for column in self.query.columns:
+            self._check_variable(column.variable, column)
+            if column.key is not None and column.variable in self.kinds:
+                self._check_property(column.variable, column.key, column)
+
+    def _check_select_list(self) -> None:
+        query = self.query
+        if query.select_star or not query.select_items:
+            return
+        output_names = {column.name for column in query.columns}
+        if len(query.select_items) != len(query.columns):
+            self.diag(
+                "A005",
+                f"outer SELECT projects {len(query.select_items)} column(s) but the "
+                f"COLUMNS clause produces {len(query.columns)}",
+                query,
+                hint="project * or list exactly the COLUMNS outputs",
+            )
+        for item in query.select_items:
+            if item not in output_names:
+                self.diag(
+                    "A005",
+                    f"outer SELECT references {item!r}, which the COLUMNS clause "
+                    "does not produce",
+                    query,
+                    hint=_known_hint("output columns", frozenset(output_names)),
+                )
+
+    # ------------------------------------------------------------------ #
+    def _infer_parameter_types(self, comparison: Comparison) -> None:
+        left, right = comparison.left, comparison.right
+        for operand, other in ((left, right), (right, left)):
+            if not isinstance(operand, ParameterOperand):
+                continue
+            if isinstance(other, PropertyOperand):
+                inferred = (
+                    _property_type(self.summary, other.key, self.database)
+                    if self.summary is not None
+                    else ANY
+                )
+            elif isinstance(other, LiteralOperand):
+                inferred = _literal_type(other.value)
+            else:
+                inferred = ANY
+            self._record_parameter(operand, inferred)
+
+    def _record_parameter(self, operand: ParameterOperand, inferred: str) -> None:
+        name = operand.name
+        current = self.parameter_types.get(name, ANY)
+        if name not in self._first_inference or (
+            self._first_inference[name][0] == ANY and inferred != ANY
+        ):
+            line, column = _position(operand)
+            self._first_inference[name] = (inferred, line, column)
+        if current == ANY:
+            self.parameter_types[name] = inferred
+            return
+        if inferred == ANY or inferred == current:
+            return
+        first_type, first_line, first_column = self._first_inference[name]
+        where = ""
+        if first_line is not None:
+            where = f" (first inferred {first_type} at line {first_line}, column {first_column})"
+        self.diag(
+            "A006",
+            f"parameter :{name} is compared as {inferred} here but as {current} "
+            f"elsewhere{where}",
+            operand,
+            hint="bind the parameter against operands of one type",
+        )
+
+    # ------------------------------------------------------------------ #
+    def _check_satisfiability(self) -> None:
+        equalities: Dict[Tuple[str, str], Tuple[object, object]] = {}
+        for atom in _conjuncts(self.query.condition):
+            if not isinstance(atom, Comparison):
+                continue
+            left, right = atom.left, atom.right
+            operator = atom.operator
+            if isinstance(left, LiteralOperand) and isinstance(right, LiteralOperand):
+                if _statically_false(left.value, operator, right.value):
+                    self.diag(
+                        "A007",
+                        f"comparison {left.value!r} {operator} {right.value!r} "
+                        "is never satisfied",
+                        atom,
+                        hint="remove the contradiction or fix the literal",
+                    )
+                continue
+            # Normalize to property-on-the-left for the remaining checks.
+            if isinstance(right, PropertyOperand) and isinstance(left, LiteralOperand):
+                left, right = right, left
+                operator = _FLIPPED.get(operator, operator)
+            if not (isinstance(left, PropertyOperand) and isinstance(right, LiteralOperand)):
+                continue
+            self._check_property_literal(atom, left, operator, right)
+
+            if operator == "=":
+                key = (left.variable, left.key)
+                if key in equalities:
+                    previous, _ = equalities[key]
+                    if type(previous) is type(right.value) and previous != right.value:
+                        self.diag(
+                            "A007",
+                            f"{left.variable}.{left.key} cannot equal both "
+                            f"{previous!r} and {right.value!r}",
+                            atom,
+                            hint="use OR for alternative values",
+                        )
+                else:
+                    equalities[key] = (right.value, atom)
+
+    def _check_property_literal(
+        self, atom: Comparison, prop: PropertyOperand, operator: str, literal: LiteralOperand
+    ) -> None:
+        if operator == "!=" or self.summary is None:
+            # ``!=`` holds for any defined value of a different type.
+            return
+        property_type = _property_type(self.summary, prop.key, self.database)
+        literal_type = _literal_type(literal.value)
+        if ANY in (property_type, literal_type) or property_type == literal_type:
+            return
+        self.diag(
+            "A007",
+            f"{prop.variable}.{prop.key} holds {property_type} values; comparing "
+            f"with {literal.value!r} ({literal_type}) is never satisfied",
+            atom,
+            hint="compare the property against a value of its own type",
+        )
+
+
+#: Bounded memo of *successful* analyses.  The key is the statement itself
+#: (AST nodes are frozen dataclasses with structural hashing, and position
+#: fields are ``compare=False``, so re-parsing the same text hits) plus the
+#: identities of the catalog/database; the weakrefs guard against id reuse
+#: after garbage collection.  Failing analyses are never cached so their
+#: diagnostics always carry the positions of the statement actually parsed.
+_ANALYSIS_MEMO: "OrderedDict[Tuple[GraphTableQuery, int, int], Tuple[weakref.ref, Optional[weakref.ref], QueryAnalysis]]" = OrderedDict()
+_ANALYSIS_MEMO_LIMIT = 256
+
+
+def analyze_query(
+    query: GraphTableQuery,
+    catalog: GraphCatalog,
+    database=None,
+) -> QueryAnalysis:
+    """Analyze one query against a catalog (and optionally its data).
+
+    Collects *every* diagnostic rather than stopping at the first; callers
+    reject via :meth:`QueryAnalysis.raise_if_failed`.  Successful analyses
+    are memoized per (statement, catalog, database), so re-preparing a
+    statement costs a structural hash instead of a full re-analysis.
+    """
+    key: Optional[Tuple[GraphTableQuery, int, int]]
+    key = (query, id(catalog), id(database))
+    try:
+        cached = _ANALYSIS_MEMO.get(key)
+    except TypeError:  # hand-built AST holding an unhashable literal
+        key = None
+        cached = None
+    if cached is not None:
+        catalog_ref, database_ref, analysis = cached
+        live = catalog_ref() is catalog and (
+            database is None if database_ref is None else database_ref() is database
+        )
+        if live:
+            _ANALYSIS_MEMO.move_to_end(key)
+            return analysis
+        del _ANALYSIS_MEMO[key]
+    analysis = _QueryAnalyzer(query, catalog, database).run()
+    if key is not None and analysis.ok:
+        _ANALYSIS_MEMO[key] = (
+            weakref.ref(catalog),
+            None if database is None else weakref.ref(database),
+            analysis,
+        )
+        while len(_ANALYSIS_MEMO) > _ANALYSIS_MEMO_LIMIT:
+            _ANALYSIS_MEMO.popitem(last=False)
+    return analysis
+
+
+# --------------------------------------------------------------------------- #
+# DDL analysis
+# --------------------------------------------------------------------------- #
+def analyze_ddl(statement: CreatePropertyGraph, schema: Schema) -> Tuple[Diagnostic, ...]:
+    """Diagnostics for a CREATE PROPERTY GRAPH statement against a schema.
+
+    The catalog's own lowering rejects the same problems one at a time with
+    :class:`SchemaError`; this pass reports all of them with positions.
+    """
+    diagnostics: List[Diagnostic] = []
+    tables = frozenset(schema.names())
+
+    def check_table(spec) -> bool:
+        if spec.table in tables:
+            return True
+        line, column = _position(spec)
+        diagnostics.append(
+            Diagnostic(
+                "A001",
+                f"schema has no table named {spec.table!r}",
+                line,
+                column,
+                _known_hint("tables", tables),
+            )
+        )
+        return False
+
+    def check_columns(spec, columns: Tuple[str, ...]) -> None:
+        relation = schema.relation(spec.table)
+        line, column_no = _position(spec)
+        for column in columns:
+            if relation.columns and column not in relation.columns:
+                diagnostics.append(
+                    Diagnostic(
+                        "A003",
+                        f"table {spec.table!r} has no column {column!r}",
+                        line,
+                        column_no,
+                        _known_hint("columns", frozenset(relation.columns)),
+                    )
+                )
+
+    arities: Dict[int, str] = {}
+    for spec in statement.node_tables + statement.edge_tables:
+        arities.setdefault(len(spec.key_columns), spec.table)
+        if check_table(spec):
+            check_columns(spec, spec.key_columns + spec.properties)
+
+    if len(arities) > 1:
+        line, column = _position(statement)
+        diagnostics.append(
+            Diagnostic(
+                "A005",
+                f"property graph {statement.name!r} mixes key arities "
+                f"{sorted(arities)}; one identifier arity is required",
+                line,
+                column,
+                "give every table key the same number of columns",
+            )
+        )
+        identifier_arity: Optional[int] = None
+    else:
+        identifier_arity = next(iter(arities), None)
+
+    for spec in statement.edge_tables:
+        if spec.table in tables:
+            check_columns(spec, spec.source_columns + spec.target_columns)
+        if identifier_arity is not None:
+            for label, columns in (("source", spec.source_columns), ("target", spec.target_columns)):
+                if len(columns) != identifier_arity:
+                    line, column = _position(spec)
+                    diagnostics.append(
+                        Diagnostic(
+                            "A005",
+                            f"edge table {spec.table!r} references its {label} with "
+                            f"{len(columns)} column(s) but the graph's identifier "
+                            f"arity is {identifier_arity}",
+                            line,
+                            column,
+                            "endpoint references must match the node key arity",
+                        )
+                    )
+    return tuple(diagnostics)
+
+
+__all__ = [
+    "ANY",
+    "NUMBER",
+    "STRING",
+    "GraphSchemaSummary",
+    "QueryAnalysis",
+    "analyze_ddl",
+    "analyze_query",
+    "graph_schema_summary",
+]

@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.graph.identifiers import Identifier, as_identifier
 from repro.graph.property_graph import PropertyGraph

@@ -9,8 +9,7 @@ opposite colours.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.relational.database import Database
 from repro.relational.relation import Relation

@@ -8,10 +8,9 @@ so they can be queried directly with ``psi_Omega(N, E, S, T, L, P)``.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.relational.database import Database
-from repro.relational.relation import Relation
 
 #: Canonical relation names used by the generated graph-view databases.
 GRAPH_VIEW_SCHEMA = ("N", "E", "S", "T", "L", "P")

@@ -50,7 +50,8 @@ import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import EngineError, ReproError
+from repro.analysis.semantic import analyze_ddl
+from repro.errors import AnalysisSchemaError, EngineError, ReproError
 from repro.observability.metrics import MetricsRegistry, default_registry
 from repro.observability.tracing import Tracer, tracer_from_env
 from repro.planner.physical import PlanCache
@@ -412,6 +413,7 @@ class Database:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         slow_query_seconds: Optional[float] = None,
+        verify_plans: Optional[bool] = None,
     ):
         """``snapshot_cache`` lets several databases (or processes' worth
         of sessions within one interpreter) share warm state; by default
@@ -427,6 +429,11 @@ class Database:
         at or over the threshold emit a record — query text, bindings
         shape, snapshot fingerprint, stage breakdown — to the tracer's
         sinks and the ``repro.slow_query`` logger.
+
+        ``verify_plans`` turns the optimizer plan-invariant verifier of
+        :mod:`repro.analysis.verifier` on (``True``) or off (``False``)
+        for every connection of this database; the default ``None``
+        defers to the ``REPRO_VERIFY_PLANS`` environment variable.
         """
         self._lock = threading.RLock()
         self._relations: Dict[str, Relation] = {}
@@ -444,6 +451,7 @@ class Database:
         self._tracer = tracer if tracer is not None else tracer_from_env()
         self._metrics = metrics if metrics is not None else default_registry()
         self.slow_query_seconds = slow_query_seconds
+        self._verify_plans = verify_plans
 
     # -- catalog state --------------------------------------------------- #
     @property
@@ -568,7 +576,11 @@ class Database:
         """
         with self._lock:
             self._check_open()
-            scratch = GraphCatalog(self._relational_head().schema)
+            schema = self._relational_head().schema
+            diagnostics = analyze_ddl(statement, schema)
+            if diagnostics:
+                raise AnalysisSchemaError(diagnostics)
+            scratch = GraphCatalog(schema)
             definition = scratch.register(statement)
             self._graph_statements[definition.name] = statement
             self._bump()
@@ -623,10 +635,14 @@ class Database:
 
         The connection is pinned to ``snapshot`` (default: the current
         version) — later DDL on this database does not affect it.
-        ``engine_options`` are forwarded to the backend factory verbatim.
+        ``engine_options`` are forwarded to the backend factory verbatim;
+        a database-level ``verify_plans`` setting is injected unless the
+        caller passes their own.
         """
         from repro.engine.session import Connection
 
+        if self._verify_plans is not None:
+            engine_options.setdefault("verify_plans", self._verify_plans)
         with self._lock:
             self._check_open()
             pinned = snapshot if snapshot is not None else self.snapshot()

@@ -95,6 +95,7 @@ class PlannedEngine(PGQEvaluator):
         compact: bool = True,
         fixpoint_shards: Optional[int] = None,
         parallel_threshold: Optional[int] = None,
+        verify_plans: Optional[bool] = None,
     ):
         super().__init__(
             database,
@@ -113,6 +114,9 @@ class PlannedEngine(PGQEvaluator):
         self.compact = compact
         self.fixpoint_shards = fixpoint_shards
         self.parallel_threshold = parallel_threshold
+        #: Plan-invariant verification (``Database(verify_plans=True)`` /
+        #: ``REPRO_VERIFY_PLANS=1``), threaded to every executor.
+        self.verify_plans = verify_plans
         # Surface the execution counters through PlanCache.info() so a
         # session can observe shard/encode activity without the harness —
         # only on the engine's own private cache: a user-shared cache
@@ -155,6 +159,7 @@ class PlannedEngine(PGQEvaluator):
             compact=self.compact,
             fixpoint_shards=self.fixpoint_shards,
             parallel_threshold=self.parallel_threshold,
+            verify_plans=self.verify_plans,
         )
 
     def _make_matcher(self, graph) -> PlanExecutor:
@@ -180,6 +185,7 @@ def make_planned_engine(
     compact: bool = True,
     fixpoint_shards: Optional[int] = None,
     parallel_threshold: Optional[int] = None,
+    verify_plans: Optional[bool] = None,
     **_options,
 ):
     return PlannedEngine(
@@ -191,4 +197,5 @@ def make_planned_engine(
         compact=compact,
         fixpoint_shards=fixpoint_shards,
         parallel_threshold=parallel_threshold,
+        verify_plans=verify_plans,
     )

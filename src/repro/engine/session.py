@@ -59,6 +59,7 @@ from typing import (
     Union,
 )
 
+from repro.analysis.semantic import QueryAnalysis, analyze_query
 from repro.errors import EngineError
 from repro.engine.registry import Engine, create_engine, engine_factory
 from repro.observability.analyze import (
@@ -388,6 +389,11 @@ class Explain:
     #: by :meth:`Connection.explain_analyze` and rendered as an indented
     #: tree by ``str(explain)``.
     analyze: Optional[OperatorStats] = None
+    #: Semantic-analyzer notes for the statement — today the inferred
+    #: ``:name`` parameter types — rendered as an ``-- analyzer:`` line.
+    #: Empty when the statement declares no parameters or the connection
+    #: was opened with ``analyze=False``.
+    diagnostics: Tuple[str, ...] = ()
 
     def __str__(self) -> str:
         text = self.plan
@@ -422,6 +428,8 @@ class Explain:
                 f"views_built={self.shared.get('views_built', 0)} "
                 f"streamed={self.streamed}"
             )
+        if self.diagnostics:
+            text += "\n-- analyzer: " + "; ".join(self.diagnostics)
         if self.analyze is not None:
             text += "\n-- EXPLAIN ANALYZE\n" + self.analyze.render()
         return text
@@ -450,6 +458,9 @@ class PreparedStatement:
         self._generation = -1
         #: Parameter slot names the statement expects, sorted.
         self.parameter_names: Tuple[str, ...] = ()
+        #: Inferred parameter types (``name -> "number" | "string" | "any"``)
+        #: from the semantic analyzer; empty with ``analyze=False``.
+        self.parameter_types: Dict[str, str] = {}
         #: Completed ``execute`` calls on this statement.
         self.executions = 0
         self._ensure_compiled()
@@ -469,11 +480,19 @@ class PreparedStatement:
         # otherwise accumulate across recompiles.
         self.close()
         session._check_graph_valid(self._statement.graph_name)
+        with trace_span("analyze", engine=session._engine_name):
+            analysis = session._analyze_statement(self._statement, self.text)
         query = compile_query(self._statement, session.catalog)
         with trace_span("prepare", engine=session._engine_name):
             self._compiled = session._get_engine().prepare(query)
         self._generation = session._generation
         self.parameter_names = tuple(self._compiled.parameter_names)
+        self.parameter_types = (
+            dict(analysis.parameter_types) if analysis is not None else {}
+        )
+        # The typed signature rides on the compiled form too, so engine-level
+        # callers holding only the CompiledQuery see it.
+        self._compiled.parameter_types = dict(self.parameter_types)
 
     def execute(self, params: Optional[Bindings] = None, /, **named) -> QueryResult:
         """Execute with bindings from ``params`` and/or keywords.
@@ -627,6 +646,7 @@ class Connection:
         engine: str = "naive",
         max_repetitions: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        analyze: bool = True,
         **engine_options,
     ) -> None:
         """``engine_options`` are forwarded to the backend factory verbatim
@@ -634,7 +654,9 @@ class Connection:
         engine); factories ignore options that do not apply to them.
         ``snapshot=None`` pins lazily to the database's head on first use.
         ``tracer`` overrides the owning database's query-lifecycle tracer
-        for this connection only.
+        for this connection only.  ``analyze=False`` skips the semantic
+        analyzer (statements go straight from parse to compile, restoring
+        the pre-analyzer error behavior).
         """
         engine_factory(engine)  # fail fast on unknown backend names
         self._owner = database
@@ -642,6 +664,7 @@ class Connection:
         self._engine_options = dict(engine_options)
         self._engine_name = engine
         self._max_repetitions = max_repetitions
+        self._analyze = analyze
         self._engine: Optional[Engine] = None
         #: The query-lifecycle tracer checked at statement setup; the
         #: database default is the disabled NULL_TRACER singleton.
@@ -675,6 +698,11 @@ class Connection:
         self._sugar_texts_overflow = 0
         #: Prepared-statement accounting surfaced by ``explain()``.
         self._prepared_statements = 0
+        #: Successful analyses keyed ``(text, generation)``: the catalog
+        #: is snapshot-pinned, so re-preparing the same text within one
+        #: generation can skip the analyzer walk entirely (string hashes
+        #: are cached, so a hit is one dict lookup).
+        self._analysis_memo: "OrderedDict[Tuple[str, int], QueryAnalysis]" = OrderedDict()
         self._prepared_executions = 0
         self._prepared_reuse = 0
         #: Explicit ``prepare()`` handles, closed with the connection so
@@ -721,6 +749,35 @@ class Connection:
 
     def _check_graph_valid(self, name: str) -> None:
         self.snapshot.check_graph_valid(name)
+
+    def _analyze_statement(
+        self, statement: GraphTableQuery, text: Optional[str] = None
+    ) -> Optional[QueryAnalysis]:
+        """Run the semantic analyzer over a parsed statement.
+
+        Returns the analysis (diagnostics empty, parameter types
+        inferred), or ``None`` when the connection was opened with
+        ``analyze=False``.  A statement that does not resolve against the
+        snapshot's catalog raises :class:`~repro.errors.AnalysisError`
+        carrying *every* diagnostic found, not just the first.  With
+        ``text`` supplied, successful analyses are memoized per
+        generation (the catalog is immutable within one).
+        """
+        if not self._analyze:
+            return None
+        key = None if text is None else (text, self._generation)
+        if key is not None:
+            cached = self._analysis_memo.get(key)
+            if cached is not None:
+                self._analysis_memo.move_to_end(key)
+                return cached
+        analysis = analyze_query(statement, self.catalog, self.database)
+        analysis.raise_if_failed()
+        if key is not None:
+            self._analysis_memo[key] = analysis
+            while len(self._analysis_memo) > 128:
+                self._analysis_memo.popitem(last=False)
+        return analysis
 
     def _retain_snapshot(self, snapshot: "Snapshot") -> None:
         """Register this connection as a live user of the snapshot's
@@ -1209,6 +1266,7 @@ class Connection:
         if not isinstance(statement, GraphTableQuery):
             raise EngineError("compile() expects a SELECT ... FROM GRAPH_TABLE(...) statement")
         self._check_graph_valid(statement.graph_name)
+        self._analyze_statement(statement)
         return compile_query(statement, self.catalog)
 
     def explain(self, statement_text: str) -> Explain:
@@ -1228,6 +1286,13 @@ class Connection:
 
     def _explain_statement(self, statement: GraphTableQuery) -> Explain:
         self._check_graph_valid(statement.graph_name)
+        analysis = self._analyze_statement(statement)
+        notes: Tuple[str, ...] = ()
+        if analysis is not None and analysis.parameter_types:
+            notes = tuple(
+                f"parameter :{name} inferred {kind}"
+                for name, kind in sorted(analysis.parameter_types.items())
+            )
         plan_text = compile_to_plan(statement, self.catalog).describe()
         counters: Dict[str, float] = {}
         cache: Dict[str, float] = {}
@@ -1266,6 +1331,7 @@ class Connection:
             snapshot=snapshot.fingerprint,
             shared=snapshot.cache.stats(),
             streamed=self._streamed_results,
+            diagnostics=notes,
         )
 
     def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:

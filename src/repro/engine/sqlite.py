@@ -32,8 +32,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 from repro.observability.tracing import trace_span
 
 from repro.errors import BindingError, EngineError
-from repro.matching.endpoint import EndpointEvaluator
-from repro.parameters import Bindings, Parameter, merge_bindings, require_bindings
+from repro.parameters import Bindings, Parameter, check_bindings, merge_bindings
 from repro.patterns.ast import (
     Concatenation,
     Disjunction,
@@ -757,6 +756,8 @@ class _SQLiteCompiledQuery:
         self.engine = engine
         self.query = query
         self.parameter_names = tuple(sorted(query_parameters(query)))
+        #: Inferred slot types, filled in by the connection at prepare time.
+        self.parameter_types: Dict[str, str] = {}
         self.executions = 0
         self._compile()
 
@@ -793,7 +794,7 @@ class _SQLiteCompiledQuery:
         win; the mapping argument is positional-only so a slot named
         ``bindings`` still binds by keyword)."""
         merged = merge_bindings(bindings, named)
-        require_bindings(self.parameter_names, merged)
+        check_bindings(self.parameter_names, merged)
         if self.engine._connection is not self._connection:
             # The connection (and with it every temp table) went away since
             # preparation — e.g. engine.close(); recompile transparently.
@@ -833,7 +834,7 @@ class _SQLiteCompiledQuery:
         if self._arity == 0 or self._deferred:
             return None
         merged = merge_bindings(bindings, named)
-        require_bindings(self.parameter_names, merged)
+        check_bindings(self.parameter_names, merged)
         if self.engine._connection is not self._connection:
             self._compile()
         arguments = tuple(merged[name] for name in self._main_slots)

@@ -57,12 +57,55 @@ class ParseError(ReproError):
     """Raised by the SQL/PGQ lexer and parser on malformed input."""
 
     def __init__(self, message: str, *, line: int | None = None, column: int | None = None):
+        # Multi-line messages carry a source excerpt with a caret; the
+        # location suffix attaches to the first line so the caret stays
+        # aligned under the offending column.
+        head, newline, tail = message.partition("\n")
         location = ""
         if line is not None:
             location = f" at line {line}" + (f", column {column}" if column is not None else "")
-        super().__init__(f"{message}{location}")
+        super().__init__(f"{head}{location}{newline}{tail}")
         self.line = line
         self.column = column
+
+
+class AnalysisError(QueryError):
+    """Raised by the semantic analyzer with position-carrying diagnostics.
+
+    Subclasses :class:`QueryError` so existing callers catching query
+    problems also see analysis rejections.  ``diagnostics`` holds every
+    :class:`repro.analysis.diagnostics.Diagnostic` found (not just the
+    first); the message renders them all.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = tuple(diagnostics)
+        if not self.diagnostics:
+            raise ValueError("AnalysisError requires at least one diagnostic")
+        super().__init__("\n".join(d.render() for d in self.diagnostics))
+
+
+class AnalysisSchemaError(AnalysisError, SchemaError):
+    """Analyzer rejection of DDL that violates the catalog schema.
+
+    DDL problems (unknown source table, unknown key column, mixed key
+    arities) historically raise :class:`SchemaError`; the analyzer keeps
+    that contract while attaching its structured diagnostics, so both
+    ``except SchemaError`` and ``except AnalysisError`` continue to work.
+    """
+
+
+class PlanVerificationError(LogicError):
+    """Raised when a plan rewrite or lowering violates a planner invariant.
+
+    Only raised with verification enabled (``Database(verify_plans=True)``
+    or ``REPRO_VERIFY_PLANS=1``); a raise means an optimizer rule produced
+    a plan that is not equivalent to its input.
+    """
+
+    def __init__(self, rule: str, message: str):
+        self.rule = rule
+        super().__init__(f"plan verification failed after {rule}: {message}")
 
 
 class EngineError(ReproError):

@@ -15,8 +15,8 @@ checks (e.g. while enumerating free-variable assignments) are cheap.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.errors import LogicError
 from repro.logic.formulas import (

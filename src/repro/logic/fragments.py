@@ -12,7 +12,7 @@ and provides the canonical separating formulas used in the proofs.
 
 from __future__ import annotations
 
-from typing import FrozenSet, Optional
+from typing import FrozenSet
 
 from repro.logic.formulas import (
     Formula,

@@ -15,14 +15,14 @@ at most ``|N|`` rounds and keeps evaluation within NL data complexity
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import PatternError
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
 from repro.matching import fixpoint
-from repro.matching.mappings import EMPTY_MAPPING, Mapping, compatible, freeze, thaw, union
+from repro.matching.mappings import EMPTY_MAPPING, compatible, freeze, thaw, union
 from repro.patterns.ast import (
     Concatenation,
     Disjunction,

@@ -22,8 +22,8 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.errors import PatternError
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
-from repro.matching.endpoint import MatchSet, MatchTriple
-from repro.matching.mappings import EMPTY_MAPPING, Mapping, compatible, freeze, thaw, union
+from repro.matching.endpoint import MatchSet
+from repro.matching.mappings import EMPTY_MAPPING, compatible, freeze, thaw, union
 from repro.patterns.ast import (
     Concatenation,
     Disjunction,

@@ -26,7 +26,7 @@ import json
 import os
 import threading
 from bisect import bisect_left, insort
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets (seconds), 100µs .. 10s; +Inf is implicit.
 DEFAULT_BUCKETS: Tuple[float, ...] = (

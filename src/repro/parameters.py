@@ -92,3 +92,33 @@ def require_bindings(names: Iterable[str], bindings: Bindings) -> None:
     if missing:
         slots = ", ".join(f":{name}" for name in missing)
         raise BindingError(f"missing bindings for parameters {slots}")
+
+
+def unknown_bindings(names: Iterable[str], bindings: Bindings) -> List[str]:
+    """Binding names the statement declares no slot for, sorted."""
+    declared = set(names)
+    return sorted(name for name in bindings if name not in declared)
+
+
+def check_bindings(names: Iterable[str], bindings: Bindings) -> None:
+    """Validate a binding set against a statement's declared slots.
+
+    Raises a single :class:`BindingError` that lists *every* problem at
+    once — all missing slots and all unknown extras — so a caller fixing
+    their bindings sees the complete picture in one round trip instead of
+    one name per attempt.
+    """
+    names = tuple(names)
+    missing = missing_parameters(names, bindings)
+    unknown = unknown_bindings(names, bindings)
+    if not missing and not unknown:
+        return
+    problems = []
+    if missing:
+        slots = ", ".join(f":{name}" for name in missing)
+        problems.append(f"missing bindings for parameters {slots}")
+    if unknown:
+        slots = ", ".join(f":{name}" for name in unknown)
+        declared = ", ".join(f":{name}" for name in sorted(names)) or "none"
+        problems.append(f"unknown parameters {slots} (declared: {declared})")
+    raise BindingError("; ".join(problems))

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet, Iterator, Optional, Tuple, Union
 
 from repro.errors import PatternError

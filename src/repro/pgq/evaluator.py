@@ -24,7 +24,7 @@ from typing import Dict, Iterator, Optional, Protocol, Tuple
 from repro.errors import ArityError, QueryError
 from repro.matching.endpoint import EndpointEvaluator, EvaluationCounters
 from repro.observability.tracing import trace_span
-from repro.parameters import Bindings, merge_bindings, require_bindings
+from repro.parameters import Bindings, check_bindings, merge_bindings
 from repro.patterns.ast import bind_output
 from repro.pgq.queries import (
     ActiveDomainQuery,
@@ -79,6 +79,9 @@ class CompiledQuery:
         self.query = query
         #: Slot names the statement expects, sorted (empty = no parameters).
         self.parameter_names: Tuple[str, ...] = tuple(sorted(query_parameters(query)))
+        #: Inferred slot types (filled in by the connection's semantic
+        #: analyzer at prepare time; empty for programmatic queries).
+        self.parameter_types: Dict[str, str] = {}
         #: Number of completed ``execute`` calls (binding-reuse accounting).
         self.executions = 0
 
@@ -228,8 +231,8 @@ class PGQEvaluator:
         an unbound parameter can never silently match nothing.
         """
         parameters = query_parameters(query)
+        check_bindings(parameters, bindings or {})
         if parameters:
-            require_bindings(parameters, bindings or {})
             self._bindings = dict(bindings)  # type: ignore[arg-type]
         else:
             self._bindings = {}
@@ -266,8 +269,8 @@ class PGQEvaluator:
         if not isinstance(query, GraphPattern):
             return None
         parameters = query_parameters(query)
+        check_bindings(parameters, bindings or {})
         if parameters:
-            require_bindings(parameters, bindings or {})
             self._bindings = dict(bindings)  # type: ignore[arg-type]
         else:
             self._bindings = {}

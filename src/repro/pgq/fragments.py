@@ -30,14 +30,8 @@ from repro.pgq.queries import (
     BaseRelation,
     Constant,
     ConstantRelation,
-    Difference,
-    EmptyRelation,
     GraphPattern,
-    Product,
-    Project,
     Query,
-    Select,
-    Union,
     iter_queries,
 )
 from repro.pgq.views import infer_identifier_arity

@@ -19,11 +19,11 @@ from __future__ import annotations
 
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, FrozenSet, Optional, Tuple
 
 from repro.errors import QueryError
-from repro.parameters import Bindings, Parameter, bind_value, require_bindings
+from repro.parameters import Bindings, Parameter, bind_value, check_bindings
 from repro.patterns.ast import OutputPattern, PropertyRef, bind_output, pattern_parameters
 from repro.relational.conditions import Condition
 
@@ -319,15 +319,16 @@ def bind_query(query: Query, bindings: Bindings) -> Query:
 def resolve_bindings(query: Query, bindings: Optional[Bindings]) -> Query:
     """Validate bindings against the query's slots and bind them eagerly.
 
-    The shared entry check of every engine: raises
-    :class:`~repro.errors.BindingError` naming each missing parameter;
-    extra bindings are ignored (shared binding dictionaries are common).
-    Returns the query unchanged when it has no parameter slots.
+    The shared entry check of every engine: raises one
+    :class:`~repro.errors.BindingError` listing *all* missing parameters
+    and *all* unknown extras (a binding naming no declared slot is a bug
+    in the caller, not a value to silently drop).  Returns the query
+    unchanged when it has no parameter slots.
     """
     names = query_parameters(query)
+    check_bindings(names, bindings or {})
     if not names:
         return query
-    require_bindings(names, bindings or {})
     return bind_query(query, bindings or {})
 
 

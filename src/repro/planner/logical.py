@@ -28,7 +28,7 @@ Operators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import FrozenSet, Optional, Tuple
 
 from repro.errors import PatternError

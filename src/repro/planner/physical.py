@@ -102,12 +102,12 @@ ColumnMap = Dict[str, int]
 Pair = Tuple[Identifier, Identifier]
 
 
-def _compile_plan(pattern, needed, stats) -> LogicalPlan:
+def _compile_plan(pattern, needed, stats, verify=None) -> LogicalPlan:
     """Build and optimize one plan under ``plan`` / ``optimize`` spans."""
     with trace_span("plan"):
         logical = build_logical_plan(pattern)
     with trace_span("optimize"):
-        return optimize(logical, needed, stats)
+        return optimize(logical, needed, stats, verify=verify)
 
 
 def _profile_label(plan: LogicalPlan) -> str:
@@ -206,6 +206,7 @@ class PlanCache:
         pattern: Pattern,
         needed: FrozenSet[str],
         stats: Optional["GraphStatistics"] = None,
+        verify: Optional[bool] = None,
     ) -> LogicalPlan:
         needed = frozenset(needed)
         key = (pattern, needed, stats.fingerprint() if stats is not None else None)
@@ -214,7 +215,7 @@ class PlanCache:
         except TypeError:  # unhashable constant somewhere in a condition
             with self._lock:
                 self.uncacheable += 1
-            return _compile_plan(pattern, needed, stats)
+            return _compile_plan(pattern, needed, stats, verify)
         with self._lock:
             entry = self._plans.get(key)
             if entry is not None:
@@ -228,7 +229,7 @@ class PlanCache:
             self.misses += 1
             if parameterized:
                 self.prepared_misses += 1
-            plan = _compile_plan(pattern, needed, stats)
+            plan = _compile_plan(pattern, needed, stats, verify)
             self._plans[key] = (plan, parameterized)
             if len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
@@ -347,11 +348,18 @@ class PlanExecutor:
         compact: bool = True,
         fixpoint_shards: Optional[int] = None,
         parallel_threshold: Optional[int] = None,
+        verify_plans: Optional[bool] = None,
     ):
         self.graph = graph
         self.max_repetitions = max_repetitions
         self.counters = counters if counters is not None else PlanCounters()
         self.plan_cache = plan_cache
+        # Resolved once (explicit kwarg wins over REPRO_VERIFY_PLANS); when
+        # on, every optimizer pass and every physical binding table is
+        # checked against the plan's schema — a debugging/CI mode.
+        from repro.analysis.verifier import verification_enabled
+
+        self.verify_plans = verification_enabled(verify_plans)
         #: Statistics of ``graph``; when present the optimizer cost-orders
         #: concatenation chains and the plan cache keys on the fingerprint.
         self.graph_stats = graph_stats
@@ -387,10 +395,11 @@ class PlanExecutor:
         output.validate()
         self._invalidate_if_mutated()
         needed = frozenset(output.output_variables())
+        verify = self.verify_plans
         if self.plan_cache is not None:
-            plan = self.plan_cache.plan_for(output.pattern, needed, self.graph_stats)
+            plan = self.plan_cache.plan_for(output.pattern, needed, self.graph_stats, verify)
         else:
-            plan = _compile_plan(output.pattern, needed, self.graph_stats)
+            plan = _compile_plan(output.pattern, needed, self.graph_stats, verify)
         if bindings:
             plan = bind_plan(plan, bindings)
         if len(self._tables) > self._MEMO_MAX:
@@ -702,6 +711,10 @@ class PlanExecutor:
                 plan, _profile_label(plan), perf_counter() - start, len(result[1])
             )
         self.counters.rows_produced += len(result[1])
+        if self.verify_plans:
+            from repro.analysis.verifier import verify_physical_result
+
+            verify_physical_result(plan, result[0], result[1])
         try:
             self._tables[plan] = result
         except TypeError:
@@ -1060,6 +1073,12 @@ class PlanExecutor:
         if profiler is not None:
             profiler.record(plan, _profile_label(plan), elapsed, produced)
         self.counters.rows_produced += produced
+        if self.verify_plans and result.masks is None:
+            # Mask-form tables are pure endpoint-pair relations (no bound
+            # columns); row-form compact tables share the boxed layout.
+            from repro.analysis.verifier import verify_physical_result
+
+            verify_physical_result(plan, result.columns, result.rows)
         try:
             self._compact_tables[plan] = result
         except TypeError:

@@ -62,20 +62,41 @@ def optimize(
     plan: LogicalPlan,
     needed: FrozenSet[str],
     stats: "Optional[GraphStatistics]" = None,
+    verify: Optional[bool] = None,
 ) -> LogicalPlan:
     """Run all rewrite passes; ``needed`` are the output-pattern variables.
 
     ``stats`` enables the cost-based join-ordering pass; ``None`` falls
-    back to the purely rule-based pipeline.
+    back to the purely rule-based pipeline.  ``verify`` turns on the
+    per-pass invariant checks of :mod:`repro.analysis.verifier` (``None``
+    defers to the ``REPRO_VERIFY_PLANS`` environment variable).
     """
-    plan = push_down_filters(plan)
+    # Imported lazily, like the cost pass: the verifier is optional
+    # tooling and the planner must not depend on it at import time.
+    from repro.analysis.verifier import verification_enabled, verify_rewrite
+
+    check = verification_enabled(verify)
+    needed = frozenset(needed)
+
+    pushed = push_down_filters(plan)
+    if check:
+        verify_rewrite("push_down_filters", plan, pushed, needed)
+    plan = pushed
     if stats is not None:
         from repro.planner.cost import order_joins
 
-        plan = order_joins(plan, stats)
-    plan = prune_variables(plan, frozenset(needed))
-    plan = simplify(plan)
-    return plan
+        ordered = order_joins(plan, stats)
+        if check:
+            verify_rewrite("order_joins", plan, ordered, needed)
+        plan = ordered
+    pruned = prune_variables(plan, needed)
+    if check:
+        verify_rewrite("prune_variables", plan, pruned, needed, may_prune=True)
+    plan = pruned
+    simplified = simplify(plan)
+    if check:
+        verify_rewrite("simplify", plan, simplified, needed)
+    return simplified
 
 
 # --------------------------------------------------------------------------- #

@@ -10,7 +10,7 @@ these operators for the relational layer of the language (Figure 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import Any, FrozenSet, Tuple
 
 from repro.errors import ArityError, QueryError
 from repro.relational.conditions import Condition

@@ -11,10 +11,10 @@ relation and as a comparison function, which the FO[TC] layer relies on.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.errors import SchemaError
-from repro.relational.relation import Relation, Row
+from repro.relational.relation import Relation
 from repro.relational.schema import RelationSchema, Schema
 
 

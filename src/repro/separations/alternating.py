@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.patterns.builder import label, node, edge, output, plus, seq, where
+from repro.patterns.builder import label, node, edge, output, seq, where
 from repro.pgq.queries import (
     BaseRelation,
     EmptyRelation,
@@ -30,7 +30,6 @@ from repro.pgq.queries import (
 )
 from repro.relational.conditions import ColumnEquals, conjoin
 from repro.relational.database import Database
-from repro.relational.relation import Relation
 
 
 def union_view_sources(

@@ -22,7 +22,7 @@ This module makes that argument executable:
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from repro.relational.database import Database
 

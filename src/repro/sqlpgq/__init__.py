@@ -7,16 +7,19 @@ from repro.sqlpgq.ast import (
     EdgeElement,
     EdgeTableSpec,
     GraphTableQuery,
+    LabelTest,
     LiteralOperand,
     NodeElement,
     NodeTableSpec,
     OutputColumn,
+    ParameterOperand,
     PropertyOperand,
     Quantifier,
+    SourcePosition,
 )
 from repro.sqlpgq.catalog import GraphCatalog, GraphDefinition, compile_graph_definition
 from repro.sqlpgq.compiler import compile_query
-from repro.sqlpgq.lexer import Token, TokenStream, tokenize
+from repro.sqlpgq.lexer import Token, TokenStream, source_excerpt, tokenize
 from repro.sqlpgq.parser import (
     parse_create_property_graph,
     parse_graph_query,
@@ -32,12 +35,15 @@ __all__ = [
     "GraphCatalog",
     "GraphDefinition",
     "GraphTableQuery",
+    "LabelTest",
     "LiteralOperand",
     "NodeElement",
     "NodeTableSpec",
     "OutputColumn",
+    "ParameterOperand",
     "PropertyOperand",
     "Quantifier",
+    "SourcePosition",
     "Token",
     "TokenStream",
     "compile_graph_definition",
@@ -45,5 +51,6 @@ __all__ = [
     "parse_create_property_graph",
     "parse_graph_query",
     "parse_statement",
+    "source_excerpt",
     "tokenize",
 ]

@@ -17,6 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
+#: ``(line, column)`` of the token that introduced an AST node.  Positions
+#: are carried for diagnostics only: they are excluded from equality and
+#: hashing (plan caches key on structural equality of ASTs) and from repr
+#: (snapshot fingerprints hash ``repr(statement)`` of DDL nodes).
+SourcePosition = Tuple[int, int]
+
+
+def _position_field() -> Optional[SourcePosition]:
+    return field(default=None, compare=False, repr=False)
+
 
 # --------------------------------------------------------------------------- #
 # CREATE PROPERTY GRAPH
@@ -29,6 +39,7 @@ class NodeTableSpec:
     key_columns: Tuple[str, ...]
     labels: Tuple[str, ...] = ()
     properties: Tuple[str, ...] = ()
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -43,6 +54,7 @@ class EdgeTableSpec:
     target_table: str
     labels: Tuple[str, ...] = ()
     properties: Tuple[str, ...] = ()
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -52,6 +64,7 @@ class CreatePropertyGraph:
     name: str
     node_tables: Tuple[NodeTableSpec, ...]
     edge_tables: Tuple[EdgeTableSpec, ...]
+    position: Optional[SourcePosition] = _position_field()
 
 
 # --------------------------------------------------------------------------- #
@@ -63,6 +76,7 @@ class NodeElement:
 
     variable: Optional[str]
     labels: Tuple[str, ...] = ()
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -81,6 +95,7 @@ class EdgeElement:
     labels: Tuple[str, ...] = ()
     forward: bool = True
     quantifier: Optional[Quantifier] = None
+    position: Optional[SourcePosition] = _position_field()
 
 
 PathElement = Union[NodeElement, EdgeElement]
@@ -95,6 +110,7 @@ class PropertyOperand:
 
     variable: str
     key: str
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -102,6 +118,7 @@ class LiteralOperand:
     """A number or string literal."""
 
     value: object
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -115,6 +132,7 @@ class ParameterOperand:
     """
 
     name: str
+    position: Optional[SourcePosition] = _position_field()
 
 
 #: Operands of a WHERE comparison: a property access, a literal, or a
@@ -129,6 +147,7 @@ class Comparison:
     left: Operand
     operator: str
     right: Operand
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -137,6 +156,7 @@ class LabelTest:
 
     variable: str
     label: str
+    position: Optional[SourcePosition] = _position_field()
 
 
 @dataclass(frozen=True)
@@ -160,6 +180,7 @@ class OutputColumn:
     variable: str
     key: Optional[str] = None
     alias: Optional[str] = None
+    position: Optional[SourcePosition] = _position_field()
 
     @property
     def name(self) -> str:
@@ -177,3 +198,9 @@ class GraphTableQuery:
     condition: Optional[ConditionExpr]
     columns: Tuple[OutputColumn, ...]
     distinct: bool = False
+    #: Projection names of the outer ``SELECT`` list (empty for ``SELECT *``).
+    #: Carried for analysis only (arity check against COLUMNS), so excluded
+    #: from equality/hash like positions: the compiler ignores the outer list.
+    select_items: Tuple[str, ...] = field(default=(), compare=False, repr=False)
+    select_star: bool = field(default=True, compare=False, repr=False)
+    position: Optional[SourcePosition] = _position_field()

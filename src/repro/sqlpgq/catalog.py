@@ -13,7 +13,7 @@ projections, and every declared property column contributes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import QueryError, SchemaError
 from repro.pgq.queries import (
@@ -26,7 +26,7 @@ from repro.pgq.queries import (
     Union,
 )
 from repro.relational.schema import Schema
-from repro.sqlpgq.ast import CreatePropertyGraph, EdgeTableSpec, NodeTableSpec
+from repro.sqlpgq.ast import CreatePropertyGraph
 
 
 def _constant(value: str) -> Query:

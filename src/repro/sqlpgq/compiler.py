@@ -47,7 +47,7 @@ from repro.patterns.conditions import (
     PropertyEquals,
 )
 from repro.parameters import Parameter
-from repro.pgq.queries import GraphPattern, Project, Query
+from repro.pgq.queries import GraphPattern, Query
 from repro.sqlpgq.ast import (
     BooleanExpression,
     Comparison,
@@ -59,7 +59,6 @@ from repro.sqlpgq.ast import (
     NodeElement,
     OutputColumn,
     ParameterOperand,
-    PathElement,
     PropertyOperand,
 )
 from repro.observability.tracing import trace_span

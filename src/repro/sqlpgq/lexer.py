@@ -16,7 +16,7 @@ statement API.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.errors import ParseError
 
@@ -47,6 +47,20 @@ class Token:
 
 _MULTI_CHAR_SYMBOLS = ("<>", "!=", ">=", "<=", "->", "<-", "]-", "-[")
 _SINGLE_CHAR_SYMBOLS = set("()[]{},.;:*+=<>-/")
+
+
+def source_excerpt(text: str, line: int, column: int) -> Optional[str]:
+    """The source line at ``line`` with a caret under ``column``.
+
+    Returns ``None`` when the position falls outside ``text`` (stale
+    positions must never crash error rendering).
+    """
+    lines = text.splitlines()
+    if not 1 <= line <= len(lines):
+        return None
+    excerpt = lines[line - 1].replace("\t", " ")
+    caret = " " * max(column - 1, 0) + "^"
+    return f"{excerpt}\n{caret}"
 
 
 def tokenize(text: str) -> List[Token]:
@@ -131,11 +145,16 @@ def tokenize(text: str) -> List[Token]:
 
 
 class TokenStream:
-    """Cursor over a token list with the usual peek/expect helpers."""
+    """Cursor over a token list with the usual peek/expect helpers.
 
-    def __init__(self, tokens: List[Token]):
+    When the originating ``source`` text is supplied, parse errors carry a
+    one-line excerpt with a caret under the offending token.
+    """
+
+    def __init__(self, tokens: List[Token], source: Optional[str] = None):
         self._tokens = tokens
         self._position = 0
+        self._source = source
 
     def peek(self, offset: int = 0) -> Token:
         index = min(self._position + offset, len(self._tokens) - 1)
@@ -152,11 +171,13 @@ class TokenStream:
 
     def error(self, message: str) -> ParseError:
         token = self.peek()
-        return ParseError(
-            f"{message} (found {token.kind} {token.value!r})",
-            line=token.line,
-            column=token.column,
-        )
+        found = "end of input" if token.kind == "EOF" else f"{token.kind} {token.value!r}"
+        detail = f"{message} (found {found})"
+        if self._source is not None:
+            snippet = source_excerpt(self._source, token.line, token.column)
+            if snippet is not None:
+                detail = f"{detail}\n{snippet}"
+        return ParseError(detail, line=token.line, column=token.column)
 
     def expect_keyword(self, *names: str) -> Token:
         token = self.peek()

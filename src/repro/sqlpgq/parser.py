@@ -52,13 +52,13 @@ from repro.sqlpgq.ast import (
     Quantifier,
 )
 from repro.observability.tracing import trace_span
-from repro.sqlpgq.lexer import Token, TokenStream, tokenize
+from repro.sqlpgq.lexer import TokenStream, tokenize
 
 
 def parse_statement(text: str) -> Union[CreatePropertyGraph, GraphTableQuery]:
     """Parse one SQL/PGQ statement (DDL or query)."""
     with trace_span("parse", chars=len(text)):
-        stream = TokenStream(tokenize(text))
+        stream = TokenStream(tokenize(text), source=text)
         if stream.peek().is_keyword("CREATE"):
             statement = _parse_create_graph(stream)
         elif stream.peek().is_keyword("SELECT"):
@@ -75,7 +75,12 @@ def parse_create_property_graph(text: str) -> CreatePropertyGraph:
     """Parse a ``CREATE PROPERTY GRAPH`` statement."""
     statement = parse_statement(text)
     if not isinstance(statement, CreatePropertyGraph):
-        raise ParseError("expected a CREATE PROPERTY GRAPH statement")
+        line, column = statement.position or (1, 1)
+        raise ParseError(
+            "expected a CREATE PROPERTY GRAPH statement, got a query",
+            line=line,
+            column=column,
+        )
     return statement
 
 
@@ -83,7 +88,12 @@ def parse_graph_query(text: str) -> GraphTableQuery:
     """Parse a ``SELECT ... FROM GRAPH_TABLE(...)`` statement."""
     statement = parse_statement(text)
     if not isinstance(statement, GraphTableQuery):
-        raise ParseError("expected a SELECT ... FROM GRAPH_TABLE(...) statement")
+        line, column = statement.position or (1, 1)
+        raise ParseError(
+            "expected a SELECT ... FROM GRAPH_TABLE(...) statement, got DDL",
+            line=line,
+            column=column,
+        )
     return statement
 
 
@@ -91,10 +101,11 @@ def parse_graph_query(text: str) -> GraphTableQuery:
 # DDL
 # --------------------------------------------------------------------------- #
 def _parse_create_graph(stream: TokenStream) -> CreatePropertyGraph:
-    stream.expect_keyword("CREATE")
+    create = stream.expect_keyword("CREATE")
     stream.expect_keyword("PROPERTY")
     stream.expect_keyword("GRAPH")
-    name = stream.expect_identifier().value
+    name_token = stream.expect_identifier()
+    name = name_token.value
     stream.expect_symbol("(")
     node_tables: List[NodeTableSpec] = []
     edge_tables: List[EdgeTableSpec] = []
@@ -102,13 +113,11 @@ def _parse_create_graph(stream: TokenStream) -> CreatePropertyGraph:
         if stream.accept_keyword("NODES", "VERTEX"):
             stream.expect_keyword("TABLE", "TABLES")
             node_tables.append(_parse_node_table(stream))
-            while stream.peek().kind == "IDENT" and not stream.peek(1).is_keyword("KEY"):
-                break
-            # Additional node tables separated by commas without repeating the
-            # NODES TABLE keyword are accepted below via the comma loop.
+            # Additional node tables separated by commas without repeating
+            # the NODES TABLE keyword; a comma before a clause keyword
+            # instead separates table clauses of the CREATE statement.
             while stream.accept_symbol(","):
                 if stream.peek().is_keyword("NODES", "VERTEX", "EDGES", "EDGE"):
-                    _rewind_comma(stream)
                     break
                 node_tables.append(_parse_node_table(stream))
         elif stream.accept_keyword("EDGES", "EDGE"):
@@ -116,7 +125,6 @@ def _parse_create_graph(stream: TokenStream) -> CreatePropertyGraph:
             edge_tables.append(_parse_edge_table(stream))
             while stream.accept_symbol(","):
                 if stream.peek().is_keyword("NODES", "VERTEX", "EDGES", "EDGE"):
-                    _rewind_comma(stream)
                     break
                 edge_tables.append(_parse_edge_table(stream))
         else:
@@ -125,13 +133,17 @@ def _parse_create_graph(stream: TokenStream) -> CreatePropertyGraph:
             break
     stream.expect_symbol(")")
     if not node_tables:
-        raise ParseError(f"property graph {name!r} declares no node tables")
-    return CreatePropertyGraph(name, tuple(node_tables), tuple(edge_tables))
-
-
-def _rewind_comma(stream: TokenStream) -> None:
-    """No-op placeholder: the comma before a NODES/EDGES keyword is consumed."""
-    return None
+        raise ParseError(
+            f"property graph {name!r} declares no node tables",
+            line=name_token.line,
+            column=name_token.column,
+        )
+    return CreatePropertyGraph(
+        name,
+        tuple(node_tables),
+        tuple(edge_tables),
+        position=(create.line, create.column),
+    )
 
 
 def _parse_name_list(stream: TokenStream) -> Tuple[str, ...]:
@@ -173,15 +185,18 @@ def _parse_labels_and_properties(stream: TokenStream) -> Tuple[Tuple[str, ...], 
 
 
 def _parse_node_table(stream: TokenStream) -> NodeTableSpec:
-    table = stream.expect_identifier().value
+    table_token = stream.expect_identifier()
     stream.expect_keyword("KEY")
     key_columns = _parse_column_list(stream)
     labels, properties = _parse_labels_and_properties(stream)
-    return NodeTableSpec(table, key_columns, labels, properties)
+    return NodeTableSpec(
+        table_token.value, key_columns, labels, properties,
+        position=(table_token.line, table_token.column),
+    )
 
 
 def _parse_edge_table(stream: TokenStream) -> EdgeTableSpec:
-    table = stream.expect_identifier().value
+    table_token = stream.expect_identifier()
     stream.expect_keyword("KEY")
     key_columns = _parse_column_list(stream)
     stream.expect_keyword("SOURCE")
@@ -196,8 +211,9 @@ def _parse_edge_table(stream: TokenStream) -> EdgeTableSpec:
     target_table = stream.expect_identifier().value
     labels, properties = _parse_labels_and_properties(stream)
     return EdgeTableSpec(
-        table, key_columns, source_columns, source_table, target_columns, target_table,
-        labels, properties,
+        table_token.value, key_columns, source_columns, source_table,
+        target_columns, target_table, labels, properties,
+        position=(table_token.line, table_token.column),
     )
 
 
@@ -205,17 +221,20 @@ def _parse_edge_table(stream: TokenStream) -> EdgeTableSpec:
 # Queries
 # --------------------------------------------------------------------------- #
 def _parse_query(stream: TokenStream) -> GraphTableQuery:
-    stream.expect_keyword("SELECT")
+    select = stream.expect_keyword("SELECT")
     distinct = stream.accept_keyword("DISTINCT") is not None
+    select_star = True
+    select_items: Tuple[str, ...] = ()
     if not stream.accept_symbol("*"):
-        # A projection list in the outer SELECT is accepted and ignored: the
-        # inner COLUMNS clause already fixes the output (the outer list is
-        # only meaningful with aliases/joins, which are outside this subset).
-        _parse_name_list(stream)
+        # A projection list in the outer SELECT is recorded for the semantic
+        # analyzer (which checks it against the COLUMNS clause) but does not
+        # affect compilation: the inner COLUMNS clause fixes the output.
+        select_star = False
+        select_items = _parse_select_list(stream)
     stream.expect_keyword("FROM")
     stream.expect_keyword("GRAPH_TABLE")
     stream.expect_symbol("(")
-    graph_name = stream.expect_identifier().value
+    graph_token = stream.expect_identifier()
     stream.expect_keyword("MATCH")
     elements = _parse_path(stream)
     condition: Optional[ConditionExpr] = None
@@ -226,7 +245,34 @@ def _parse_query(stream: TokenStream) -> GraphTableQuery:
     columns = _parse_output_columns(stream)
     stream.expect_symbol(")")
     stream.expect_symbol(")")
-    return GraphTableQuery(graph_name, tuple(elements), condition, tuple(columns), distinct)
+    return GraphTableQuery(
+        graph_token.value,
+        tuple(elements),
+        condition,
+        tuple(columns),
+        distinct,
+        select_items=select_items,
+        select_star=select_star,
+        position=(select.line, select.column),
+    )
+
+
+def _parse_select_list(stream: TokenStream) -> Tuple[str, ...]:
+    """The outer SELECT projection: ``name`` or ``var.key``, no aliases."""
+    items = [_parse_select_item(stream)]
+    while stream.peek().is_symbol(",") and not stream.peek(1).is_keyword(
+        "NODES", "VERTEX", "EDGES", "EDGE"
+    ):
+        stream.advance()
+        items.append(_parse_select_item(stream))
+    return tuple(items)
+
+
+def _parse_select_item(stream: TokenStream) -> str:
+    name = stream.expect_identifier().value
+    if stream.accept_symbol("."):
+        name = f"{name}.{stream.expect_identifier().value}"
+    return name
 
 
 def _parse_path(stream: TokenStream) -> List[PathElement]:
@@ -238,7 +284,7 @@ def _parse_path(stream: TokenStream) -> List[PathElement]:
 
 
 def _parse_node_element(stream: TokenStream) -> NodeElement:
-    stream.expect_symbol("(")
+    opening = stream.expect_symbol("(")
     variable: Optional[str] = None
     labels: Tuple[str, ...] = ()
     if stream.peek().kind == "IDENT":
@@ -248,7 +294,7 @@ def _parse_node_element(stream: TokenStream) -> NodeElement:
         while stream.accept_symbol(":"):
             labels = labels + (stream.expect_identifier().value,)
     stream.expect_symbol(")")
-    return NodeElement(variable, labels)
+    return NodeElement(variable, labels, position=(opening.line, opening.column))
 
 
 def _parse_quantifier(stream: TokenStream) -> Optional[Quantifier]:
@@ -283,6 +329,8 @@ def _parse_edge_body(stream: TokenStream) -> Tuple[Optional[str], Tuple[str, ...
 
 
 def _parse_edge_element(stream: TokenStream) -> EdgeElement:
+    start = stream.peek()
+    position = (start.line, start.column)
     # Backward edge: <-[t]- or <- ...
     if stream.accept_symbol("<-"):
         variable: Optional[str] = None
@@ -295,11 +343,13 @@ def _parse_edge_element(stream: TokenStream) -> EdgeElement:
         else:
             stream.accept_symbol("-")
         quantifier = _parse_quantifier(stream)
-        return EdgeElement(variable, labels, forward=False, quantifier=quantifier)
+        return EdgeElement(
+            variable, labels, forward=False, quantifier=quantifier, position=position
+        )
     # Forward edge: -[t]-> , -> , or - [t] - > spelled with separate symbols.
     if stream.accept_symbol("->"):
         quantifier = _parse_quantifier(stream)
-        return EdgeElement(None, (), forward=True, quantifier=quantifier)
+        return EdgeElement(None, (), forward=True, quantifier=quantifier, position=position)
     stream.expect_symbol("-", "-[")
     variable = None
     labels = ()
@@ -314,7 +364,9 @@ def _parse_edge_element(stream: TokenStream) -> EdgeElement:
         stream.expect_symbol("-", "]-")
         stream.expect_symbol(">")
     quantifier = _parse_quantifier(stream)
-    return EdgeElement(variable, labels, forward=True, quantifier=quantifier)
+    return EdgeElement(
+        variable, labels, forward=True, quantifier=quantifier, position=position
+    )
 
 
 def _parse_output_columns(stream: TokenStream) -> List[OutputColumn]:
@@ -325,14 +377,17 @@ def _parse_output_columns(stream: TokenStream) -> List[OutputColumn]:
 
 
 def _parse_output_column(stream: TokenStream) -> OutputColumn:
-    variable = stream.expect_identifier().value
+    variable_token = stream.expect_identifier()
     key: Optional[str] = None
     alias: Optional[str] = None
     if stream.accept_symbol("."):
         key = stream.expect_identifier().value
     if stream.accept_keyword("AS"):
         alias = stream.expect_identifier().value
-    return OutputColumn(variable, key, alias)
+    return OutputColumn(
+        variable_token.value, key, alias,
+        position=(variable_token.line, variable_token.column),
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -365,7 +420,7 @@ def _parse_and(stream: TokenStream) -> ConditionExpr:
 def _parse_not(stream: TokenStream) -> ConditionExpr:
     if stream.accept_keyword("NOT"):
         return BooleanExpression("NOT", (_parse_not(stream),))
-    if stream.peek().is_symbol("(") and _looks_like_group(stream):
+    if stream.peek().is_symbol("("):
         stream.expect_symbol("(")
         inner = _parse_condition(stream)
         stream.expect_symbol(")")
@@ -373,31 +428,28 @@ def _parse_not(stream: TokenStream) -> ConditionExpr:
     return _parse_comparison(stream)
 
 
-def _looks_like_group(stream: TokenStream) -> bool:
-    """Distinguish a parenthesised condition from other uses of '('."""
-    return True
-
-
 def _parse_operand(stream: TokenStream) -> Operand:
     token = stream.peek()
+    position = (token.line, token.column)
     if token.kind == "NUMBER":
         stream.advance()
         value: object = float(token.value) if "." in token.value else int(token.value)
-        return LiteralOperand(value)
+        return LiteralOperand(value, position=position)
     if token.kind == "STRING":
         stream.advance()
-        return LiteralOperand(token.value)
+        return LiteralOperand(token.value, position=position)
     if token.is_symbol(":"):
         # A parameter placeholder ``:name`` stands wherever a literal may.
         stream.advance()
-        return ParameterOperand(stream.expect_identifier().value)
+        return ParameterOperand(stream.expect_identifier().value, position=position)
     variable = stream.expect_identifier().value
     stream.expect_symbol(".")
     key = stream.expect_identifier().value
-    return PropertyOperand(variable, key)
+    return PropertyOperand(variable, key, position=position)
 
 
 def _parse_comparison(stream: TokenStream) -> ConditionExpr:
+    start = stream.peek()
     left = _parse_operand(stream)
     token = stream.peek()
     operator: str
@@ -413,4 +465,4 @@ def _parse_comparison(stream: TokenStream) -> ConditionExpr:
     if operator == "<>":
         operator = "!="
     right = _parse_operand(stream)
-    return Comparison(left, operator, right)
+    return Comparison(left, operator, right, position=(start.line, start.column))

@@ -19,9 +19,8 @@ first-order variables; property values are single variables.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import TranslationError
 from repro.logic.formulas import (
@@ -36,7 +35,6 @@ from repro.logic.formulas import (
     TransitiveClosure,
     Variable,
     eq,
-    exists,
 )
 from repro.patterns.ast import (
     Concatenation,
@@ -44,7 +42,6 @@ from repro.patterns.ast import (
     EdgePattern,
     Filter,
     NodePattern,
-    OutputPattern,
     Pattern,
     PropertyRef,
     Repetition,
@@ -56,7 +53,6 @@ from repro.patterns.conditions import (
     OrCondition,
     PatternCondition,
     PropertyCompare,
-    PropertyComparesProperty,
     PropertyEquals,
 )
 from repro.pgq.queries import (

@@ -1,0 +1,126 @@
+"""The project AST lint (``tools/lint_repro.py``).
+
+The linter is a CI gate, so its rules are pinned here twice over: the
+shipped tree must be clean, and each rule must still fire on a minimal
+synthetic offender (and stay quiet on the sanctioned exemptions).
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "lint_repro", REPO_ROOT / "tools" / "lint_repro.py"
+)
+lint_repro = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_spec and lint_repro)
+
+
+def findings_for(tmp_path, source, *, name="module.py", observability=False, in_src=True):
+    path = tmp_path / name
+    path.write_text(source)
+    return [(rule, lineno) for _, lineno, rule, _ in lint_repro.check_file(
+        path, observability=observability, in_src=in_src
+    )]
+
+
+def rules_for(tmp_path, source, **kwargs):
+    return [rule for rule, _ in findings_for(tmp_path, source, **kwargs)]
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_no_findings(self):
+        findings = lint_repro.lint_paths([REPO_ROOT / "src" / "repro"], REPO_ROOT)
+        rendered = [f"{path}:{lineno}: {rule} {message}" for path, lineno, rule, message in findings]
+        assert rendered == []
+
+    def test_main_exits_zero_on_the_repo(self, capsys):
+        assert lint_repro.main([]) == 0
+
+    def test_main_exits_one_on_a_finding(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("__all__ = ['missing']\n")
+        assert lint_repro.main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ALL-EXPORTS" in out and "1 finding(s)" in out
+
+
+class TestObsImport:
+    def test_observability_must_not_import_engine_modules(self, tmp_path):
+        source = "import repro.engine.session\n\nSESSION = repro.engine.session\n"
+        assert rules_for(tmp_path, source, observability=True) == ["OBS-IMPORT"]
+        assert rules_for(tmp_path, source, observability=False) == []
+
+    def test_lazy_function_level_import_is_also_flagged(self, tmp_path):
+        source = "def peek():\n    from repro.planner.rules import optimize\n    return optimize\n"
+        assert rules_for(tmp_path, source, observability=True) == ["OBS-IMPORT"]
+
+    def test_observability_may_import_leaf_modules(self, tmp_path):
+        source = "import repro.errors\n\nERRORS = repro.errors\n"
+        assert "OBS-IMPORT" not in rules_for(tmp_path, source, observability=True)
+
+
+class TestSnapshotMutation:
+    SOURCE = "def warm(snapshot):\n    snapshot.fingerprint = None\n"
+
+    def test_snapshot_attribute_assignment_is_flagged(self, tmp_path):
+        assert rules_for(tmp_path, self.SOURCE) == ["SNAPSHOT-MUTATION"]
+
+    def test_the_owning_module_is_exempt(self, tmp_path):
+        assert rules_for(tmp_path, self.SOURCE, name="database.py") == []
+
+    def test_other_objects_are_untouched(self, tmp_path):
+        assert rules_for(tmp_path, "def f(cursor):\n    cursor.position = 0\n") == []
+
+
+class TestAllExports:
+    def test_undefined_all_entry_is_flagged(self, tmp_path):
+        assert rules_for(tmp_path, "__all__ = ['missing']\n") == ["ALL-EXPORTS"]
+
+    def test_defined_and_imported_entries_pass(self, tmp_path):
+        source = "import os\n\ndef helper():\n    return os\n\n__all__ = ['helper', 'os']\n"
+        assert rules_for(tmp_path, source) == []
+
+
+class TestUnusedImport:
+    def test_unused_module_import_is_flagged(self, tmp_path):
+        assert rules_for(tmp_path, "import os\n") == ["UNUSED-IMPORT"]
+
+    def test_used_import_passes(self, tmp_path):
+        assert rules_for(tmp_path, "import os\n\nHOME = os.environ\n") == []
+
+    def test_init_py_reexport_surface_is_exempt(self, tmp_path):
+        assert rules_for(tmp_path, "import os\n", name="__init__.py") == []
+
+    def test_type_checking_block_is_exempt(self, tmp_path):
+        source = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    import os\n"
+        )
+        assert rules_for(tmp_path, source) == []
+
+    def test_name_listed_in_all_counts_as_used(self, tmp_path):
+        assert rules_for(tmp_path, "import os\n\n__all__ = ['os']\n") == []
+
+
+class TestMutableDefault:
+    @pytest.mark.parametrize("default", ["[]", "{}", "set()"])
+    def test_mutable_literal_default_is_flagged(self, tmp_path, default):
+        source = f"def f(items={default}):\n    return items\n"
+        assert rules_for(tmp_path, source) == ["MUTABLE-DEFAULT"]
+
+    def test_none_guard_idiom_passes(self, tmp_path):
+        source = "def f(items=None):\n    return items or []\n"
+        assert rules_for(tmp_path, source) == []
+
+
+class TestPrintCall:
+    def test_print_in_library_code_is_flagged(self, tmp_path):
+        assert rules_for(tmp_path, "print('dbg')\n") == ["PRINT-CALL"]
+
+    def test_print_outside_src_is_allowed(self, tmp_path):
+        assert rules_for(tmp_path, "print('cli')\n", in_src=False) == []

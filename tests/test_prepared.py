@@ -146,11 +146,22 @@ class TestPreparedLifecycle:
             with pytest.raises(BindingError, match=":minimum"):
                 statement.execute()
 
-    def test_extra_bindings_are_ignored(self):
+    @pytest.mark.parametrize("engine", ["naive", "planned", "sqlite"])
+    def test_extra_bindings_are_rejected(self, engine):
+        with make_session(engine) as session:
+            statement = session.prepare(CHAIN_QUERY)
+            with pytest.raises(BindingError, match=r"unknown parameters :unrelated"):
+                statement.execute(minimum=100, unrelated="x")
+
+    def test_binding_error_lists_missing_and_unknown_at_once(self):
         with make_session("planned") as session:
             statement = session.prepare(CHAIN_QUERY)
-            result = statement.execute(minimum=100, unrelated="x")
-            assert result.equals_unordered(statement.execute(minimum=100))
+            with pytest.raises(
+                BindingError,
+                match=r"missing bindings for parameters :minimum; "
+                r"unknown parameters :typo \(declared: :minimum\)",
+            ):
+                statement.execute(typo=100)
 
     def test_params_mapping_and_keywords_merge_with_keyword_precedence(self):
         with make_session("planned") as session:

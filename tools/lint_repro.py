@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""Project-specific AST lint for the repro package (stdlib-only).
+
+Rules (each failure prints ``path:line: RULE message`` and exits 1):
+
+* **OBS-IMPORT** — observability modules must not import engine, planner
+  or evaluation modules (``repro.engine``, ``repro.planner``,
+  ``repro.pgq``, ``repro.matching``).  The observability layer is a leaf:
+  engines import it, never the reverse, so tracing can never deadlock or
+  recurse into the machinery it instruments.
+* **SNAPSHOT-MUTATION** — no attribute assignment on a ``Snapshot``
+  object outside ``engine/database.py``.  Snapshots are immutable by
+  contract (their fingerprint is computed once); only the module that
+  defines them may touch their internals.
+* **ALL-EXPORTS** — every name in a module's ``__all__`` must be defined
+  (or imported) at the module's top level.
+* **UNUSED-IMPORT** — a module-level import never referenced in the file
+  (``__init__.py`` re-export surfaces and ``if TYPE_CHECKING:`` blocks
+  are exempt; names listed in ``__all__`` count as used).
+* **MUTABLE-DEFAULT** — a function parameter default that is a list,
+  dict or set literal (shared across calls; use ``None`` + guard).
+* **PRINT-CALL** — ``print()`` inside ``src/repro`` (library code
+  reports through return values, exceptions, logging or the tracer).
+
+Run as ``python tools/lint_repro.py`` (lints ``src/repro``) or with
+explicit file/directory arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Module prefixes the observability layer must not import.
+_ENGINE_PREFIXES = ("repro.engine", "repro.planner", "repro.pgq", "repro.matching")
+
+#: The only module allowed to mutate Snapshot internals.
+_SNAPSHOT_OWNER = "database.py"
+
+Finding = Tuple[Path, int, str, str]
+
+
+def _module_names(node: ast.stmt) -> Iterator[str]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+    elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+        yield node.module
+
+
+def _is_type_checking_guard(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+    )
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    """The trailing identifier of a Name/Attribute chain (else '')."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _all_entries(tree: ast.Module) -> List[Tuple[str, int]]:
+    entries: List[Tuple[str, int]] = []
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            entries.append((element.value, element.lineno))
+    return entries
+
+
+def _top_level_definitions(tree: ast.Module) -> set:
+    defined = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for element in target.elts:
+                        if isinstance(element, ast.Name):
+                            defined.add(element.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            defined.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                defined.add((alias.asname or alias.name).split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    return set()  # star import: cannot check statically
+                defined.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):  # TYPE_CHECKING / version guards
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        defined.add((alias.asname or alias.name).split(".")[0])
+    return defined
+
+
+def _used_names(tree: ast.Module) -> set:
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # "repro.engine.session" used as an attribute chain roots at
+            # the Name node, already collected above.
+            pass
+    return used
+
+
+def check_file(path: Path, *, observability: bool, in_src: bool) -> List[Finding]:
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:  # pragma: no cover - lint target must parse
+        return [(path, error.lineno or 0, "PARSE", str(error))]
+
+    findings: List[Finding] = []
+
+    # OBS-IMPORT: the observability layer never imports the machinery it
+    # instruments (lazy imports inside functions are violations too).
+    if observability:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in _module_names(node):
+                    if name.startswith(_ENGINE_PREFIXES):
+                        findings.append(
+                            (
+                                path,
+                                node.lineno,
+                                "OBS-IMPORT",
+                                f"observability module imports {name}; the "
+                                "observability layer must stay a leaf",
+                            )
+                        )
+
+    # SNAPSHOT-MUTATION: snapshots are immutable outside their module.
+    if in_src and path.name != _SNAPSHOT_OWNER:
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Attribute) and _terminal_name(
+                    target.value
+                ) in ("snapshot", "_snapshot", "_snapshot_obj"):
+                    findings.append(
+                        (
+                            path,
+                            node.lineno,
+                            "SNAPSHOT-MUTATION",
+                            f"assignment to {ast.unparse(target)}: snapshots "
+                            "are immutable outside engine/database.py",
+                        )
+                    )
+
+    # ALL-EXPORTS: __all__ names must exist.
+    entries = _all_entries(tree)
+    if entries:
+        defined = _top_level_definitions(tree)
+        if defined:  # empty set signals a star import; skip the check
+            for name, lineno in entries:
+                if name not in defined:
+                    findings.append(
+                        (
+                            path,
+                            lineno,
+                            "ALL-EXPORTS",
+                            f"__all__ lists {name!r} which the module does "
+                            "not define or import",
+                        )
+                    )
+
+    # UNUSED-IMPORT: module-level imports must be referenced somewhere.
+    if path.name != "__init__.py":
+        used = _used_names(tree)
+        exported = {name for name, _ in entries}
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                aliases = [
+                    (alias.asname or alias.name.split(".")[0], alias.name)
+                    for alias in node.names
+                ]
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                aliases = [
+                    (alias.asname or alias.name, alias.name)
+                    for alias in node.names
+                    if alias.name != "*"
+                ]
+            else:
+                continue
+            for bound, original in aliases:
+                if bound not in used and bound not in exported:
+                    findings.append(
+                        (
+                            path,
+                            node.lineno,
+                            "UNUSED-IMPORT",
+                            f"{original!r} is imported but never used",
+                        )
+                    )
+
+    # MUTABLE-DEFAULT: shared mutable default arguments.
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set")
+                ):
+                    findings.append(
+                        (
+                            path,
+                            default.lineno,
+                            "MUTABLE-DEFAULT",
+                            f"function {node.name!r} has a mutable default "
+                            "argument (shared across calls)",
+                        )
+                    )
+
+    # PRINT-CALL: no print() in library code.
+    if in_src:
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "PRINT-CALL",
+                        "print() in library code; report through return "
+                        "values, exceptions, logging or the tracer",
+                    )
+                )
+
+    return findings
+
+
+def lint_paths(paths: List[Path], root: Path) -> List[Finding]:
+    findings: List[Finding] = []
+    for base in paths:
+        files = sorted(base.rglob("*.py")) if base.is_dir() else [base]
+        for file in files:
+            relative = file.resolve().as_posix()
+            findings.extend(
+                check_file(
+                    file,
+                    observability="/observability/" in relative,
+                    in_src="/src/repro/" in relative,
+                )
+            )
+    return findings
+
+
+def main(argv: List[str]) -> int:
+    root = Path(__file__).resolve().parent.parent
+    targets = [Path(arg) for arg in argv] if argv else [root / "src" / "repro"]
+    findings = lint_paths(targets, root)
+    for path, lineno, rule, message in findings:
+        try:
+            shown = path.resolve().relative_to(root)
+        except ValueError:
+            shown = path
+        print(f"{shown}:{lineno}: {rule} {message}")
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
