@@ -40,7 +40,13 @@ layer (see ROADMAP) and is recorded, not gated.
 The ``observability_gate`` workload (PR 6) times the full Database →
 Connection stack with the default disabled tracer against the warm
 engine invoked directly on the largest transfers size; the smoke job
-asserts the instrumented-but-off path adds < 3%.  Every timed sample
+asserts the instrumented-but-off path adds < 3%.  The
+``governance_gate`` workload (PR 8) mirrors it for the query-lifecycle
+governance layer: the warm prepared-execute loop through the connection
+with *no* budget and *no* token (the disabled-governance path — one
+context-variable read per operator, no governor allocated) against the
+engine-level compiled statement invoked directly; the smoke job asserts
+the ungoverned stack adds < 2%.  Every timed sample
 additionally feeds a per-workload latency histogram; the payload's
 ``latency_percentiles`` section reports p50/p95/p99 (computed by the
 ``repro.observability.metrics.Histogram`` the engine itself uses)
@@ -58,6 +64,7 @@ import argparse
 import json
 import sys
 import time
+from collections import deque
 from pathlib import Path
 from typing import Callable, Dict, List
 
@@ -770,6 +777,93 @@ def bench_analysis_gate(repeats: int) -> Dict[str, List[dict]]:
     }
 
 
+#: Ceiling asserted by the CI smoke job: the disabled-governance path
+#: (no budget, no token — ``make_governor`` returns None and no
+#: checkpoint allocates) may add at most this much to the warm
+#: prepared-execute loop over the engine-level compiled statement.
+GOVERNANCE_OVERHEAD_PCT = 2.0
+
+#: prepared.execute() calls per timed governance_gate sweep.
+GOVERNANCE_EXECUTES = 20
+
+
+def bench_governance_gate(repeats: int) -> Dict[str, List[dict]]:
+    """Disabled-governance overhead on the warm prepared-execute loop.
+
+    Both sides run the *same* warm compiled statement on the *same*
+    engine and drain the *same* streaming decode: the baseline invokes
+    the engine-level compiled form's ``execute_stream`` directly (no
+    session wrapper at all), the governed side goes through
+    ``PreparedStatement.execute`` with no budget, no token and no
+    admission controller — the path that merges budgets (to nothing),
+    asks ``make_governor`` for a governor (gets None) and runs the
+    executor loops whose checkpoints poll an empty context variable.
+    The ratio therefore bounds everything the governance layer costs
+    when it is off; the smoke job asserts the
+    ``GOVERNANCE_OVERHEAD_PCT`` ceiling.
+    """
+    import random
+
+    from repro.engine.database import Database as CatalogDatabase
+
+    repeats = max(repeats * 4, 12)
+    accounts, transfers = TRANSFER_SIZES[-1]
+    rng = random.Random(37)
+    names = [f"A{i}" for i in range(accounts)]
+    db = CatalogDatabase()
+    db.create_table("Account", ["iban"], [(name,) for name in names])
+    db.create_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(names), rng.choice(names), i, rng.randint(1, 1000))
+            for i in range(transfers)
+        ],
+    )
+    db.execute(PREPARED_DDL)
+    connection = db.connect(engine="planned")
+    thresholds = [500 + i for i in range(GOVERNANCE_EXECUTES)]
+    prepared = connection.prepare(PREPARED_QUERY)
+    warm = prepared.execute(minimum=thresholds[0])  # warm views + plan cache
+    compiled = prepared._compiled
+    assert warm.equals_unordered(compiled.execute({"minimum": thresholds[0]}).rows)
+
+    def raw_sweep() -> None:
+        for threshold in thresholds:
+            _arity, rows = compiled.execute_stream({"minimum": threshold})
+            deque(rows, maxlen=0)  # drain: the decode work both sides pay
+
+    def governed_off_sweep() -> None:
+        # len() forces the streamed result, matching the baseline's
+        # materialization — the sweep must not defer the decode work.
+        for threshold in thresholds:
+            len(prepared.execute(minimum=threshold))
+
+    # Interleave the sweeps (same rationale as analysis_gate): the
+    # disabled path's cost is microseconds against a millisecond-scale
+    # execute, so both sides must sample the same machine conditions.
+    raw_s = governed_s = float("inf")
+    for _ in range(repeats):
+        raw_s = min(raw_s, _time(lambda: raw_sweep(), 1, "governance_gate.raw"))
+        governed_s = min(
+            governed_s,
+            _time(lambda: governed_off_sweep(), 1, "governance_gate.ungoverned"),
+        )
+    connection.close()
+    overhead_pct = round((governed_s / raw_s - 1.0) * 100, 2)
+    return {
+        "governance_gate": [
+            {
+                "workload": f"prepared_session {accounts}/{transfers}",
+                "executes": GOVERNANCE_EXECUTES,
+                "raw_compiled_s": raw_s,
+                "ungoverned_stack_s": governed_s,
+                "overhead_pct": overhead_pct,
+            }
+        ]
+    }
+
+
 def _print_table(title: str, rows: List[dict]) -> None:
     print(f"\n# {title}")
     if not rows:
@@ -807,6 +901,7 @@ def main(argv=None) -> int:
     workloads.update(bench_snapshot_session(repeats))
     workloads.update(bench_observability_gate(repeats))
     workloads.update(bench_analysis_gate(repeats))
+    workloads.update(bench_governance_gate(repeats))
 
     for name, rows in workloads.items():
         _print_table(name, rows)
@@ -887,6 +982,19 @@ def main(argv=None) -> int:
             f"analysis_gate {row['workload']}: the semantic analyzer adds "
             f"{overhead}% to prepare time "
             f"(ceiling {ANALYSIS_OVERHEAD_PCT}%) [{status}]"
+        )
+    # Disabled-governance ceiling (smoke and full): the no-budget,
+    # no-token prepared-execute path may add at most
+    # GOVERNANCE_OVERHEAD_PCT over the engine-level compiled statement.
+    for row in workloads["governance_gate"]:
+        overhead = row["overhead_pct"]
+        above = overhead >= GOVERNANCE_OVERHEAD_PCT
+        missed = missed or above
+        status = "ABOVE CEILING" if above else "ok"
+        print(
+            f"governance_gate {row['workload']}: the disabled-governance "
+            f"stack adds {overhead}% to warm prepared execution "
+            f"(ceiling {GOVERNANCE_OVERHEAD_PCT}%) [{status}]"
         )
     if args.smoke:
         return 1 if missed else 0

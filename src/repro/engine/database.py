@@ -51,7 +51,13 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.semantic import analyze_ddl
-from repro.errors import AnalysisSchemaError, EngineError, ReproError
+from repro.errors import (
+    AnalysisSchemaError,
+    ConnectionClosedError,
+    EngineError,
+    ReproError,
+)
+from repro.governance import AdmissionController, QueryBudget
 from repro.observability.metrics import MetricsRegistry, default_registry
 from repro.observability.tracing import Tracer, tracer_from_env
 from repro.planner.physical import PlanCache
@@ -414,6 +420,10 @@ class Database:
         metrics: Optional[MetricsRegistry] = None,
         slow_query_seconds: Optional[float] = None,
         verify_plans: Optional[bool] = None,
+        default_budget: Optional[QueryBudget] = None,
+        max_concurrent_queries: Optional[int] = None,
+        max_admission_queue: Optional[int] = None,
+        admission_timeout_s: float = 5.0,
     ):
         """``snapshot_cache`` lets several databases (or processes' worth
         of sessions within one interpreter) share warm state; by default
@@ -434,6 +444,16 @@ class Database:
         :mod:`repro.analysis.verifier` on (``True``) or off (``False``)
         for every connection of this database; the default ``None``
         defers to the ``REPRO_VERIFY_PLANS`` environment variable.
+
+        ``default_budget`` is a :class:`~repro.governance.QueryBudget`
+        every query of every connection runs under; per-call ``budget=``
+        / ``timeout=`` arguments overlay it field-wise (most specific
+        wins).  ``max_concurrent_queries`` arms admission control: at
+        most that many queries execute at once across all connections,
+        up to ``max_admission_queue`` more wait (unbounded queue when
+        ``None``) for at most ``admission_timeout_s`` seconds, and
+        everything beyond is rejected with
+        :class:`~repro.errors.AdmissionTimeoutError`.
         """
         self._lock = threading.RLock()
         self._relations: Dict[str, Relation] = {}
@@ -452,6 +472,19 @@ class Database:
         self._metrics = metrics if metrics is not None else default_registry()
         self.slow_query_seconds = slow_query_seconds
         self._verify_plans = verify_plans
+        #: Database-wide default budget; ``Connection.execute`` overlays
+        #: per-call budgets on top of it field-wise.
+        self.default_budget = default_budget
+        self._admission = (
+            AdmissionController(
+                max_concurrent_queries,
+                max_queue=max_admission_queue,
+                timeout_s=admission_timeout_s,
+                metrics=self._metrics,
+            )
+            if max_concurrent_queries is not None
+            else None
+        )
 
     # -- catalog state --------------------------------------------------- #
     @property
@@ -506,9 +539,18 @@ class Database:
         with self._lock:
             return tuple(self._graph_statements)
 
+    @property
+    def admission(self) -> Optional[AdmissionController]:
+        """The admission controller, or ``None`` when unbounded."""
+        return self._admission
+
+    def admission_stats(self) -> Dict[str, int]:
+        """Live admission accounting; empty when admission is unbounded."""
+        return self._admission.stats() if self._admission is not None else {}
+
     def _check_open(self) -> None:
         if self._closed:
-            raise EngineError("the database is closed")
+            raise ConnectionClosedError("the database is closed", reason="database closed")
 
     def _bump(self) -> None:
         self._version += 1
@@ -675,7 +717,7 @@ class Database:
             self._closed = True
             connections = list(self._connections)
         for connection in connections:
-            connection.close()
+            connection.close(reason="database closed")
         if self._owns_cache:
             self._cache.clear()
 

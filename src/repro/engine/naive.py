@@ -6,6 +6,11 @@ backend for two reasons: it is the **semantics oracle** — the direct
 implementation of Figures 2 and 4 of the paper that every optimized
 backend is tested against — and it is the baseline the planner benchmarks
 measure speedups from.
+
+Governance: evaluation polls the active :mod:`repro.governance` governor
+from the pattern-enumeration loop (site ``oracle.enumerate`` in
+:mod:`repro.matching.endpoint`), so deadlines, cancellation, and budget
+limits interrupt even this backend's exhaustive enumeration mid-query.
 """
 
 from __future__ import annotations

@@ -35,6 +35,17 @@ Result sets are identical to the oracle on every query — that is checked
 by the cross-engine equivalence tests — while repetition-heavy workloads
 run an order of magnitude faster and repeated-query sessions skip the
 view rebuild entirely (``benchmarks/bench_planner.py``).
+
+Governance: the physical operators poll the active
+:mod:`repro.governance` governor cooperatively — fixpoint rounds and the
+closure kernel (``fixpoint.round``, including the sharded worker pool,
+which the coordinator polls while strips drain), hash-join probe loops
+(``join.probe``, which also meter ``max_intermediate``), and output
+decode/mask expansion (``stream.decode``) — so deadlines, cross-thread
+cancellation, and resource budgets abort a running query within
+milliseconds instead of at operator boundaries.  With no budget, token,
+or fault plan active, no governor is installed and the checkpoint guards
+reduce to a ``None`` test (see ``governance_gate`` in the benchmarks).
 """
 
 from __future__ import annotations

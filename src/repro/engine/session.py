@@ -60,8 +60,21 @@ from typing import (
 )
 
 from repro.analysis.semantic import QueryAnalysis, analyze_query
-from repro.errors import EngineError
+from repro.errors import (
+    ConnectionClosedError,
+    EngineError,
+    GovernanceError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
 from repro.engine.registry import Engine, create_engine, engine_factory
+from repro.governance import (
+    CancellationToken,
+    QueryBudget,
+    activate_governor,
+    make_governor,
+)
 from repro.observability.analyze import (
     ExecutionProfiler,
     OperatorStats,
@@ -159,6 +172,23 @@ def _traced_decode(tracer: Tracer, rows: Iterator[Tuple], statement_text: str):
         yield row
 
 
+def _governed_rows(governor, rows: Iterator[Tuple]) -> Iterator[Tuple]:
+    """Meter a streamed projection against the execution's governor.
+
+    Counts each decoded row against ``max_output_rows`` and polls the
+    governor every 64 rows — which covers backends whose streams carry no
+    in-engine checkpoints (the SQLite cursor stream) and lets a
+    cross-thread :meth:`QueryResult.cancel` land between rows even there.
+    """
+    produced = 0
+    for row in rows:
+        produced += 1
+        governor.count_output(1)
+        if not produced & 63:
+            governor.checkpoint("stream.decode")
+        yield row
+
+
 class QueryResult:
     """Result of executing a statement: column names plus rows.
 
@@ -215,12 +245,64 @@ class QueryResult:
         #: Cached full-row tuple in deterministic order, built once on
         #: first ordered access.
         self._rows_cache: Optional[Tuple[Tuple, ...]] = None
+        #: Cancellation token of the producing execution, set by the
+        #: session when the run was governed (None otherwise); lets
+        #: :meth:`cancel` interrupt in-engine loops from another thread.
+        self._cancel_token: Optional[CancellationToken] = None
+        #: Set by :meth:`cancel` / :meth:`close`: pulling more rows from
+        #: a pending source raises instead of decoding further.
+        self._cancel_reason: Optional[str] = None
+        self._close_reason: Optional[str] = None
+
+    # -- cooperative cancellation / lifecycle ---------------------------- #
+    def cancel(self, reason: str = "cancelled by consumer") -> bool:
+        """Cooperatively cancel the producing query (thread-safe).
+
+        Cancels the execution's :class:`CancellationToken` when the run
+        was governed — interrupting engine loops still decoding on
+        another thread at their next checkpoint — and marks any pending
+        row source so further pulls on *this* result raise
+        :class:`~repro.errors.QueryCancelledError`.  Returns True when
+        there was anything left to cancel; rows already buffered stay
+        readable.
+        """
+        cancelled = False
+        token = self._cancel_token
+        if token is not None:
+            cancelled = token.cancel(reason)
+        if self._source is not None and self._cancel_reason is None:
+            self._cancel_reason = reason
+            cancelled = True
+        return cancelled
+
+    def close(self, *, reason: str = "result closed") -> None:
+        """Release the pending row source (idempotent).
+
+        A closed result keeps already-buffered rows out of reach too:
+        any access that would need the source raises
+        :class:`~repro.errors.ConnectionClosedError` carrying ``reason``.
+        Closing a fully materialized result is a no-op.
+        """
+        if self._source is not None and self._close_reason is None:
+            self._close_reason = reason
+            close = getattr(self._source, "close", None)
+            if close is not None:
+                close()  # run the generator's finally blocks now
+
+    def _check_abandoned(self) -> None:
+        if self._close_reason is not None:
+            raise ConnectionClosedError("result is closed", reason=self._close_reason)
+        if self._cancel_reason is not None:
+            raise QueryCancelledError(
+                f"result cancelled: {self._cancel_reason}", reason=self._cancel_reason
+            )
 
     # -- materialization ------------------------------------------------- #
     def _pull(self) -> bool:
         """Buffer one more row from the source; False when exhausted."""
         if self._source is None:
             return False
+        self._check_abandoned()
         try:
             self._fetched.append(next(self._source))
             return True
@@ -230,6 +312,7 @@ class QueryResult:
 
     def _materialize(self) -> List[Tuple]:
         if self._source is not None:
+            self._check_abandoned()
             self._fetched.extend(self._source)
             self._source = None
         return self._fetched
@@ -494,7 +577,16 @@ class PreparedStatement:
         # callers holding only the CompiledQuery see it.
         self._compiled.parameter_types = dict(self.parameter_types)
 
-    def execute(self, params: Optional[Bindings] = None, /, **named) -> QueryResult:
+    def execute(
+        self,
+        params: Optional[Bindings] = None,
+        /,
+        *,
+        timeout: Optional[float] = None,
+        budget: Optional["QueryBudget"] = None,
+        token: Optional[CancellationToken] = None,
+        **named,
+    ) -> QueryResult:
         """Execute with bindings from ``params`` and/or keywords.
 
         Keyword bindings win on conflict; a missing slot raises
@@ -504,9 +596,18 @@ class PreparedStatement:
         on engines with a streaming surface (the planner) the result is a
         server-side cursor — the plan executes here (errors surface now)
         but projection rows decode incrementally as they are consumed.
+
+        ``timeout``, ``budget`` and ``token`` govern this execution:
+        ``timeout`` is shorthand for ``QueryBudget(timeout_s=...)``, a
+        ``budget`` overlays the database's ``default_budget`` field-wise,
+        and a :class:`CancellationToken` lets another thread cancel the
+        run cooperatively.  These keyword names are reserved — a binding
+        slot literally named one of them binds via the mapping argument.
         """
         session = self._session
+        session._check_open()
         merged = merge_bindings(params, named)
+        governor = make_governor(session._effective_budget(timeout, budget), token)
         # Tracing is decided once per execution, here at statement setup:
         # an ambient tracer (EXPLAIN ANALYZE, an activate() scope) wins,
         # else the connection's tracer applies.  When both are disabled
@@ -517,13 +618,15 @@ class PreparedStatement:
         if not tracer.enabled:
             tracer = session._tracer
         if tracer.enabled:
-            return self._execute_traced(session, merged, tracer)
+            return self._execute_traced(session, merged, tracer, governor)
         start = perf_counter()
-        result = self._run(session, merged)
+        result = self._run(session, merged, governor)
         self._finish(session, merged, result, perf_counter() - start, root=None)
         return result
 
-    def _execute_traced(self, session: "Connection", merged, tracer: Tracer) -> QueryResult:
+    def _execute_traced(
+        self, session: "Connection", merged, tracer: Tracer, governor
+    ) -> QueryResult:
         """The instrumented execution path: a ``query`` root span wraps
         the run, and stage spans (compile, plan, execute, ...) nest under
         it from the instrumented layers below."""
@@ -537,14 +640,24 @@ class PreparedStatement:
                 statement=_snippet(self.text),
                 params=sorted(merged),
             ) as root:
-                result = self._run(session, merged)
+                result = self._run(session, merged, governor)
             self._finish(session, merged, result, root.duration_s, root=root)
             return result
         finally:
             if token is not None:
                 deactivate(token)
 
-    def _run(self, session: "Connection", merged) -> QueryResult:
+    def _run(self, session: "Connection", merged, governor=None) -> QueryResult:
+        admission = getattr(session._owner, "_admission", None)
+        if admission is None:
+            return self._run_governed(session, merged, governor)
+        # The admission slot covers the eager execution phase only; a
+        # streamed result's lazy decode happens after release, so a slow
+        # consumer cannot starve the database of execution slots.
+        with admission.slot():
+            return self._run_governed(session, merged, governor)
+
+    def _run_governed(self, session: "Connection", merged, governor) -> QueryResult:
         result: Optional[QueryResult] = None
         # The engine-invoking section runs under the connection lock:
         # engine evaluation state (in-flight bindings, per-evaluation
@@ -552,24 +665,38 @@ class PreparedStatement:
         # connection must serialize — parallelism comes from one
         # connection per thread, all sharing the snapshot cache.  The
         # streaming path does every stateful step eagerly inside the
-        # lock; only the stateless projection decode escapes it.
-        with session._lock:
-            self._ensure_compiled()
-            stream = getattr(self._compiled, "execute_stream", None)
-            with trace_span("execute") as span:
-                if stream is not None:
-                    streamed = stream(merged)
-                    if streamed is not None:
-                        arity, rows = streamed
-                        span.tag(streamed=True)
-                        tracer = active_tracer()
-                        if tracer.enabled:
-                            rows = _traced_decode(tracer, rows, self.text)
-                        result = session._stream_result_for(self._statement, arity, rows)
-                if result is None:
-                    relation = self._compiled.execute(merged)
-                    span.tag(rows=len(relation))
-                    result = session._result_for(self._statement, relation)
+        # lock; only the stateless projection decode escapes it (stream
+        # generators capture the governor eagerly, so decode checkpoints
+        # keep working after the context variable resets here).
+        try:
+            with session._lock, activate_governor(governor):
+                self._ensure_compiled()
+                stream = getattr(self._compiled, "execute_stream", None)
+                with trace_span("execute") as span:
+                    if stream is not None:
+                        streamed = stream(merged)
+                        if streamed is not None:
+                            arity, rows = streamed
+                            span.tag(streamed=True)
+                            if governor is not None:
+                                rows = _governed_rows(governor, rows)
+                            tracer = active_tracer()
+                            if tracer.enabled:
+                                rows = _traced_decode(tracer, rows, self.text)
+                            result = session._stream_result_for(
+                                self._statement, arity, rows
+                            )
+                    if result is None:
+                        relation = self._compiled.execute(merged)
+                        span.tag(rows=len(relation))
+                        if governor is not None:
+                            governor.count_output(len(relation))
+                        result = session._result_for(self._statement, relation)
+        except GovernanceError as error:
+            session._record_governance_abort(error)
+            raise
+        if governor is not None:
+            result._cancel_token = governor.token
         return result
 
     def _finish(
@@ -723,6 +850,27 @@ class Connection:
         #: list of refs, not a WeakSet: hashing a QueryResult would
         #: materialize it, defeating the stream.
         self._live_streams: List["weakref.ref"] = []
+        #: Closed-handle state: statement execution on a closed
+        #: connection raises ConnectionClosedError carrying the reason
+        #: (the PGQSession shim instead reopens, the historical behavior).
+        self._closed = False
+        self._close_reason: Optional[str] = None
+
+    #: The session shim reopens a closed handle on use (the historical
+    #: lazy-rebuild behavior); plain connections are strict.
+    _REOPEN_ON_USE = False
+
+    def _check_open(self) -> None:
+        if not self._closed:
+            return
+        if self._REOPEN_ON_USE:
+            with self._lock:
+                self._closed = False
+                self._close_reason = None
+            return
+        raise ConnectionClosedError(
+            "connection is closed", reason=self._close_reason or "closed"
+        )
 
     # ------------------------------------------------------------------ #
     # Snapshot and catalog surface
@@ -872,7 +1020,10 @@ class Connection:
         for ref in streams:
             result = ref()
             if result is not None:
-                result._materialize()
+                try:
+                    result._materialize()
+                except (ConnectionClosedError, GovernanceError):
+                    pass  # the consumer abandoned the result; nothing to keep
 
     def _invalidate_engine(self) -> None:
         with self._lock:
@@ -949,6 +1100,7 @@ class Connection:
         supplies their values.  The plan is compiled once and shared by
         every binding — see the ``prepared_hits`` plan-cache statistic.
         """
+        self._check_open()
         statement = parse_statement(statement_text)
         if not isinstance(statement, GraphTableQuery):
             raise EngineError(
@@ -965,7 +1117,13 @@ class Connection:
         return prepared
 
     def execute(
-        self, statement_text: str, params: Optional[Bindings] = None
+        self,
+        statement_text: str,
+        params: Optional[Bindings] = None,
+        *,
+        timeout: Optional[float] = None,
+        budget: Optional[QueryBudget] = None,
+        token: Optional[CancellationToken] = None,
     ) -> QueryResult:
         """Parse and execute one SQL/PGQ statement (DDL or query).
 
@@ -975,14 +1133,23 @@ class Connection:
         DDL (CREATE PROPERTY GRAPH) registers on the owning database —
         producing a new version — and moves this connection to it; other
         connections keep their snapshot.
+
+        ``timeout`` (seconds, shorthand for a deadline-only budget),
+        ``budget`` (a :class:`~repro.governance.QueryBudget` overlaying
+        the database's ``default_budget`` field-wise) and ``token`` (a
+        :class:`~repro.governance.CancellationToken` another thread may
+        cancel) govern the execution cooperatively; governance errors are
+        :class:`~repro.errors.GovernanceError` subclasses carrying
+        partial-progress counters.  DDL ignores governance arguments.
         """
+        self._check_open()
         with self._lock:
             cached = self._statements.get(statement_text)
             if cached is not None:
                 self._statements.move_to_end(statement_text)
                 self._statement_hits += 1
         if cached is not None:
-            return cached.execute(params)
+            return cached.execute(params, timeout=timeout, budget=budget, token=token)
         statement = parse_statement(statement_text)
         if isinstance(statement, CreatePropertyGraph):
             if params:
@@ -1024,8 +1191,21 @@ class Connection:
                     # compiled form mid-flight (it self-heals between
                     # executions via _ensure_compiled, not during one).
                     evicted.close()
-            return winner.execute(params)
+            return winner.execute(params, timeout=timeout, budget=budget, token=token)
         raise EngineError(f"unsupported statement {statement!r}")
+
+    def _effective_budget(
+        self, timeout: Optional[float], budget: Optional[QueryBudget]
+    ) -> Optional[QueryBudget]:
+        """The database default budget overlaid with the per-call budget
+        and the ``timeout=`` shorthand (most specific wins field-wise)."""
+        effective = getattr(self._owner, "default_budget", None)
+        if budget is not None:
+            effective = budget if effective is None else effective.merged(budget)
+        if timeout is not None:
+            override = QueryBudget(timeout_s=timeout)
+            effective = override if effective is None else effective.merged(override)
+        return effective
 
     def _result_columns(self, statement: GraphTableQuery, arity: int) -> Tuple[str, ...]:
         columns = tuple(column.name for column in statement.columns)
@@ -1130,6 +1310,30 @@ class Connection:
                     info.get(key, 0)
                 )
 
+    #: Governance error classes and their metric label.
+    _ABORT_KINDS = (
+        (QueryTimeoutError, "timeout"),
+        (QueryCancelledError, "cancelled"),
+        (ResourceExhaustedError, "resource_exhausted"),
+    )
+
+    def _record_governance_abort(self, error: GovernanceError) -> None:
+        """Tally one governance-aborted execution into the registry."""
+        registry = getattr(self._owner, "_metrics", None)
+        if registry is None:
+            return
+        kind = "fault"
+        for cls, label in self._ABORT_KINDS:
+            if isinstance(error, cls):
+                kind = label
+                break
+        registry.counter(
+            "repro_query_aborts_total",
+            "Queries aborted by governance (deadline, cancel, budget, fault)",
+            engine=self._engine_name,
+            kind=kind,
+        ).inc()
+
     def _check_slow_query(
         self, text: str, merged, elapsed_s: float, root
     ) -> None:
@@ -1195,6 +1399,7 @@ class Connection:
         time and memo hits for every scan, join, filter and fixpoint,
         on both the boxed and the columnar path.
         """
+        self._check_open()
         statement = parse_statement(statement_text)
         if not isinstance(statement, GraphTableQuery):
             raise EngineError(
@@ -1336,22 +1541,30 @@ class Connection:
 
     def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:
         """Evaluate a programmatic PGQ query on the connection's backend."""
+        self._check_open()
         with self._lock:  # engine evaluation state is per-engine; serialize
             return self._get_engine().evaluate(query, bindings=bindings)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def close(self) -> None:
+    def close(self, *, reason: str = "connection closed") -> None:
         """Release the backend and every prepared statement.
 
         Closes the statement LRU, explicitly prepared handles (dropping
         their persisted SQLite temp tables) and the engine (closing the
-        SQLite backend connection).  Idempotent; a closed connection that
-        is used again lazily rebuilds its engine, matching the historical
-        session behavior.
+        SQLite backend connection).  Idempotent; further statement
+        execution raises :class:`~repro.errors.ConnectionClosedError`
+        carrying ``reason`` (the deprecated :class:`PGQSession` shim
+        instead reopens lazily, the historical session behavior).
+        Streamed results still pending are drained first, so rows already
+        produced stay readable.
         """
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._close_reason = reason
             self._drain_live_streams()
             statements = list(self._statements.values())
             self._statements.clear()
@@ -1382,6 +1595,10 @@ class PGQSession(Connection):
     :class:`DeprecationWarning` at construction and will eventually be
     removed.
     """
+
+    #: Historical behavior: a closed session that is used again lazily
+    #: rebuilds its engine instead of raising ConnectionClosedError.
+    _REOPEN_ON_USE = True
 
     def __init__(
         self,

@@ -25,13 +25,16 @@ from __future__ import annotations
 import itertools
 import re
 import sqlite3
+import time
 import weakref
 from collections import OrderedDict, deque
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.observability.tracing import trace_span
 
-from repro.errors import BindingError, EngineError
+from repro.errors import BindingError, EngineError, GovernanceError, QueryCancelledError
+from repro.governance import active_fault_plan, current_governor
 from repro.parameters import Bindings, Parameter, check_bindings, merge_bindings
 from repro.patterns.ast import (
     Concatenation,
@@ -197,7 +200,16 @@ class SQLiteEngine:
         formal evaluator, so they never pay for loading the database.
         """
         if self._connection is None:
-            self._connection = sqlite3.connect(":memory:")
+            connection = sqlite3.connect(":memory:")
+            # Wait up to 5s for a competing writer before surfacing
+            # "database is locked"; the transient-retry policy in
+            # :meth:`_execute_with_retry` absorbs what the busy handler
+            # does not.  WAL journaling — the usual companion setting —
+            # does not apply to ``:memory:`` databases (no file to
+            # journal); a future file-backed mode should enable
+            # ``PRAGMA journal_mode=WAL`` alongside this timeout.
+            connection.execute("PRAGMA busy_timeout = 5000")
+            self._connection = connection
             self._load(self.database)
         return self._connection
 
@@ -264,8 +276,10 @@ class SQLiteEngine:
             # Iterate the cursor rather than fetchall(): rows decode one at
             # a time into the relation (the temp tables must outlive the
             # iteration, hence the consumption inside this try block).
-            with trace_span("sqlite.execute", sql=_sql_snippet(sql)):
-                relation = _relation_from_rows(self.connection.execute(sql), arity)
+            with trace_span("sqlite.execute", sql=_sql_snippet(sql)), self._governed_execution():
+                relation = _relation_from_rows(
+                    self._execute_with_retry(self.connection, sql), arity
+                )
         finally:
             self._drop_in_flight_temp_tables()
         return relation
@@ -303,8 +317,8 @@ class SQLiteEngine:
             return None
         tables, self._temp_tables_in_flight = self._temp_tables_in_flight, []
         try:
-            with trace_span("sqlite.execute", sql=_sql_snippet(sql)):
-                cursor = self.connection.execute(sql)
+            with trace_span("sqlite.execute", sql=_sql_snippet(sql)), self._governed_execution():
+                cursor = self._execute_with_retry(self.connection, sql)
         except BaseException:
             self._drop_tables(tables)
             raise
@@ -368,6 +382,98 @@ class SQLiteEngine:
                 # behind — temp tables die with the connection anyway.
                 pass
         self._connection.commit()
+
+    #: SQLite virtual-machine instructions between progress-handler polls
+    #: while a governed statement runs — low enough that a 50ms deadline
+    #: is observed within a few milliseconds on the transfer workloads,
+    #: high enough that the handler is invisible on ungoverned-scale work.
+    _PROGRESS_INTERVAL = 1000
+
+    #: Retry policy for transient ``database is locked`` errors (another
+    #: handle held the write lock longer than the busy handler waited):
+    #: exponential backoff starting at 5ms, then give up with the error.
+    _TRANSIENT_RETRIES = 3
+    _TRANSIENT_BACKOFF_S = 0.005
+
+    @contextmanager
+    def _governed_execution(self):
+        """Cooperative governance for one SQL execution window.
+
+        When a governor is active, its checkpoint becomes the
+        connection's progress handler (site ``"sqlite.progress"``, polled
+        every ``_PROGRESS_INTERVAL`` VM instructions) and
+        ``connection.interrupt`` is registered on the cancellation token,
+        so deadlines, budgets, injected faults and cross-thread cancels
+        all stop the statement mid-flight.  SQLite surfaces either stop
+        as ``OperationalError: interrupted``, which this context maps
+        back to the governance error that tripped.  Ungoverned
+        executions install nothing — the disabled path stays free.
+        """
+        governor = current_governor()
+        if governor is None:
+            yield
+            return
+        connection = self.connection
+        tripped: List[GovernanceError] = []
+
+        def _poll() -> int:
+            try:
+                governor.checkpoint("sqlite.progress")
+            except GovernanceError as error:
+                tripped.append(error)
+                return 1  # abort -> OperationalError("interrupted")
+            return 0
+
+        token = governor.token
+        connection.set_progress_handler(_poll, self._PROGRESS_INTERVAL)
+        token.add_callback(connection.interrupt)
+        try:
+            yield
+        except sqlite3.OperationalError as error:
+            if tripped:
+                raise tripped[0] from error
+            if "interrupt" in str(error):
+                # interrupt() landed between two progress polls (a
+                # cross-thread cancel racing the handler).
+                reason = token.reason or "cancelled"
+                raise QueryCancelledError(
+                    f"query cancelled during SQLite execution: {reason}",
+                    reason=reason,
+                    progress=governor.progress(),
+                ) from error
+            raise
+        finally:
+            token.remove_callback(connection.interrupt)
+            connection.set_progress_handler(None, 0)
+
+    def _execute_with_retry(self, connection: sqlite3.Connection, sql: str, arguments: Tuple = ()):
+        """Run one statement, absorbing transient ``database is locked``.
+
+        ``:memory:`` databases rarely lock in practice, but the fault
+        plan injects lock errors (``REPRO_FAULTS="transient=N"``) to
+        prove the retry path, and a future file-backed mode inherits a
+        working policy.  Non-transient OperationalErrors — including the
+        ``interrupted`` raised by governance — propagate immediately.
+        """
+        delay = self._TRANSIENT_BACKOFF_S
+        attempts = 0
+        while True:
+            faults = active_fault_plan()
+            try:
+                if faults is not None and faults.take_transient():
+                    raise sqlite3.OperationalError("database is locked (injected)")
+                return connection.execute(sql, arguments)
+            except sqlite3.OperationalError as error:
+                if "locked" not in str(error):
+                    raise
+                if attempts >= self._TRANSIENT_RETRIES:
+                    raise EngineError(
+                        f"transient SQLite error persisted after "
+                        f"{attempts} retries: {error}"
+                    ) from error
+                attempts += 1
+                time.sleep(delay)
+                delay *= 2
 
     def evaluate_sql(self, sql: str) -> List[Tuple]:
         """Run a raw SQL statement against the engine (for tests/examples)."""
@@ -704,6 +810,12 @@ class _CursorStream:
 
     def _finish(self) -> None:
         self._done = True
+        self._release()
+
+    def _release(self) -> None:
+        """Idempotent cursor/temp-table teardown, shared by exhaustion,
+        :meth:`detach` and garbage collection — safe to call twice and
+        after the backing connection is gone."""
         cursor, self._cursor = self._cursor, None
         if cursor is not None:
             try:
@@ -720,10 +832,11 @@ class _CursorStream:
 
     def __del__(self):  # pragma: no cover - GC timing dependent
         if not self._done:
+            self._done = True
             try:
-                self._finish()
-            except Exception:
-                pass
+                self._release()
+            except sqlite3.Error:
+                pass  # interpreter shutdown: the connection is already gone
 
 
 def _sql_snippet(sql: str, limit: int = 120) -> str:
@@ -799,22 +912,25 @@ class _SQLiteCompiledQuery:
             # The connection (and with it every temp table) went away since
             # preparation — e.g. engine.close(); recompile transparently.
             self._compile()
-        cursor = self._connection.cursor()
-        for table, sql, slots in self._deferred:
-            cursor.execute(f"DROP TABLE IF EXISTS {table}")
-            cursor.execute(
-                f"CREATE TEMP TABLE {table} AS {sql}",
-                tuple(merged[name] for name in slots),
-            )
-            cursor.execute(f"CREATE INDEX idx_{table}_src ON {table}(src)")
-            cursor.execute(f"CREATE INDEX idx_{table}_tgt ON {table}(tgt)")
-        if self._deferred:
-            self._connection.commit()
-        arguments = tuple(merged[name] for name in self._main_slots)
-        with trace_span("sqlite.execute", sql=_sql_snippet(self._sql), prepared=True):
-            relation = _relation_from_rows(
-                self._connection.execute(self._sql, arguments), self._arity
-            )
+        engine = self.engine
+        with engine._governed_execution():
+            cursor = self._connection.cursor()
+            for table, sql, slots in self._deferred:
+                cursor.execute(f"DROP TABLE IF EXISTS {table}")
+                cursor.execute(
+                    f"CREATE TEMP TABLE {table} AS {sql}",
+                    tuple(merged[name] for name in slots),
+                )
+                cursor.execute(f"CREATE INDEX idx_{table}_src ON {table}(src)")
+                cursor.execute(f"CREATE INDEX idx_{table}_tgt ON {table}(tgt)")
+            if self._deferred:
+                self._connection.commit()
+            arguments = tuple(merged[name] for name in self._main_slots)
+            with trace_span("sqlite.execute", sql=_sql_snippet(self._sql), prepared=True):
+                relation = _relation_from_rows(
+                    engine._execute_with_retry(self._connection, self._sql, arguments),
+                    self._arity,
+                )
         self.executions += 1
         return relation
 
@@ -838,8 +954,9 @@ class _SQLiteCompiledQuery:
         if self.engine._connection is not self._connection:
             self._compile()
         arguments = tuple(merged[name] for name in self._main_slots)
-        with trace_span("sqlite.execute", sql=_sql_snippet(self._sql), prepared=True):
-            cursor = self._connection.execute(self._sql, arguments)
+        with trace_span("sqlite.execute", sql=_sql_snippet(self._sql), prepared=True), \
+                self.engine._governed_execution():
+            cursor = self.engine._execute_with_retry(self._connection, self._sql, arguments)
         self.executions += 1
         # Statement-owned temp tables persist for the statement's
         # lifetime; the stream only owns (and closes) its cursor.

@@ -112,6 +112,62 @@ class EngineError(ReproError):
     """Raised by execution engines (in-memory session or SQLite backend)."""
 
 
+class GovernanceError(EngineError):
+    """Base of the query-lifecycle governance hierarchy.
+
+    Every governance rejection — deadline, cancellation, resource budget,
+    admission — carries ``progress``: a small dict of partial-progress
+    counters (checkpoints fired per site, intermediate tuples counted,
+    elapsed seconds) captured at the moment the query was stopped, so
+    callers and operators can see how far the query got.
+    """
+
+    def __init__(self, message: str, *, progress=None):
+        super().__init__(message)
+        self.progress = dict(progress) if progress else {}
+
+
+class QueryTimeoutError(GovernanceError):
+    """A query exceeded its wall-clock deadline and was stopped at a
+    cooperative checkpoint (or by the SQLite progress handler)."""
+
+
+class QueryCancelledError(GovernanceError):
+    """A query was cancelled through its :class:`CancellationToken`
+    (``QueryResult.cancel()``, an explicit token, or a parent token)."""
+
+    def __init__(self, message: str, *, reason: str = "cancelled", progress=None):
+        super().__init__(message, progress=progress)
+        self.reason = reason
+
+
+class ResourceExhaustedError(GovernanceError):
+    """A query exceeded a :class:`QueryBudget` resource limit (maximum
+    output rows, or maximum intermediate tuples / mask bits)."""
+
+
+class AdmissionTimeoutError(GovernanceError):
+    """A query could not be admitted: the ``max_concurrent_queries``
+    semaphore stayed full past the admission timeout, or the bounded
+    wait queue overflowed."""
+
+
+class FaultInjectedError(GovernanceError):
+    """Raised by the deterministic fault-injection harness
+    (:mod:`repro.governance.faults`) when a checkpoint hits its scripted
+    failure — only ever seen in chaos tests, never in production paths."""
+
+
+class ConnectionClosedError(EngineError):
+    """An operation was attempted on a closed ``Connection``/``Database``
+    (or on a ``QueryResult`` whose connection closed under it).  Carries
+    the close site's reason so the error names *why* the handle is gone."""
+
+    def __init__(self, message: str, *, reason: str = "closed"):
+        super().__init__(f"{message} ({reason})")
+        self.reason = reason
+
+
 class BindingError(QueryError):
     """Raised when a parameterized query is executed with missing bindings,
     or when an unbound :class:`~repro.parameters.Parameter` slot reaches

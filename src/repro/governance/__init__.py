@@ -1,0 +1,55 @@
+"""Query lifecycle governance: budgets, cancellation, admission, faults.
+
+The governance package is a *leaf* layer (it imports only ``repro.errors``
+and the standard library) so every execution layer — the planner's
+physical operators, the naive oracle's enumeration loops, the compact
+closure kernels, the SQLite backend — can poll it without import cycles:
+
+* :class:`QueryBudget` — declarative limits (deadline, output rows,
+  intermediate tuples/mask bits), mergeable database-default + per-call.
+* :class:`CancellationToken` — thread-safe, composable (parent/child),
+  reason-carrying cooperative cancellation.
+* :class:`QueryGovernor` + :func:`current_governor` — the per-execution
+  enforcement object, installed in a context variable around each run;
+  hot loops poll it every :data:`CHECK_INTERVAL` iterations and stay
+  allocation-free when governance is off.
+* :class:`AdmissionController` — ``max_concurrent_queries`` slots with a
+  bounded wait queue and load shedding.
+* :class:`FaultPlan` — the deterministic fault-injection harness
+  (``REPRO_FAULTS``) that chaos tests use to prove every checkpoint
+  class actually fires.
+"""
+
+from repro.governance.admission import AdmissionController
+from repro.governance.budget import (
+    CHECK_INTERVAL,
+    QueryBudget,
+    QueryGovernor,
+    activate_governor,
+    current_governor,
+    make_governor,
+)
+from repro.governance.faults import (
+    FaultPlan,
+    active_fault_plan,
+    clear_fault_plan,
+    install_fault_plan,
+    parse_fault_spec,
+)
+from repro.governance.tokens import CancellationToken
+
+__all__ = [
+    "AdmissionController",
+    "CHECK_INTERVAL",
+    "CancellationToken",
+    "FaultPlan",
+    "QueryBudget",
+    "QueryGovernor",
+    "activate_governor",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "current_governor",
+    "install_fault_plan",
+    "make_governor",
+    "parse_fault_spec",
+]

@@ -1,0 +1,149 @@
+"""Admission control: bounded concurrency with a bounded wait queue.
+
+A :class:`AdmissionController` guards a ``Database`` against overload:
+at most ``max_concurrent`` queries execute at once; up to ``max_queue``
+more may wait (FIFO via the condition variable) for at most ``timeout_s``
+seconds; everything beyond that is rejected immediately with
+:class:`~repro.errors.AdmissionTimeoutError` — shedding load instead of
+piling it up, which is what a saturated service must do.
+
+The controller is deliberately metrics-friendly: pass the database's
+``MetricsRegistry`` (duck-typed — this module imports nothing from
+observability) and it maintains ``repro_admission_running`` /
+``repro_admission_queued`` gauges plus admitted/rejected counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.errors import AdmissionTimeoutError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore-style slot manager with precise queue accounting."""
+
+    def __init__(
+        self,
+        max_concurrent: int,
+        *,
+        max_queue: Optional[int] = None,
+        timeout_s: float = 5.0,
+        metrics=None,
+    ):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.timeout_s = timeout_s
+        self._condition = threading.Condition()
+        self._running = 0
+        self._queued = 0
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        if metrics is not None:
+            self._gauge_running = metrics.gauge(
+                "repro_admission_running", help="queries currently executing"
+            )
+            self._gauge_queued = metrics.gauge(
+                "repro_admission_queued", help="queries waiting for admission"
+            )
+            self._counter_admitted = metrics.counter(
+                "repro_admission_admitted_total", help="queries admitted"
+            )
+            self._counter_rejected = metrics.counter(
+                "repro_admission_rejected_total",
+                help="queries rejected (queue overflow or admission timeout)",
+            )
+        else:
+            self._gauge_running = None
+            self._gauge_queued = None
+            self._counter_admitted = None
+            self._counter_rejected = None
+
+    # ------------------------------------------------------------------ #
+    def _acquire(self, timeout_s: Optional[float]) -> None:
+        wait_limit = self.timeout_s if timeout_s is None else timeout_s
+        with self._condition:
+            if self._running < self.max_concurrent:
+                self._admit_locked()
+                return
+            if self.max_queue is not None and self._queued >= self.max_queue:
+                self._rejected += 1
+                if self._counter_rejected is not None:
+                    self._counter_rejected.inc()
+                raise AdmissionTimeoutError(
+                    f"admission queue full ({self._queued} waiting, "
+                    f"max_queue={self.max_queue}, "
+                    f"max_concurrent={self.max_concurrent})"
+                )
+            self._queued += 1
+            if self._gauge_queued is not None:
+                self._gauge_queued.set(self._queued)
+            deadline = time.monotonic() + wait_limit
+            try:
+                while self._running >= self.max_concurrent:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._condition.wait(remaining):
+                        self._rejected += 1
+                        if self._counter_rejected is not None:
+                            self._counter_rejected.inc()
+                        raise AdmissionTimeoutError(
+                            f"no execution slot within {wait_limit}s "
+                            f"(max_concurrent={self.max_concurrent})"
+                        )
+            finally:
+                self._queued -= 1
+                if self._gauge_queued is not None:
+                    self._gauge_queued.set(self._queued)
+            self._admit_locked()
+
+    def _admit_locked(self) -> None:
+        self._running += 1
+        self._admitted += 1
+        if self._gauge_running is not None:
+            self._gauge_running.set(self._running)
+        if self._counter_admitted is not None:
+            self._counter_admitted.inc()
+
+    def _release(self) -> None:
+        with self._condition:
+            self._running -= 1
+            self._completed += 1
+            if self._gauge_running is not None:
+                self._gauge_running.set(self._running)
+            self._condition.notify()
+
+    @contextmanager
+    def slot(self, timeout_s: Optional[float] = None) -> Iterator[None]:
+        """Hold one execution slot for the duration of the block."""
+        self._acquire(timeout_s)
+        try:
+            yield
+        finally:
+            self._release()
+
+    def stats(self) -> Dict[str, int]:
+        """Live accounting; ``running``/``queued`` return to 0 when idle
+        (the no-leaked-permits invariant the stress test asserts)."""
+        with self._condition:
+            return {
+                "running": self._running,
+                "queued": self._queued,
+                "admitted": self._admitted,
+                "rejected": self._rejected,
+                "completed": self._completed,
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"AdmissionController(max_concurrent={self.max_concurrent}, "
+            f"running={stats['running']}, queued={stats['queued']})"
+        )

@@ -1,0 +1,228 @@
+"""Query budgets and the per-execution governor.
+
+A :class:`QueryBudget` is a declarative bundle of resource limits — a
+wall-clock deadline, a cap on output rows, a cap on intermediate work
+(tuples produced by joins, fixpoint delta pairs, mask bits) — attached to
+a database (``Database(default_budget=...)``), a single call
+(``Connection.execute(sql, timeout=..., budget=...)``), or both (the
+per-call budget overrides field-wise).
+
+A :class:`QueryGovernor` is the *active* form: built per execution from
+the effective budget plus a :class:`~repro.governance.tokens.CancellationToken`,
+installed in a context variable for the duration of the run, and polled
+by cooperative checkpoints inside every long-running loop of the engines.
+The disabled path stays allocation-free: with no budget, no token and no
+fault plan there simply is no governor, and executors see ``None`` from
+one context-variable read per operator.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceExhaustedError,
+)
+from repro.governance.faults import FaultPlan, active_fault_plan
+from repro.governance.tokens import CancellationToken
+
+__all__ = [
+    "QueryBudget",
+    "QueryGovernor",
+    "activate_governor",
+    "current_governor",
+    "make_governor",
+]
+
+#: How many loop iterations a checkpointed hot loop may run between two
+#: governor polls.  Power of two so the guard compiles to a mask test.
+CHECK_INTERVAL = 256
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Declarative resource limits for one query (all optional).
+
+    ``timeout_s``
+        Wall-clock deadline in seconds, measured from execution start.
+    ``max_output_rows``
+        Cap on distinct output rows a query may return.
+    ``max_intermediate``
+        Cap on intermediate work units: join probe tuples, fixpoint
+        delta pairs and decoded mask bits all count against it.
+    """
+
+    timeout_s: Optional[float] = None
+    max_output_rows: Optional[int] = None
+    max_intermediate: Optional[int] = None
+
+    def merged(self, override: Optional["QueryBudget"]) -> "QueryBudget":
+        """Field-wise overlay: ``override`` wins where it is set."""
+        if override is None:
+            return self
+        return QueryBudget(
+            timeout_s=override.timeout_s if override.timeout_s is not None else self.timeout_s,
+            max_output_rows=(
+                override.max_output_rows
+                if override.max_output_rows is not None
+                else self.max_output_rows
+            ),
+            max_intermediate=(
+                override.max_intermediate
+                if override.max_intermediate is not None
+                else self.max_intermediate
+            ),
+        )
+
+    def is_unlimited(self) -> bool:
+        return (
+            self.timeout_s is None
+            and self.max_output_rows is None
+            and self.max_intermediate is None
+        )
+
+
+class QueryGovernor:
+    """Per-execution enforcement of one budget + cancellation token.
+
+    Checkpoints are cheap by design — a site counter bump, a token flag
+    read, one ``time.monotonic()`` when a deadline is set — and raise
+    the governance errors with a ``progress`` snapshot attached.
+    """
+
+    __slots__ = (
+        "budget",
+        "token",
+        "deadline",
+        "started",
+        "intermediate",
+        "output_rows",
+        "checkpoints",
+        "sites",
+        "faults",
+    )
+
+    def __init__(
+        self,
+        budget: QueryBudget,
+        token: CancellationToken,
+        *,
+        faults: Optional[FaultPlan] = None,
+    ):
+        self.budget = budget
+        self.token = token
+        self.started = time.monotonic()
+        self.deadline = (
+            self.started + budget.timeout_s if budget.timeout_s is not None else None
+        )
+        self.intermediate = 0
+        self.output_rows = 0
+        self.checkpoints = 0
+        self.sites: Dict[str, int] = {}
+        self.faults = faults
+
+    def progress(self) -> Dict[str, object]:
+        """Partial-progress counters attached to every governance error."""
+        return {
+            "checkpoints": self.checkpoints,
+            "sites": dict(self.sites),
+            "intermediate": self.intermediate,
+            "output_rows": self.output_rows,
+            "elapsed_s": time.monotonic() - self.started,
+        }
+
+    def checkpoint(self, site: str, amount: int = 0) -> None:
+        """One cooperative poll: count work, then enforce token/deadline/budget."""
+        self.checkpoints += 1
+        self.sites[site] = self.sites.get(site, 0) + 1
+        if amount:
+            self.intermediate += amount
+        if self.faults is not None:
+            self.faults.on_checkpoint(site)
+        if self.token.cancelled():
+            reason = self.token.reason or "cancelled"
+            raise QueryCancelledError(
+                f"query cancelled at checkpoint {site!r}: {reason}",
+                reason=reason,
+                progress=self.progress(),
+            )
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise QueryTimeoutError(
+                f"query exceeded its {self.budget.timeout_s}s deadline "
+                f"(checkpoint {site!r})",
+                progress=self.progress(),
+            )
+        limit = self.budget.max_intermediate
+        if limit is not None and self.intermediate > limit:
+            raise ResourceExhaustedError(
+                f"query exceeded max_intermediate={limit} "
+                f"(counted {self.intermediate} at checkpoint {site!r})",
+                progress=self.progress(),
+            )
+
+    def count_output(self, rows: int) -> None:
+        """Count produced output rows against ``max_output_rows``."""
+        self.output_rows += rows
+        limit = self.budget.max_output_rows
+        if limit is not None and self.output_rows > limit:
+            raise ResourceExhaustedError(
+                f"query exceeded max_output_rows={limit} "
+                f"(produced {self.output_rows})",
+                progress=self.progress(),
+            )
+
+    def expired(self) -> bool:
+        """Non-raising deadline/cancellation probe (SQLite progress handler)."""
+        if self.token.cancelled():
+            return True
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+
+_ACTIVE: ContextVar[Optional[QueryGovernor]] = ContextVar(
+    "repro_active_governor", default=None
+)
+
+
+def current_governor() -> Optional[QueryGovernor]:
+    """The governor of the in-flight execution on this thread, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate_governor(governor: Optional[QueryGovernor]) -> Iterator[Optional[QueryGovernor]]:
+    """Install ``governor`` for the duration of the block (None = no-op)."""
+    if governor is None:
+        yield None
+        return
+    reset = _ACTIVE.set(governor)
+    try:
+        yield governor
+    finally:
+        _ACTIVE.reset(reset)
+
+
+def make_governor(
+    budget: Optional[QueryBudget],
+    token: Optional[CancellationToken],
+) -> Optional[QueryGovernor]:
+    """Build a governor when anything needs enforcing, else ``None``.
+
+    A governor exists when a limit is set, a token was supplied (so an
+    external cancel can land), or a fault plan is installed (so chaos
+    runs exercise every checkpoint even without budgets).  Otherwise the
+    execution runs governor-free — the allocation-free disabled path.
+    """
+    faults = active_fault_plan()
+    if (budget is None or budget.is_unlimited()) and token is None and faults is None:
+        return None
+    return QueryGovernor(
+        budget if budget is not None else QueryBudget(),
+        token if token is not None else CancellationToken(),
+        faults=faults,
+    )

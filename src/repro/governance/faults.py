@@ -1,0 +1,168 @@
+"""Deterministic fault injection for the governance checkpoints.
+
+The harness exists to *prove* the robustness machinery: tests (and the CI
+``chaos-smoke`` job) install a :class:`FaultPlan` that makes a scripted
+checkpoint fail, adds latency to every checkpoint, or makes the SQLite
+backend see transient ``database is locked`` errors — then assert the
+stack degrades exactly as designed (the checkpoint fires, the error maps
+into the governance hierarchy, the retry policy absorbs the transient).
+
+Plans are deterministic by construction: failures trigger at an exact
+checkpoint ordinal (optionally per site), never at random, so a failing
+chaos test replays identically.  ``REPRO_FAULTS`` installs a plan from
+the environment without code changes, e.g.::
+
+    REPRO_FAULTS="latency=0.0005"                 # slow every checkpoint
+    REPRO_FAULTS="fail_at=3,site=join.probe"      # 3rd probe checkpoint dies
+    REPRO_FAULTS="transient=2"                    # two injected lock errors
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.errors import FaultInjectedError
+
+__all__ = [
+    "FaultPlan",
+    "active_fault_plan",
+    "clear_fault_plan",
+    "install_fault_plan",
+    "parse_fault_spec",
+]
+
+
+class FaultPlan:
+    """One scripted fault scenario, shared by every checkpoint that fires.
+
+    ``latency_s``
+        Injected sleep at every checkpoint (chaos smoke: makes real
+        scheduling interleavings happen without flaky randomness).
+    ``fail_at`` / ``site``
+        Raise :class:`~repro.errors.FaultInjectedError` at the N-th
+        checkpoint (1-based).  With ``site`` set, only checkpoints of
+        that site count toward N — "the 3rd fixpoint round" is
+        expressible independently of how many probe checkpoints ran.
+    ``transient``
+        Number of injected transient SQLite ``database is locked``
+        failures handed out by :meth:`take_transient` (the backend's
+        retry policy must absorb them).
+    """
+
+    __slots__ = ("latency_s", "fail_at", "site", "transient", "_lock", "_seen", "_transients_left")
+
+    def __init__(
+        self,
+        *,
+        latency_s: float = 0.0,
+        fail_at: Optional[int] = None,
+        site: Optional[str] = None,
+        transient: int = 0,
+    ):
+        self.latency_s = latency_s
+        self.fail_at = fail_at
+        self.site = site
+        self.transient = transient
+        self._lock = threading.Lock()
+        #: Checkpoints observed, total under the "" key plus one per site.
+        self._seen: Dict[str, int] = {"": 0}
+        self._transients_left = transient
+
+    def on_checkpoint(self, site: str) -> None:
+        """Record one checkpoint; sleep/raise per the scripted scenario."""
+        with self._lock:
+            self._seen[""] += 1
+            self._seen[site] = self._seen.get(site, 0) + 1
+            # .get(): checkpoints of *other* sites may run before the
+            # targeted site has ever fired.
+            ordinal = (
+                self._seen.get(self.site, 0) if self.site is not None else self._seen[""]
+            )
+        if self.latency_s > 0.0:
+            time.sleep(self.latency_s)
+        if (
+            self.fail_at is not None
+            and ordinal == self.fail_at
+            and (self.site is None or self.site == site)
+        ):
+            raise FaultInjectedError(
+                f"injected fault at checkpoint #{ordinal} (site {site!r})"
+            )
+
+    def take_transient(self) -> bool:
+        """Consume one injected transient failure, if any remain."""
+        with self._lock:
+            if self._transients_left <= 0:
+                return False
+            self._transients_left -= 1
+            return True
+
+    def checkpoints_seen(self) -> Dict[str, int]:
+        """Per-site checkpoint counts ("" = total) — test assertions."""
+        with self._lock:
+            return dict(self._seen)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(latency_s={self.latency_s}, fail_at={self.fail_at}, "
+            f"site={self.site!r}, transient={self.transient})"
+        )
+
+
+def parse_fault_spec(text: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec: comma-separated ``key=value`` pairs
+    (``latency``, ``fail_at``, ``site``, ``transient``)."""
+    kwargs: Dict[str, object] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if key == "latency":
+            kwargs["latency_s"] = float(value)
+        elif key == "fail_at":
+            kwargs["fail_at"] = int(value)
+        elif key == "site":
+            kwargs["site"] = value
+        elif key == "transient":
+            kwargs["transient"] = int(value)
+        else:
+            raise ValueError(f"unknown REPRO_FAULTS key {key!r} in {text!r}")
+    return FaultPlan(**kwargs)  # type: ignore[arg-type]
+
+
+_PLAN_LOCK = threading.Lock()
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+_ENV_CHECKED = False
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Install ``plan`` as the process-wide fault scenario (None clears)."""
+    global _ACTIVE_PLAN, _ENV_CHECKED
+    with _PLAN_LOCK:
+        _ACTIVE_PLAN = plan
+        _ENV_CHECKED = True
+
+
+def clear_fault_plan() -> None:
+    """Remove any installed plan (and forget the environment override)."""
+    install_fault_plan(None)
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The installed plan; on first call, ``REPRO_FAULTS`` may supply one."""
+    global _ACTIVE_PLAN, _ENV_CHECKED
+    if _ENV_CHECKED:
+        return _ACTIVE_PLAN
+    with _PLAN_LOCK:
+        if not _ENV_CHECKED:
+            spec = os.environ.get("REPRO_FAULTS", "").strip()
+            if spec:
+                _ACTIVE_PLAN = parse_fault_spec(spec)
+            _ENV_CHECKED = True
+    return _ACTIVE_PLAN

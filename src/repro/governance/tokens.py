@@ -1,0 +1,99 @@
+"""Cooperative, composable cancellation tokens.
+
+A :class:`CancellationToken` is the cross-thread signal of the governance
+layer: any thread may :meth:`cancel` it, and the executing query observes
+the flag at its next cooperative checkpoint (or, for the SQLite backend,
+through an ``interrupt()`` callback registered for the duration of the
+statement).  Tokens compose: a :meth:`child` token is cancelled when its
+parent is, so a connection-level token can fan out to every statement it
+governs while each statement stays individually cancellable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+__all__ = ["CancellationToken"]
+
+
+class CancellationToken:
+    """Thread-safe, reason-carrying cancellation flag.
+
+    ``cancel()`` is idempotent — the first call wins and records the
+    reason; later calls are no-ops.  Callbacks registered through
+    :meth:`add_callback` run exactly once, on the cancelling thread (or
+    immediately when the token is already cancelled); callback exceptions
+    propagate to the canceller, so keep callbacks trivial (the SQLite
+    backend registers ``connection.interrupt``).
+    """
+
+    __slots__ = ("_lock", "_cancelled", "_reason", "_callbacks", "_parent")
+
+    def __init__(self, parent: Optional["CancellationToken"] = None):
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._reason: Optional[str] = None
+        self._callbacks: List[Callable[[], None]] = []
+        self._parent = parent
+        if parent is not None:
+            # Propagate parent cancellation down: the child cancels (with
+            # the parent's reason) the moment the parent does, firing the
+            # child's callbacks too.
+            parent.add_callback(self._cancel_from_parent)
+
+    def _cancel_from_parent(self) -> None:
+        parent = self._parent
+        reason = parent.reason if parent is not None else None
+        self.cancel(reason or "parent cancelled")
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Cancel the token; returns True when this call flipped the flag."""
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._cancelled = True
+            self._reason = reason
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback()
+        return True
+
+    def cancelled(self) -> bool:
+        """Whether the token (or any ancestor) has been cancelled."""
+        if self._cancelled:
+            return True
+        parent = self._parent
+        return parent is not None and parent.cancelled()
+
+    @property
+    def reason(self) -> Optional[str]:
+        """The first cancellation reason, or None while uncancelled."""
+        if self._reason is not None:
+            return self._reason
+        parent = self._parent
+        return parent.reason if parent is not None else None
+
+    def child(self) -> "CancellationToken":
+        """A new token cancelled whenever this one is (and independently)."""
+        return CancellationToken(parent=self)
+
+    def add_callback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` on cancellation (immediately if already cancelled)."""
+        with self._lock:
+            if not self._cancelled:
+                self._callbacks.append(callback)
+                return
+        callback()
+
+    def remove_callback(self, callback: Callable[[], None]) -> None:
+        """Unregister a callback previously added (no-op when absent)."""
+        with self._lock:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self._reason!r}" if self._cancelled else "active"
+        return f"CancellationToken({state})"

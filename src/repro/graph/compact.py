@@ -41,7 +41,7 @@ parallelizes without code changes.
 from __future__ import annotations
 
 from array import array
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor, wait as futures_wait
 from time import perf_counter
 from typing import (
     TYPE_CHECKING,
@@ -334,7 +334,9 @@ def bfs_closure_strip(
     return masks, deepest
 
 
-def propagate_closure(successor_masks: Sequence[int]) -> Tuple[List[int], int]:
+def propagate_closure(
+    successor_masks: Sequence[int], *, on_round=None
+) -> Tuple[List[int], int]:
     """Serial closure by worklist-driven OR propagation (word-parallel).
 
     Every node's reach mask absorbs its successors' masks until nothing
@@ -343,7 +345,9 @@ def propagate_closure(successor_masks: Sequence[int]) -> Tuple[List[int], int]:
     the edge count (the common case for the repetition-heavy workloads).
     A predecessor worklist keeps later rounds incremental: only nodes with
     a successor whose reach just grew are recomputed, instead of sweeping
-    every edge until global convergence.
+    every edge until global convergence.  ``on_round`` (when given) is
+    invoked once per propagation round — the governance layer's
+    cooperative checkpoint hook; it may raise to abort the closure.
     """
     node_count = len(successor_masks)
     reach = [(1 << i) | successor_masks[i] for i in range(node_count)]
@@ -357,8 +361,12 @@ def propagate_closure(successor_masks: Sequence[int]) -> Tuple[List[int], int]:
             for j in iter_bits(mask):
                 setdefault(j, []).append(i)
     rounds = 1
+    if on_round is not None:
+        on_round()
     while changed:
         rounds += 1
+        if on_round is not None:
+            on_round()
         next_changed = set()
         grew = next_changed.add
         for j in changed:
@@ -377,7 +385,7 @@ def propagate_closure(successor_masks: Sequence[int]) -> Tuple[List[int], int]:
 
 
 def closure_masks(
-    successor_masks: Sequence[int], *, shards: int = 1
+    successor_masks: Sequence[int], *, shards: int = 1, on_round=None
 ) -> Tuple[List[int], int, int]:
     """Reachability masks for every node, optionally sharded.
 
@@ -386,21 +394,43 @@ def closure_masks(
     on graph size so small fixpoints never pay the pool setup.  Returns
     ``(masks, rounds, shards_used)`` where ``rounds`` is the deepest strip
     (strips run concurrently, so the deepest one bounds the wall clock).
+    ``on_round`` is the per-round cooperative checkpoint hook; on the
+    sharded path the coordinating thread invokes it periodically *while*
+    the pool drains (worker strips must stay hook-free: a hook raising
+    inside a worker would strand its siblings).  A raising hook abandons
+    the pool without waiting — in-flight strips are pure reads of
+    ``successor_masks`` and finish harmlessly in the background — so a
+    deadline or cancellation lands within one poll interval instead of
+    after the deepest strip completes.
     """
     node_count = len(successor_masks)
     shards = max(1, min(shards, node_count))  # never more strips than sources
     if shards <= 1:
-        masks, rounds = propagate_closure(successor_masks)
+        masks, rounds = propagate_closure(successor_masks, on_round=on_round)
         return masks, rounds, 1
     strip_size = -(-node_count // shards)  # ceil division
     strips = [
         range(start, min(start + strip_size, node_count))
         for start in range(0, node_count, strip_size)
     ]
-    with ThreadPoolExecutor(max_workers=len(strips)) as pool:
-        results = list(
-            pool.map(lambda strip: bfs_closure_strip(successor_masks, strip), strips)
-        )
+    pool = ThreadPoolExecutor(max_workers=len(strips))
+    try:
+        futures = [
+            pool.submit(bfs_closure_strip, successor_masks, strip) for strip in strips
+        ]
+        if on_round is None:
+            futures_wait(futures)
+        else:
+            while True:
+                done, pending = futures_wait(futures, timeout=0.02)
+                on_round()  # may raise: abort between polls
+                if not pending:
+                    break
+        results = [future.result() for future in futures]
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
     masks = []
     rounds = 0
     for strip_masks, strip_rounds in results:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import PatternError
+from repro.governance import CHECK_INTERVAL, current_governor
 from repro.graph.identifiers import Identifier
 from repro.graph.property_graph import PropertyGraph
 from repro.matching import fixpoint
@@ -65,6 +66,50 @@ class EvaluationCounters:
         )
 
 
+class _OracleMeter:
+    """Watermark checkpointing for the oracle's enumeration loops.
+
+    Counts iterations and polls the governor every :data:`CHECK_INTERVAL`
+    ticks at the ``"oracle.enumerate"`` site; :meth:`flush` reports the
+    remainder so small graphs still exercise the checkpoint (which is what
+    the fault-injection harness asserts).  The oracle trades speed for
+    obviousness, so a bound-method call per iteration is acceptable; with
+    governance off the evaluator hands out the shared null meter instead.
+    """
+
+    __slots__ = ("_governor", "_count", "_checked")
+
+    def __init__(self, governor):
+        self._governor = governor
+        self._count = 0
+        self._checked = 0
+
+    def tick(self) -> None:
+        self._count += 1
+        if self._count - self._checked >= CHECK_INTERVAL:
+            self._governor.checkpoint("oracle.enumerate", self._count - self._checked)
+            self._checked = self._count
+
+    def flush(self) -> None:
+        if self._count > self._checked:
+            self._governor.checkpoint("oracle.enumerate", self._count - self._checked)
+
+
+class _NullMeter:
+    """No-governor stand-in so enumeration loops stay branch-free."""
+
+    __slots__ = ()
+
+    def tick(self) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+
+_NULL_METER = _NullMeter()
+
+
 class EndpointEvaluator:
     """Evaluates patterns under the endpoint semantics of Figure 2."""
 
@@ -86,6 +131,14 @@ class EndpointEvaluator:
 
     def _count_round(self) -> None:
         self.counters.fixpoint_rounds += 1
+        governor = current_governor()
+        if governor is not None:
+            governor.checkpoint("fixpoint.round")
+
+    @staticmethod
+    def _meter():
+        governor = current_governor()
+        return _OracleMeter(governor) if governor is not None else _NULL_METER
 
     # ------------------------------------------------------------------ #
     # Pattern semantics
@@ -112,14 +165,18 @@ class EndpointEvaluator:
 
     def _eval_node(self, pattern: NodePattern) -> MatchSet:
         triples = set()
+        meter = self._meter()
         for node in self.graph.nodes:
             mapping = {pattern.variable: node} if pattern.variable else {}
             triples.add((node, node, freeze(mapping)))
             self.counters.triples_produced += 1
+            meter.tick()
+        meter.flush()
         return frozenset(triples)
 
     def _eval_edge(self, pattern: EdgePattern) -> MatchSet:
         triples = set()
+        meter = self._meter()
         for edge in self.graph.edge_tuples():
             mapping = {pattern.variable: edge.ident} if pattern.variable else {}
             if pattern.forward:
@@ -127,6 +184,8 @@ class EndpointEvaluator:
             else:
                 triples.add((edge.target, edge.source, freeze(mapping)))
             self.counters.triples_produced += 1
+            meter.tick()
+        meter.flush()
         return frozenset(triples)
 
     def _eval_concatenation(self, pattern: Concatenation) -> MatchSet:
@@ -138,15 +197,18 @@ class EndpointEvaluator:
         for triple in right:
             by_source.setdefault(triple[0], []).append(triple)
         triples = set()
+        meter = self._meter()
         for (source, midpoint, left_frozen) in left:
             left_mapping = thaw(left_frozen)
             for (_mid, target, right_frozen) in by_source.get(midpoint, ()):
                 self.counters.join_checks += 1
+                meter.tick()
                 right_mapping = thaw(right_frozen)
                 if compatible(left_mapping, right_mapping):
                     merged = union(left_mapping, right_mapping)
                     triples.add((source, target, freeze(merged)))
                     self.counters.triples_produced += 1
+        meter.flush()
         return frozenset(triples)
 
     def _eval_disjunction(self, pattern: Disjunction) -> MatchSet:
@@ -155,10 +217,13 @@ class EndpointEvaluator:
     def _eval_filter(self, pattern: Filter) -> MatchSet:
         matches = self._eval(pattern.body)
         triples = set()
+        meter = self._meter()
         for (source, target, frozen) in matches:
             self.counters.condition_checks += 1
+            meter.tick()
             if pattern.condition.satisfied(self.graph, thaw(frozen)):
                 triples.add((source, target, frozen))
+        meter.flush()
         return frozenset(triples)
 
     def _eval_repetition(self, pattern: Repetition) -> MatchSet:
@@ -226,7 +291,7 @@ class EndpointEvaluator:
         exact_lower = set(identity)
         for _ in range(lower):
             exact_lower = fixpoint.compose(exact_lower, adjacency)
-            self.counters.fixpoint_rounds += 1
+            self._count_round()
             if not exact_lower:
                 return set()
         closure = self._reflexive_transitive_closure(adjacency)
@@ -246,7 +311,7 @@ class EndpointEvaluator:
             seen: Set[Identifier] = {start}
             frontier = [start]
             while frontier:
-                self.counters.fixpoint_rounds += 1
+                self._count_round()
                 next_frontier = []
                 for node in frontier:
                     for successor in adjacency.get(node, ()):
@@ -282,7 +347,9 @@ class EndpointEvaluator:
         output.validate()
         matches = self._eval(output.pattern)
         rows: Set[Tuple] = set()
+        meter = self._meter()
         for (_source, _target, frozen) in matches:
+            meter.tick()
             mapping = thaw(frozen)
             row: List = []
             defined = True
@@ -301,6 +368,7 @@ class EndpointEvaluator:
                     row.extend(element)
             if defined:
                 rows.add(tuple(row))
+        meter.flush()
         return frozenset(rows)
 
 

@@ -17,6 +17,17 @@ reservoir and a deterministic subsample estimate after that.
 Exports: :meth:`MetricsRegistry.collect` (plain dict),
 :meth:`MetricsRegistry.to_json`, and
 :meth:`MetricsRegistry.to_prometheus` (text exposition format).
+
+Governance metrics (recorded by the engine/governance layers):
+
+* ``repro_query_aborts_total{engine,kind}`` — executions aborted by
+  governance; ``kind`` is ``timeout`` / ``cancelled`` /
+  ``resource_exhausted`` / ``fault``.
+* ``repro_admission_running`` / ``repro_admission_queued`` — live gauges
+  of the database's admission controller.
+* ``repro_admission_admitted_total`` / ``repro_admission_rejected_total``
+  — admission outcomes (rejections cover queue overflow and admission
+  timeouts).
 """
 
 from __future__ import annotations

@@ -52,6 +52,7 @@ from typing import (
 )
 
 from repro.errors import BindingError, PatternError
+from repro.governance import CHECK_INTERVAL, current_governor
 from repro.graph import compact as compact_encoding
 from repro.graph.compact import (
     BYTE_POSITIONS as _BYTE_POSITIONS,
@@ -551,6 +552,11 @@ class PlanExecutor:
     ) -> Iterator[Tuple]:
         """Generator over the decoded projection of a compact table."""
         items = self._resolve_compact_items(table, output)
+        # Resolved eagerly (this frame runs inside the execution's governor
+        # activation); the lazy generators below close over it so decode
+        # checkpoints keep firing when iteration happens later, possibly on
+        # another thread.
+        governor = current_governor()
         plain = bool(items) and all(not p and i is not None for i, _, p in items)
         if plain and table.masks is not None:
             masks = table.masks
@@ -558,15 +564,24 @@ class PlanExecutor:
                 index, ids, _ = items[0]
 
                 def stream_single() -> Iterator[Tuple]:
+                    produced = 0
                     if index == 0:
                         for i, mask in enumerate(masks):
                             if mask:
+                                if governor is not None:
+                                    if not produced & 63:
+                                        governor.checkpoint("stream.decode")
+                                    produced += 1
                                 yield ids[i]
                     else:
                         union = 0
                         for mask in masks:
                             union |= mask
                         for j in iter_bits(union):
+                            if governor is not None:
+                                if not produced & 63:
+                                    governor.checkpoint("stream.decode")
+                                produced += 1
                             yield ids[j]
 
                 return stream_single()
@@ -577,16 +592,25 @@ class PlanExecutor:
                 def stream_pairs() -> Iterator[Tuple]:
                     # (i, j) pairs are distinct and identifier decoding is
                     # injective per ID space, so no dedup set is needed.
+                    produced = 0
                     for i, mask in enumerate(masks):
                         if not mask:
                             continue
                         if swapped:
                             tail = ids2[i]
                             for j in iter_bits(mask):
+                                if governor is not None:
+                                    if not produced & 63:
+                                        governor.checkpoint("stream.decode")
+                                    produced += 1
                                 yield ids1[j] + tail
                         else:
                             head = ids1[i]
                             for j in iter_bits(mask):
+                                if governor is not None:
+                                    if not produced & 63:
+                                        governor.checkpoint("stream.decode")
+                                    produced += 1
                                 yield head + ids2[j]
 
                 return stream_pairs()
@@ -613,6 +637,8 @@ class PlanExecutor:
                 if defined:
                     result = tuple(projected)
                     if result not in seen:
+                        if governor is not None and not len(seen) & 63:
+                            governor.checkpoint("stream.decode")
                         seen.add(result)
                         yield result
 
@@ -623,6 +649,7 @@ class PlanExecutor:
     ) -> Iterator[Tuple]:
         """Generator over the projection of a boxed-identifier table."""
         items = self._resolve_boxed_items(columns, output)
+        governor = current_governor()  # eager: see _stream_project_compact
 
         def stream_rows() -> Iterator[Tuple]:
             seen: Set[Tuple] = set()
@@ -645,6 +672,8 @@ class PlanExecutor:
                 if defined:
                     result = tuple(projected)
                     if result not in seen:
+                        if governor is not None and not len(seen) & 63:
+                            governor.checkpoint("stream.decode")
                         seen.add(result)
                         yield result
 
@@ -834,18 +863,25 @@ class PlanExecutor:
             index_map.setdefault(key, []).append(row)
         rows: Set[Row] = set()
         probes = 0
+        governor = current_governor()
+        checked = 0
         for row in left_rows:
             key = (row[1],) + tuple(row[i] for i in left_keys)
             matches = index_map.get(key)
             if not matches:
                 continue
             probes += len(matches)
+            if governor is not None and probes - checked >= CHECK_INTERVAL:
+                governor.checkpoint("join.probe", probes - checked)
+                checked = probes
             head = (row[0],)
             left_extra = tuple(row[i] for i in copy_left)
             for other in matches:
                 rows.add(
                     head + (other[1],) + left_extra + tuple(other[i] for i in copy_right)
                 )
+        if governor is not None and probes > checked:
+            governor.checkpoint("join.probe", probes - checked)
         self.counters.join_probes += probes
         return columns, rows
 
@@ -918,9 +954,15 @@ class PlanExecutor:
 
     def _count_round(self) -> None:
         self.counters.fixpoint_rounds += 1
+        governor = current_governor()
+        if governor is not None:
+            governor.checkpoint("fixpoint.round")
 
     def _count_delta(self, fresh: int) -> None:
         self.counters.delta_pairs += fresh
+        governor = current_governor()
+        if governor is not None:
+            governor.checkpoint("fixpoint.delta", fresh)
 
     def _pairs_at_least(
         self,
@@ -973,7 +1015,7 @@ class PlanExecutor:
         reach = [1 << i for i in range(len(nodes))]
         changed = True
         while changed:
-            self.counters.fixpoint_rounds += 1
+            self._count_round()
             changed = False
             for i, succ in enumerate(successors):
                 mask = reach[i]
@@ -1111,6 +1153,11 @@ class PlanExecutor:
         """Expand a mask-form pair relation into real ``(src, tgt)`` rows."""
         if table.masks is None:
             return table
+        # A dense closure expands to O(V^2) pairs; without polling, the
+        # whole expansion is one un-interruptible stretch right before
+        # the first decoded row.
+        governor = current_governor()
+        checked = 0
         rows: Set[Tuple] = set()
         add = rows.add
         for i, mask in enumerate(table.masks):
@@ -1123,6 +1170,9 @@ class PlanExecutor:
                     for offset in _BYTE_POSITIONS[byte]:
                         add((i, base + offset))
                 base += 8
+            if governor is not None and len(rows) - checked >= 4096:
+                governor.checkpoint("stream.decode")
+                checked = len(rows)
         return CompactTable(table.columns, table.kinds, rows)
 
     def _compact_label_mask(self, labels: FrozenSet[str], kind: str) -> Optional[int]:
@@ -1379,6 +1429,8 @@ class PlanExecutor:
         rows: Set[Tuple] = set()
         add = rows.add
         probes = 0
+        governor = current_governor()
+        checked = 0
         for row in left.rows:
             key = row[1]
             for index, stride in left_keys:
@@ -1387,10 +1439,15 @@ class PlanExecutor:
             if not matches:
                 continue
             probes += len(matches)
+            if governor is not None and probes - checked >= CHECK_INTERVAL:
+                governor.checkpoint("join.probe", probes - checked)
+                checked = probes
             head = (row[0],)
             left_extra = tuple(row[i] for i in copy_left)
             for other in matches:
                 add(head + (other[1],) + left_extra + tuple(other[i] for i in copy_right))
+        if governor is not None and probes > checked:
+            governor.checkpoint("join.probe", probes - checked)
         self.counters.join_probes += probes
         return CompactTable(columns, kinds, rows)
 
@@ -1509,8 +1566,14 @@ class PlanExecutor:
         decodes masks straight into output tuples.
         """
         shards = self._effective_shards(node_count)
+        governor = current_governor()
+        on_round = None
+        if governor is not None:
+            # The governor poll rides the kernel's per-round hook; the
+            # executor's own round accounting stays on the returned total.
+            on_round = lambda: governor.checkpoint("fixpoint.round")  # noqa: E731
         reach, rounds, used = compact_encoding.closure_masks(
-            successor_masks, shards=shards
+            successor_masks, shards=shards, on_round=on_round
         )
         self.counters.fixpoint_rounds += max(rounds, 1)
         if used > 1:
@@ -1519,6 +1582,11 @@ class PlanExecutor:
         if lower > 0:
             composed: List[int] = []
             for i in range(node_count):
+                # The per-source composition is the longest stretch after
+                # the closure rounds; poll so deadlines/cancels land here
+                # too instead of waiting for the first decoded row.
+                if governor is not None and not i & 63:
+                    governor.checkpoint("fixpoint.round")
                 frontier = compact_encoding.compose_frontier(
                     successor_masks, 1 << i, lower
                 )
@@ -1568,7 +1636,12 @@ class PlanExecutor:
         extend = results.extend
         target_ids = ids1 if swapped else ids2
         source_ids = ids2 if swapped else ids1
+        governor = current_governor()
+        decoded_groups = 0
         for mask, sources in groups.items():
+            if governor is not None and not decoded_groups & 63:
+                governor.checkpoint("stream.decode")
+            decoded_groups += 1
             data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
             tails = [
                 target_ids[base + offset]

@@ -524,13 +524,32 @@ class TestLifecycle:
             assert engine._connection is None  # backend connection closed
             assert statement._compiled is None  # compiled form released
 
-    def test_closed_connection_rebuilds_lazily_like_sessions_did(self):
+    def test_closed_connection_raises_with_the_close_reason(self):
+        from repro.errors import ConnectionClosedError
+
         with make_database() as db:
             connection = db.connect(engine="planned")
             before = connection.execute(CHAIN_QUERY)
             connection.close()
-            after = connection.execute(CHAIN_QUERY)
-            assert before.equals_unordered(after)
+            connection.close()  # idempotent
+            with pytest.raises(ConnectionClosedError, match="connection closed"):
+                connection.execute(CHAIN_QUERY)
+            assert len(before) > 0  # results produced before close stay readable
+
+    def test_closed_session_shim_rebuilds_lazily_like_sessions_did(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session = PGQSession(engine="planned")
+        session.register_table("Account", ["iban"], ACCOUNTS)
+        session.register_table(
+            "Transfer", ["t_id", "src_iban", "tgt_iban", "ts", "amount"], TRANSFERS
+        )
+        session.execute(DDL)
+        before = session.execute(CHAIN_QUERY)
+        session.close()
+        after = session.execute(CHAIN_QUERY)  # the historical lazy rebuild
+        assert before.equals_unordered(after)
+        session.close()
 
 
 # --------------------------------------------------------------------------- #

@@ -19,11 +19,13 @@ lint_repro = importlib.util.module_from_spec(_spec)
 _spec.loader.exec_module(_spec and lint_repro)
 
 
-def findings_for(tmp_path, source, *, name="module.py", observability=False, in_src=True):
+def findings_for(
+    tmp_path, source, *, name="module.py", observability=False, in_src=True, in_engine=False
+):
     path = tmp_path / name
     path.write_text(source)
     return [(rule, lineno) for _, lineno, rule, _ in lint_repro.check_file(
-        path, observability=observability, in_src=in_src
+        path, observability=observability, in_src=in_src, in_engine=in_engine
     )]
 
 
@@ -116,6 +118,32 @@ class TestMutableDefault:
     def test_none_guard_idiom_passes(self, tmp_path):
         source = "def f(items=None):\n    return items or []\n"
         assert rules_for(tmp_path, source) == []
+
+
+class TestBareBroadExcept:
+    @pytest.mark.parametrize("clause", ["except Exception:", "except BaseException:", "except:"])
+    def test_swallowing_broad_handler_is_flagged_in_engine(self, tmp_path, clause):
+        source = f"def f():\n    try:\n        g()\n    {clause}\n        pass\n"
+        assert rules_for(tmp_path, source, in_engine=True) == ["BARE-BROAD-EXCEPT"]
+
+    def test_cleanup_then_reraise_is_allowed(self, tmp_path):
+        source = (
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except BaseException:\n"
+            "        cleanup()\n"
+            "        raise\n"
+        )
+        assert rules_for(tmp_path, source, in_engine=True) == []
+
+    def test_narrow_handler_is_allowed(self, tmp_path):
+        source = "def f():\n    try:\n        g()\n    except ValueError:\n        pass\n"
+        assert rules_for(tmp_path, source, in_engine=True) == []
+
+    def test_rule_only_applies_to_the_engine_layer(self, tmp_path):
+        source = "def f():\n    try:\n        g()\n    except Exception:\n        pass\n"
+        assert rules_for(tmp_path, source, in_engine=False) == []
 
 
 class TestPrintCall:

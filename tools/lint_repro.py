@@ -21,6 +21,13 @@ Rules (each failure prints ``path:line: RULE message`` and exits 1):
   dict or set literal (shared across calls; use ``None`` + guard).
 * **PRINT-CALL** — ``print()`` inside ``src/repro`` (library code
   reports through return values, exceptions, logging or the tracer).
+* **BARE-BROAD-EXCEPT** — inside ``src/repro/engine``, an ``except:``,
+  ``except Exception:`` or ``except BaseException:`` handler that does
+  not re-raise.  The engine layer hosts the governance machinery; a
+  handler that swallows everything also swallows deadline/cancellation
+  errors and turns a stopped query into a silently wrong one.  Catch
+  the narrow exception (``sqlite3.Error``, ``GovernanceError``, ...) or
+  re-raise after cleanup.
 
 Run as ``python tools/lint_repro.py`` (lints ``src/repro``) or with
 explicit file/directory arguments.
@@ -131,7 +138,9 @@ def _used_names(tree: ast.Module) -> set:
     return used
 
 
-def check_file(path: Path, *, observability: bool, in_src: bool) -> List[Finding]:
+def check_file(
+    path: Path, *, observability: bool, in_src: bool, in_engine: bool = False
+) -> List[Finding]:
     try:
         source = path.read_text(encoding="utf-8")
         tree = ast.parse(source, filename=str(path))
@@ -248,6 +257,33 @@ def check_file(path: Path, *, observability: bool, in_src: bool) -> List[Finding
                         )
                     )
 
+    # BARE-BROAD-EXCEPT: the engine layer must not swallow arbitrary
+    # exceptions — that also swallows governance aborts.  A broad handler
+    # that re-raises (cleanup-then-propagate) is fine.
+    if in_engine:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or (
+                isinstance(node.type, ast.Name)
+                and node.type.id in ("Exception", "BaseException")
+            )
+            if not broad:
+                continue
+            if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+                continue
+            caught = "bare except" if node.type is None else f"except {node.type.id}"
+            findings.append(
+                (
+                    path,
+                    node.lineno,
+                    "BARE-BROAD-EXCEPT",
+                    f"{caught} without re-raise in the engine layer; this "
+                    "swallows governance aborts — catch the narrow "
+                    "exception or re-raise after cleanup",
+                )
+            )
+
     # PRINT-CALL: no print() in library code.
     if in_src:
         for node in ast.walk(tree):
@@ -280,6 +316,7 @@ def lint_paths(paths: List[Path], root: Path) -> List[Finding]:
                     file,
                     observability="/observability/" in relative,
                     in_src="/src/repro/" in relative,
+                    in_engine="/src/repro/engine/" in relative,
                 )
             )
     return findings
