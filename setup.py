@@ -13,4 +13,9 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-service=repro.service.__main__:main",
+        ],
+    },
 )

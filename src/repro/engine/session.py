@@ -149,27 +149,34 @@ def _traced_decode(tracer: Tracer, rows: Iterator[Tuple], statement_text: str):
     count = 0
     spent = 0.0
     iterator = iter(rows)
-    while True:
-        mark = perf_counter()
-        try:
-            row = next(iterator)
-        except StopIteration:
+    try:
+        while True:
+            mark = perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                spent += perf_counter() - mark
+                tracer.emit(
+                    {
+                        "name": "decode",
+                        "duration_s": spent,
+                        "tags": {
+                            "rows": count,
+                            "statement": _snippet(statement_text),
+                            "per_row": True,
+                        },
+                    }
+                )
+                return
             spent += perf_counter() - mark
-            tracer.emit(
-                {
-                    "name": "decode",
-                    "duration_s": spent,
-                    "tags": {
-                        "rows": count,
-                        "statement": _snippet(statement_text),
-                        "per_row": True,
-                    },
-                }
-            )
-            return
-        spent += perf_counter() - mark
-        count += 1
-        yield row
+            count += 1
+            yield row
+    finally:
+        # Propagate close() through the wrapper so abandoning a streamed
+        # result releases the underlying cursor (not just this generator).
+        close = getattr(iterator, "close", None)
+        if close is not None:
+            close()
 
 
 def _governed_rows(governor, rows: Iterator[Tuple]) -> Iterator[Tuple]:
@@ -181,12 +188,19 @@ def _governed_rows(governor, rows: Iterator[Tuple]) -> Iterator[Tuple]:
     cross-thread :meth:`QueryResult.cancel` land between rows even there.
     """
     produced = 0
-    for row in rows:
-        produced += 1
-        governor.count_output(1)
-        if not produced & 63:
-            governor.checkpoint("stream.decode")
-        yield row
+    try:
+        for row in rows:
+            produced += 1
+            governor.count_output(1)
+            if not produced & 63:
+                governor.checkpoint("stream.decode")
+            yield row
+    finally:
+        # Propagate close() through the wrapper so abandoning a streamed
+        # result releases the underlying cursor (not just this generator).
+        close = getattr(rows, "close", None)
+        if close is not None:
+            close()
 
 
 class QueryResult:
@@ -1006,7 +1020,7 @@ class Connection:
             tuple(sorted(self._engine_options.items(), key=lambda item: item[0])),
         )
 
-    def _drain_live_streams(self) -> None:
+    def _drain_live_streams(self, *, discard: bool = False) -> None:
         """Materialize streamed results that still read live engine state.
 
         Streamed results are valid after ``close()`` (the historical
@@ -1014,16 +1028,26 @@ class Connection:
         stream reads from an open cursor on the backend connection; pull
         the remaining rows into the result buffer before that connection
         (or a temp table it reads) goes away.
+
+        With ``discard=True`` (the ``close(drain=False)`` path used by
+        connection pools recycling a handle) pending results are closed
+        instead: the live cursor is released immediately and subsequent
+        fetches raise :class:`~repro.errors.ConnectionClosedError`.
         """
         with self._lock:
             streams, self._live_streams = self._live_streams, []
+        reason = self._close_reason or "connection closed"
         for ref in streams:
             result = ref()
-            if result is not None:
-                try:
-                    result._materialize()
-                except (ConnectionClosedError, GovernanceError):
-                    pass  # the consumer abandoned the result; nothing to keep
+            if result is None:
+                continue
+            if discard:
+                result.close(reason=reason)
+                continue
+            try:
+                result._materialize()
+            except (ConnectionClosedError, GovernanceError):
+                pass  # the consumer abandoned the result; nothing to keep
 
     def _invalidate_engine(self) -> None:
         with self._lock:
@@ -1548,7 +1572,7 @@ class Connection:
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
-    def close(self, *, reason: str = "connection closed") -> None:
+    def close(self, *, reason: str = "connection closed", drain: bool = True) -> None:
         """Release the backend and every prepared statement.
 
         Closes the statement LRU, explicitly prepared handles (dropping
@@ -1557,15 +1581,21 @@ class Connection:
         execution raises :class:`~repro.errors.ConnectionClosedError`
         carrying ``reason`` (the deprecated :class:`PGQSession` shim
         instead reopens lazily, the historical session behavior).
-        Streamed results still pending are drained first, so rows already
-        produced stay readable.
+
+        Streamed results still pending are drained first by default, so
+        rows already produced stay readable.  ``drain=False`` — the
+        connection-pool recycling path — closes pending results instead:
+        their live cursors are released immediately and any subsequent
+        fetch raises :class:`~repro.errors.ConnectionClosedError` carrying
+        ``reason``, rather than silently keeping a SQLite cursor (and its
+        temp tables) alive under a retired connection.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
             self._close_reason = reason
-            self._drain_live_streams()
+            self._drain_live_streams(discard=not drain)
             statements = list(self._statements.values())
             self._statements.clear()
             registry = list(self._prepared_registry)

@@ -830,6 +830,19 @@ class _CursorStream:
         while not self._done:
             self._fetch_batch()
 
+    def close(self) -> None:
+        """Release the cursor *without* buffering the remaining rows.
+
+        The discard path of ``Connection.close(drain=False)``: the pooled
+        connection is being recycled, nobody will read the rest of this
+        stream, so drop the buffer and free the cursor/temp tables now
+        instead of paying to materialize rows that go straight to GC.
+        """
+        if not self._done:
+            self._done = True
+            self._buffer.clear()
+            self._release()
+
     def __del__(self):  # pragma: no cover - GC timing dependent
         if not self._done:
             self._done = True

@@ -1,0 +1,37 @@
+"""``repro.service`` — a concurrent graph query service over the catalog.
+
+The PR-5 architecture (immutable snapshots, thread-safe connections,
+shared exactly-once materialization) is the substrate; this package
+serves it: a single-node HTTP/JSON query service with a sized pool of
+per-snapshot connections, graceful snapshot handoff on DDL, per-request
+governance (deadlines, budgets, admission → 408/413/429) and Prometheus
+metrics.
+
+Layering: ``repro.service`` sits on top of engine, governance and
+observability — nothing inside ``repro`` imports it back (enforced by
+the SERVICE-LAYERING lint rule), and the top-level ``repro`` package
+does not re-export it.  Import it explicitly::
+
+    from repro.service import Server
+    server = Server(db, port=8080)
+    server.start()          # or .serve_forever(), or `python -m repro.service`
+
+Run ``python -m repro.service --help`` for the standalone CLI.
+"""
+
+from repro.service.app import QueryService
+from repro.service.client import QueryResponse, ServiceClient, ServiceError
+from repro.service.http import Server
+from repro.service.pool import ConnectionPool
+from repro.service.protocol import ProtocolError, QueryRequest
+
+__all__ = [
+    "ConnectionPool",
+    "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "Server",
+    "ServiceClient",
+    "ServiceError",
+]

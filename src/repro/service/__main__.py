@@ -1,0 +1,193 @@
+"""CLI entrypoint: ``python -m repro.service`` (or the ``repro-service``
+console script).
+
+Builds a :class:`~repro.engine.database.Database` — from a bundled
+synthetic dataset (``--dataset bank|social``) and/or a DDL script file —
+and serves it over HTTP until interrupted::
+
+    python -m repro.service --dataset bank --accounts 200 --transfers 800 \\
+        --port 8080 --engine planned --pool-size 8 --max-concurrent 16
+
+``--script`` takes a file of semicolon-separated ``CREATE PROPERTY
+GRAPH`` statements applied after the dataset loads, so a custom graph
+can be served without writing Python.  Governance flags map straight
+onto the database: ``--timeout-ms`` is the default per-request deadline
+(requests may override it per call), ``--max-concurrent`` arms
+admission control (excess load answers 429).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+from typing import List, Optional, Sequence
+
+from repro.datasets import (
+    SocialNetworkConfig,
+    TransferWorkloadConfig,
+    generate_iban_database,
+    generate_social_database,
+)
+from repro.engine.database import Database
+from repro.service.http import Server
+
+__all__ = ["build_database", "main"]
+
+_LOGGER = logging.getLogger("repro.service.cli")
+
+TRANSFERS_DDL = """
+CREATE PROPERTY GRAPH Transfers (
+  NODES TABLE Account KEY (iban) LABEL Account,
+  EDGES TABLE Transfer KEY (t_id)
+    SOURCE KEY src_iban REFERENCES Account
+    TARGET KEY tgt_iban REFERENCES Account
+    LABELS Transfer PROPERTIES (ts, amount))
+"""
+
+SOCIAL_DDL = """
+CREATE PROPERTY GRAPH SocialGraph (
+  NODES TABLE Person KEY (person_id) LABEL Person PROPERTIES (name, city),
+  EDGES TABLE Knows KEY (knows_id)
+    SOURCE KEY src_id REFERENCES Person
+    TARGET KEY tgt_id REFERENCES Person
+    LABEL Knows PROPERTIES (since))
+"""
+
+#: Column names of the relational datasets (the generators return
+#: positional relations; the catalog wants named columns).
+_BANK_COLUMNS = {
+    "Account": ["iban"],
+    "Transfer": ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+}
+_SOCIAL_COLUMNS = {
+    "Person": ["person_id", "name", "city"],
+    "Post": ["post_id", "author_id", "length"],
+    "Knows": ["knows_id", "src_id", "tgt_id", "since"],
+    "Likes": ["likes_id", "person_id", "post_id"],
+}
+
+
+def _load_bank(database: Database, args: argparse.Namespace) -> None:
+    config = TransferWorkloadConfig(
+        accounts=args.accounts, transfers=args.transfers, seed=args.seed
+    )
+    relational = generate_iban_database(config)
+    for name, columns in _BANK_COLUMNS.items():
+        database.create_table(name, columns, relational.relation(name).rows)
+    database.execute(TRANSFERS_DDL)
+
+
+def _load_social(database: Database, args: argparse.Namespace) -> None:
+    config = SocialNetworkConfig(seed=args.seed)
+    relational = generate_social_database(config)
+    for name, columns in _SOCIAL_COLUMNS.items():
+        database.create_table(name, columns, relational.relation(name).rows)
+    database.execute(SOCIAL_DDL)
+
+
+def _apply_script(database: Database, path: str) -> None:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    for statement in text.split(";"):
+        statement = statement.strip()
+        if statement:
+            definition = database.execute(statement)
+            _LOGGER.info("applied DDL: graph %s", definition.name)
+
+
+def build_database(args: argparse.Namespace) -> Database:
+    """The catalog the service serves, per the CLI flags."""
+    database = Database(
+        slow_query_seconds=args.slow_query_ms / 1000.0 if args.slow_query_ms else None,
+        max_concurrent_queries=args.max_concurrent,
+        max_admission_queue=args.admission_queue,
+        admission_timeout_s=args.admission_timeout_s,
+    )
+    if args.dataset == "bank":
+        _load_bank(database, args)
+    elif args.dataset == "social":
+        _load_social(database, args)
+    if args.script:
+        _apply_script(database, args.script)
+    return database
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Serve a repro graph catalog over HTTP/JSON.",
+    )
+    serve = parser.add_argument_group("serving")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 binds an ephemeral port")
+    serve.add_argument("--engine", default="planned", help="backend for pooled connections")
+    serve.add_argument("--pool-size", type=int, default=8, help="connections per snapshot")
+    data = parser.add_argument_group("data")
+    data.add_argument(
+        "--dataset",
+        choices=("bank", "social", "none"),
+        default="bank",
+        help="bundled synthetic dataset to load (default: bank)",
+    )
+    data.add_argument("--accounts", type=int, default=200)
+    data.add_argument("--transfers", type=int, default=800)
+    data.add_argument("--seed", type=int, default=7)
+    data.add_argument("--script", help="file of semicolon-separated DDL statements")
+    governance = parser.add_argument_group("governance")
+    governance.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline (requests may override)",
+    )
+    governance.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="admission control: queries executing at once (429 beyond)",
+    )
+    governance.add_argument("--admission-queue", type=int, default=None)
+    governance.add_argument("--admission-timeout-s", type=float, default=5.0)
+    governance.add_argument(
+        "--slow-query-ms", type=float, default=None, help="arm the slow-query log"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(list(argv) if argv is not None else None)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stderr,
+    )
+    database = build_database(args)
+    graphs: List[str] = sorted(database.snapshot().catalog.names())
+    server = Server(
+        database,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        pool_size=args.pool_size,
+        default_timeout_ms=args.timeout_ms,
+    )
+    _LOGGER.info(
+        "catalog v%d ready (graphs: %s); serving on %s",
+        database.version,
+        ", ".join(graphs) or "none",
+        server.url,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        _LOGGER.info("interrupted; shutting down")
+    finally:
+        server.stop()
+        database.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

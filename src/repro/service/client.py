@@ -1,0 +1,209 @@
+"""Stdlib client for the query service (``http.client``, keep-alive).
+
+:class:`ServiceClient` is what the benchmark, the tests and
+``examples/service_client.py`` talk through: one persistent HTTP/1.1
+connection per client instance (reused across requests, reconnected
+transparently when the server dropped it), JSON encoding/decoding, and
+error responses raised as :class:`ServiceError` carrying the status,
+the server-side exception type and the governance ``progress`` dict.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+__all__ = ["QueryResponse", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx service response.
+
+    ``status`` is the HTTP code (408 deadline, 429 admission/pool, 413
+    budget, 400 bad statement, ...), ``kind`` the server-side exception
+    class name, ``progress`` the governance partial-progress counters
+    (empty for non-governance errors).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        *,
+        progress: Optional[Dict[str, Any]] = None,
+    ):
+        super().__init__(f"[{status} {kind}] {message}")
+        self.status = status
+        self.kind = kind
+        self.progress = dict(progress) if progress else {}
+
+
+@dataclass
+class QueryResponse:
+    """A decoded ``POST /query`` result."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    row_count: int
+    elapsed_ms: float
+    engine: str
+    snapshot: str
+    streamed: bool = False
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+@dataclass
+class _Transport:
+    host: str
+    port: int
+    timeout_s: float
+    connection: Optional[http.client.HTTPConnection] = field(default=None)
+
+
+class ServiceClient:
+    """A persistent JSON client for one service endpoint.
+
+    Not thread-safe: ``http.client`` serializes request/response pairs
+    on one socket, so give each worker thread its own client (that is
+    exactly what the load generator does).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, *, timeout_s: float = 30.0):
+        self._transport = _Transport(host=host, port=port, timeout_s=timeout_s)
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        statement: str,
+        params: Optional[Dict[str, Any]] = None,
+        *,
+        timeout_ms: Optional[float] = None,
+        max_output_rows: Optional[int] = None,
+        max_intermediate: Optional[int] = None,
+    ) -> QueryResponse:
+        """Execute one statement; non-200 raises :class:`ServiceError`."""
+        payload: Dict[str, Any] = {"statement": statement}
+        if params:
+            payload["params"] = params
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if max_output_rows is not None:
+            payload["max_output_rows"] = max_output_rows
+        if max_intermediate is not None:
+            payload["max_intermediate"] = max_intermediate
+        body = self._json_request("POST", "/query", payload)
+        return QueryResponse(
+            columns=list(body["columns"]),
+            rows=[tuple(row) for row in body["rows"]],
+            row_count=int(body["row_count"]),
+            elapsed_ms=float(body["elapsed_ms"]),
+            engine=str(body["engine"]),
+            snapshot=str(body["snapshot"]),
+            streamed=bool(body.get("streamed", False)),
+        )
+
+    def ddl(self, statement: str) -> Dict[str, Any]:
+        """Apply one ``CREATE PROPERTY GRAPH`` statement."""
+        return self._json_request("POST", "/ddl", {"statement": statement})
+
+    def create_table(
+        self, name: str, columns: Sequence[str], rows: Sequence[Sequence[Any]]
+    ) -> Dict[str, Any]:
+        """Create (or replace) a base table through ``POST /ddl``."""
+        table = {"name": name, "columns": list(columns), "rows": [list(r) for r in rows]}
+        return self._json_request("POST", "/ddl", {"table": table})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._json_request("GET", "/healthz", None)
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        status, _, body = self._request("GET", "/metrics", None)
+        if status != 200:
+            self._raise(status, body)
+        return body.decode("utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Wire plumbing
+    # ------------------------------------------------------------------ #
+    def _json_request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        status, _, body = self._request(method, path, payload)
+        if status != 200:
+            self._raise(status, body)
+        return json.loads(body.decode("utf-8"))
+
+    @staticmethod
+    def _raise(status: int, body: bytes) -> None:
+        try:
+            detail = json.loads(body.decode("utf-8")).get("error", {})
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            detail = {}
+        raise ServiceError(
+            status,
+            str(detail.get("type", "unknown")),
+            str(detail.get("message", body[:200].decode("utf-8", "replace"))),
+            progress=detail.get("progress"),
+        )
+
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]]
+    ) -> Tuple[int, str, bytes]:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        # One retry on a dead keep-alive socket: the server may have
+        # closed an idle connection (or shed load with Connection:
+        # close) between our requests.
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                data = response.read()
+                return response.status, response.getheader("Content-Type", ""), data
+            except socket.timeout:
+                # Never resubmit on timeout: the query may still be
+                # running server-side; doubling it makes overload worse.
+                self.close()
+                raise
+            except (
+                http.client.BadStatusLine,
+                http.client.CannotSendRequest,
+                ConnectionError,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _connect(self) -> http.client.HTTPConnection:
+        transport = self._transport
+        if transport.connection is None:
+            transport.connection = http.client.HTTPConnection(
+                transport.host, transport.port, timeout=transport.timeout_s
+            )
+        return transport.connection
+
+    def close(self) -> None:
+        transport = self._transport
+        connection, transport.connection = transport.connection, None
+        if connection is not None:
+            connection.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -20,12 +20,23 @@ _spec.loader.exec_module(_spec and lint_repro)
 
 
 def findings_for(
-    tmp_path, source, *, name="module.py", observability=False, in_src=True, in_engine=False
+    tmp_path,
+    source,
+    *,
+    name="module.py",
+    observability=False,
+    in_src=True,
+    in_engine=False,
+    in_service=False,
 ):
     path = tmp_path / name
     path.write_text(source)
     return [(rule, lineno) for _, lineno, rule, _ in lint_repro.check_file(
-        path, observability=observability, in_src=in_src, in_engine=in_engine
+        path,
+        observability=observability,
+        in_src=in_src,
+        in_engine=in_engine,
+        in_service=in_service,
     )]
 
 
@@ -63,6 +74,40 @@ class TestObsImport:
     def test_observability_may_import_leaf_modules(self, tmp_path):
         source = "import repro.errors\n\nERRORS = repro.errors\n"
         assert "OBS-IMPORT" not in rules_for(tmp_path, source, observability=True)
+
+
+class TestServiceLayering:
+    SOURCE = "from repro.service import Server\n\nSERVER = Server\n"
+
+    def test_library_module_importing_the_service_is_flagged(self, tmp_path):
+        assert rules_for(tmp_path, self.SOURCE) == ["SERVICE-LAYERING"]
+
+    def test_submodule_imports_are_flagged_too(self, tmp_path):
+        source = "import repro.service.pool\n\nPOOL = repro.service.pool\n"
+        assert rules_for(tmp_path, source) == ["SERVICE-LAYERING"]
+
+    def test_lazy_function_level_import_is_also_flagged(self, tmp_path):
+        source = (
+            "def serve():\n"
+            "    from repro.service.http import Server\n"
+            "    return Server\n"
+        )
+        assert rules_for(tmp_path, source) == ["SERVICE-LAYERING"]
+
+    def test_the_service_package_itself_is_exempt(self, tmp_path):
+        assert rules_for(tmp_path, self.SOURCE, in_service=True) == []
+
+    def test_code_outside_src_is_exempt(self, tmp_path):
+        # Benchmarks, examples and tests consume the service freely.
+        assert rules_for(tmp_path, self.SOURCE, in_src=False) == []
+
+    def test_the_service_may_import_the_engine(self, tmp_path):
+        source = "import repro.engine.session\n\nSESSION = repro.engine.session\n"
+        assert rules_for(tmp_path, source, in_service=True) == []
+
+    def test_similarly_named_modules_are_untouched(self, tmp_path):
+        source = "import repro.services_v2\n\nX = repro.services_v2\n"
+        assert "SERVICE-LAYERING" not in rules_for(tmp_path, source)
 
 
 class TestSnapshotMutation:

@@ -28,6 +28,12 @@ Rules (each failure prints ``path:line: RULE message`` and exits 1):
   errors and turns a stopped query into a silently wrong one.  Catch
   the narrow exception (``sqlite3.Error``, ``GovernanceError``, ...) or
   re-raise after cleanup.
+* **SERVICE-LAYERING** — no module inside ``src/repro`` outside
+  ``src/repro/service`` may import ``repro.service``.  The service is
+  the topmost layer: it may import engine, governance and observability,
+  but the library underneath must stay servable without it (and the
+  top-level ``repro`` package must not re-export it), so an inverted
+  import can never make a query path depend on the HTTP stack.
 
 Run as ``python tools/lint_repro.py`` (lints ``src/repro``) or with
 explicit file/directory arguments.
@@ -139,7 +145,12 @@ def _used_names(tree: ast.Module) -> set:
 
 
 def check_file(
-    path: Path, *, observability: bool, in_src: bool, in_engine: bool = False
+    path: Path,
+    *,
+    observability: bool,
+    in_src: bool,
+    in_engine: bool = False,
+    in_service: bool = False,
 ) -> List[Finding]:
     try:
         source = path.read_text(encoding="utf-8")
@@ -163,6 +174,25 @@ def check_file(
                                 "OBS-IMPORT",
                                 f"observability module imports {name}; the "
                                 "observability layer must stay a leaf",
+                            )
+                        )
+
+    # SERVICE-LAYERING: the service is the top of the stack; the library
+    # underneath never imports it (lazy imports inside functions are
+    # violations too).
+    if in_src and not in_service:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                for name in _module_names(node):
+                    if name == "repro.service" or name.startswith("repro.service."):
+                        findings.append(
+                            (
+                                path,
+                                node.lineno,
+                                "SERVICE-LAYERING",
+                                f"library module imports {name}; repro.service "
+                                "is the topmost layer — nothing inside repro "
+                                "may import it back",
                             )
                         )
 
@@ -317,6 +347,7 @@ def lint_paths(paths: List[Path], root: Path) -> List[Finding]:
                     observability="/observability/" in relative,
                     in_src="/src/repro/" in relative,
                     in_engine="/src/repro/engine/" in relative,
+                    in_service="/src/repro/service/" in relative,
                 )
             )
     return findings
