@@ -864,6 +864,133 @@ def bench_governance_gate(repeats: int) -> Dict[str, List[dict]]:
     }
 
 
+#: Ceiling asserted by the CI smoke job: the plan-level dataflow pass
+#: (abstract interpretation + satisfiability pruning) may claim at most
+#: this share of prepared-statement setup time on the memoized path
+#: every re-prepare actually pays.
+DATAFLOW_OVERHEAD_PCT = 2.0
+
+#: Floor asserted by the CI smoke job: a statically-empty prepared
+#: statement short-circuits before the engine, so its warm execute must
+#: beat the satisfiable twin's by at least this factor.
+DATAFLOW_SHORT_CIRCUIT_FLOOR = 5.0
+
+#: prepare()/execute() calls per timed dataflow_gate sweep.
+DATAFLOW_SWEEP = 40
+
+
+def bench_dataflow_gate(repeats: int) -> Dict[str, List[dict]]:
+    """Dataflow-pass share of prepare time, and the short-circuit win.
+
+    Two measurements over one warm snapshot.  First, the prepare-time
+    share: a full ``prepare()`` sweep against a sweep of the session's
+    dataflow pass alone (``Connection._dataflow_query`` — the memoized
+    ``(text, generation)`` path every re-prepare pays; the cold abstract
+    interpretation is reported alongside for scale).  Second, the
+    short-circuit: a statically-empty prepared statement (constant range
+    contradiction) executes against its satisfiable twin — the empty
+    side returns its schema-only relation without invoking the engine,
+    so the ratio shows what the verdict saves.  The smoke job asserts
+    the ``DATAFLOW_OVERHEAD_PCT`` ceiling and the
+    ``DATAFLOW_SHORT_CIRCUIT_FLOOR`` floor.
+    """
+    import random
+
+    from repro.analysis.dataflow import analyze_plan
+    from repro.engine.database import Database as CatalogDatabase
+    from repro.planner.logical import build_logical_plan
+    from repro.sqlpgq.compiler import compile_query
+    from repro.sqlpgq.parser import parse_statement
+
+    repeats = max(repeats * 4, 20)
+    accounts, transfers = PREPARED_WORKLOAD
+    rng = random.Random(41)
+    names = [f"A{i}" for i in range(accounts)]
+    db = CatalogDatabase()
+    db.create_table("Account", ["iban"], [(name,) for name in names])
+    db.create_table(
+        "Transfer",
+        ["t_id", "src_iban", "tgt_iban", "ts", "amount"],
+        [
+            (f"T{i}", rng.choice(names), rng.choice(names), i, rng.randint(1, 1000))
+            for i in range(transfers)
+        ],
+    )
+    db.execute(PREPARED_DDL)
+    connection = db.connect(engine="planned")
+    connection.prepare(PREPARED_QUERY).close()  # warm plan cache + memos
+    query = compile_query(parse_statement(PREPARED_QUERY), connection.catalog)
+    cold_s = _time(
+        lambda: analyze_plan(build_logical_plan(query.output.pattern)),
+        DATAFLOW_SWEEP,
+        "dataflow_gate.cold",
+    )
+
+    def prepare_sweep() -> None:
+        for _ in range(DATAFLOW_SWEEP):
+            connection.prepare(PREPARED_QUERY).close()
+
+    def dataflow_sweep() -> None:
+        for _ in range(DATAFLOW_SWEEP):
+            connection._dataflow_query(query, PREPARED_QUERY)
+
+    # Interleaved best-of (same rationale as analysis_gate): the memo
+    # hit is sub-microsecond against a ~200us prepare, so both sides
+    # must sample the same machine conditions.
+    prepare_s = dataflow_s = float("inf")
+    for _ in range(repeats):
+        prepare_s = min(
+            prepare_s, _time(lambda: prepare_sweep(), 1, "dataflow_gate.prepare")
+        )
+        dataflow_s = min(
+            dataflow_s, _time(lambda: dataflow_sweep(), 1, "dataflow_gate.pass")
+        )
+    share_pct = round(dataflow_s / prepare_s * 100, 2)
+
+    empty = connection.prepare(
+        PREPARED_QUERY.replace(
+            "t.amount > :minimum", "t.amount > 900 AND t.amount < 10"
+        )
+    )
+    live = connection.prepare(PREPARED_QUERY.replace(":minimum", "500"))
+    assert empty.statically_empty and not live.statically_empty
+    assert empty.execute().rows == ()
+    len(live.execute())  # warm the closure's view/plan state
+
+    def empty_sweep() -> None:
+        for _ in range(DATAFLOW_SWEEP):
+            empty.execute()
+
+    def live_sweep() -> None:
+        # len() forces the streamed rows so the live side pays its full
+        # decode, matching what a caller consuming the result pays.
+        for _ in range(DATAFLOW_SWEEP):
+            len(live.execute())
+
+    empty_s = live_s = float("inf")
+    for _ in range(repeats):
+        empty_s = min(
+            empty_s, _time(lambda: empty_sweep(), 1, "dataflow_gate.empty")
+        )
+        live_s = min(live_s, _time(lambda: live_sweep(), 1, "dataflow_gate.live"))
+    connection.close()
+    return {
+        "dataflow_gate": [
+            {
+                "workload": f"prepared_session {accounts}/{transfers}",
+                "sweep": DATAFLOW_SWEEP,
+                "prepare_s": prepare_s,
+                "dataflow_pass_s": dataflow_s,
+                "cold_pass_s": cold_s * DATAFLOW_SWEEP,
+                "share_pct": share_pct,
+                "live_execute_s": live_s,
+                "empty_execute_s": empty_s,
+                "short_circuit_speedup": round(live_s / empty_s, 2),
+            }
+        ]
+    }
+
+
 def _print_table(title: str, rows: List[dict]) -> None:
     print(f"\n# {title}")
     if not rows:
@@ -902,6 +1029,7 @@ def main(argv=None) -> int:
     workloads.update(bench_observability_gate(repeats))
     workloads.update(bench_analysis_gate(repeats))
     workloads.update(bench_governance_gate(repeats))
+    workloads.update(bench_dataflow_gate(repeats))
 
     for name, rows in workloads.items():
         _print_table(name, rows)
@@ -995,6 +1123,31 @@ def main(argv=None) -> int:
             f"governance_gate {row['workload']}: the disabled-governance "
             f"stack adds {overhead}% to warm prepared execution "
             f"(ceiling {GOVERNANCE_OVERHEAD_PCT}%) [{status}]"
+        )
+    # Dataflow prepare-share ceiling + short-circuit floor (smoke and
+    # full): the plan-level abstract interpretation may claim at most
+    # DATAFLOW_OVERHEAD_PCT of prepare time, and a statically-empty
+    # prepared statement (never reaching the engine) must execute at
+    # least DATAFLOW_SHORT_CIRCUIT_FLOOR x faster than its satisfiable
+    # twin.
+    for row in workloads["dataflow_gate"]:
+        share = row["share_pct"]
+        above = share >= DATAFLOW_OVERHEAD_PCT
+        missed = missed or above
+        status = "ABOVE CEILING" if above else "ok"
+        print(
+            f"dataflow_gate {row['workload']}: the dataflow pass claims "
+            f"{share}% of prepare time "
+            f"(ceiling {DATAFLOW_OVERHEAD_PCT}%) [{status}]"
+        )
+        speedup = row["short_circuit_speedup"]
+        below = speedup < DATAFLOW_SHORT_CIRCUIT_FLOOR
+        missed = missed or below
+        status = "BELOW TARGET" if below else "ok"
+        print(
+            f"dataflow_gate {row['workload']}: statically-empty execution "
+            f"short-circuits at {speedup}x the satisfiable twin "
+            f"(floor {DATAFLOW_SHORT_CIRCUIT_FLOOR}x) [{status}]"
         )
     if args.smoke:
         return 1 if missed else 0

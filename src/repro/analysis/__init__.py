@@ -1,27 +1,45 @@
-"""Static analysis subsystem: semantic analyzer and plan verifier.
+"""Static analysis subsystem: semantic analyzer, dataflow, plan verifier.
 
 * :mod:`repro.analysis.semantic` — resolves labels, properties, graph and
-  table names against the catalog schema, infers parameter types, and
-  rejects ill-formed statements before compilation with
-  position-carrying diagnostics;
+  table names against the catalog schema, infers parameter types and the
+  result schema, and rejects ill-formed statements before compilation
+  with position-carrying diagnostics;
+* :mod:`repro.analysis.dataflow` — abstract interpretation over the
+  logical plan IR: satisfiability pruning (``prune_unsatisfiable``),
+  emptiness/cartesian/quantifier warnings (A008+), and the
+  statically-empty verdict the session layer short-circuits on;
 * :mod:`repro.analysis.verifier` — checks structural invariants on every
   optimizer rewrite and logical->physical lowering, enabled via
   ``Database(verify_plans=True)`` or ``REPRO_VERIFY_PLANS=1``;
 * :mod:`repro.analysis.diagnostics` — the diagnostic record and the
-  stable error-code registry.
+  stable error-code registry with per-code default severities.
 """
 
-from repro.analysis.diagnostics import ERROR_CODES, Diagnostic
+from repro.analysis.dataflow import (
+    PlanDataflow,
+    analyze_plan,
+    condition_satisfiable,
+    plan_parameters,
+    prune_unsatisfiable,
+)
+from repro.analysis.diagnostics import (
+    ERROR_CODES,
+    WARNING_CODES,
+    Diagnostic,
+    default_severity,
+)
 from repro.analysis.semantic import (
     GraphSchemaSummary,
     QueryAnalysis,
     analyze_ddl,
     analyze_query,
     graph_schema_summary,
+    strict_analysis_enabled,
 )
 from repro.analysis.verifier import (
     check_plan_sanity,
     condition_atoms,
+    contains_empty,
     physical_variables,
     verification_enabled,
     verify_physical_result,
@@ -32,13 +50,22 @@ __all__ = [
     "Diagnostic",
     "ERROR_CODES",
     "GraphSchemaSummary",
+    "PlanDataflow",
     "QueryAnalysis",
+    "WARNING_CODES",
     "analyze_ddl",
+    "analyze_plan",
     "analyze_query",
     "check_plan_sanity",
     "condition_atoms",
+    "condition_satisfiable",
+    "contains_empty",
+    "default_severity",
     "graph_schema_summary",
     "physical_variables",
+    "plan_parameters",
+    "prune_unsatisfiable",
+    "strict_analysis_enabled",
     "verification_enabled",
     "verify_physical_result",
     "verify_rewrite",

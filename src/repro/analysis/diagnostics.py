@@ -23,22 +23,60 @@ ERROR_CODES: Mapping[str, str] = {
     "A005": "arity mismatch",
     "A006": "parameter type conflict",
     "A007": "never-satisfiable predicate",
+    # A008+ are produced by the plan-level abstract interpreter
+    # (repro.analysis.dataflow), not the front-end semantic analyzer.
+    # They default to "warning" severity: the query is well-formed, the
+    # dataflow pass merely proved something suspicious about what it can
+    # return.  ``strict_analysis`` promotes them to errors.
+    "A008": "statically-empty subplan",
+    "A009": "contradictory predicate",
+    "A010": "cartesian product between pattern variables",
+    "A011": "unused parameter binding",
+    "A012": "quantifier bound exceeds graph diameter",
+    "A013": "label matches no graph element",
+    "A014": "provably unreachable pattern endpoints",
 }
+
+#: Codes whose findings default to ``warning`` severity (the dataflow
+#: codes): the statement still prepares and executes unless
+#: ``strict_analysis`` promotes them.  A001–A007 stay hard errors.
+WARNING_CODES = frozenset(
+    {"A008", "A009", "A010", "A011", "A012", "A013", "A014"}
+)
+
+#: The two diagnostic severities, in increasing order of gravity.
+SEVERITIES = ("warning", "error")
+
+
+def default_severity(code: str) -> str:
+    """The severity a diagnostic of ``code`` carries unless overridden."""
+    return "warning" if code in WARNING_CODES else "error"
 
 
 @dataclass(frozen=True)
 class Diagnostic:
-    """One analyzer finding: code, message, source span, optional hint."""
+    """One analyzer finding: code, message, source span, optional hint.
+
+    ``severity`` defaults per code (A001–A007 are errors, the dataflow
+    codes A008–A014 are warnings) and is carried structurally — the
+    rendered text is unchanged for error-severity findings so the golden
+    diagnostics stay stable.
+    """
 
     code: str
     message: str
     line: Optional[int] = None
     column: Optional[int] = None
     hint: Optional[str] = None
+    severity: str = ""
 
     def __post_init__(self) -> None:
         if self.code not in ERROR_CODES:
             raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if not self.severity:
+            object.__setattr__(self, "severity", default_severity(self.code))
+        elif self.severity not in SEVERITIES:
+            raise ValueError(f"unknown diagnostic severity {self.severity!r}")
 
     @property
     def span(self) -> Optional[Tuple[int, int]]:
@@ -53,7 +91,8 @@ class Diagnostic:
             location = f" at line {self.line}"
             if self.column is not None:
                 location += f", column {self.column}"
-        text = f"{self.code}: {self.message}{location}"
+        prefix = "warning " if self.severity == "warning" else ""
+        text = f"{prefix}{self.code}: {self.message}{location}"
         if self.hint:
             text += f" (hint: {self.hint})"
         return text
@@ -61,5 +100,26 @@ class Diagnostic:
     def __str__(self) -> str:
         return self.render()
 
+    def to_payload(self) -> dict:
+        """JSON-ready structured form (service dry-run, Explain payloads)."""
+        payload = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.line is not None:
+            payload["line"] = self.line
+        if self.column is not None:
+            payload["column"] = self.column
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
 
-__all__ = ["Diagnostic", "ERROR_CODES"]
+
+__all__ = [
+    "Diagnostic",
+    "ERROR_CODES",
+    "SEVERITIES",
+    "WARNING_CODES",
+    "default_severity",
+]

@@ -17,6 +17,8 @@ enforced by ``benchmarks/bench_planner.py`` (``analysis_gate``).
 
 from __future__ import annotations
 
+import os
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -24,7 +26,7 @@ from itertools import islice
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
-from repro.errors import AnalysisError, SchemaError
+from repro.errors import AnalysisError, PGQAnalysisError, SchemaError
 from repro.relational.schema import Schema
 from repro.sqlpgq.ast import (
     BooleanExpression,
@@ -48,6 +50,19 @@ ANY = "any"
 
 #: Rows sampled per property column when inferring types from data.
 _TYPE_SAMPLE_LIMIT = 20
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def strict_analysis_enabled(flag: Optional[bool] = None) -> bool:
+    """Whether analyzer warnings are promoted to hard failures: an
+    explicit flag (``Database(strict_analysis=...)`` /
+    ``connect(strict_analysis=...)``) wins, otherwise the
+    ``REPRO_STRICT_ANALYSIS`` environment variable decides — the same
+    contract as :func:`repro.analysis.verifier.verification_enabled`."""
+    if flag is not None:
+        return flag
+    return os.environ.get("REPRO_STRICT_ANALYSIS", "").strip().lower() in _TRUTHY
 
 
 # --------------------------------------------------------------------------- #
@@ -113,22 +128,25 @@ def _build_summary(definition: GraphDefinition, schema: Schema) -> GraphSchemaSu
 #: weakref guards against id reuse after garbage collection.
 _SUMMARY_MEMO: "OrderedDict[int, Tuple[weakref.ref, GraphSchemaSummary]]" = OrderedDict()
 _SUMMARY_MEMO_LIMIT = 128
+_SUMMARY_MEMO_LOCK = threading.Lock()
 
 
 def graph_schema_summary(definition: GraphDefinition, schema: Schema) -> GraphSchemaSummary:
     """The (memoized) label/property summary of a compiled graph definition."""
     key = id(definition)
-    cached = _SUMMARY_MEMO.get(key)
-    if cached is not None:
-        ref, summary = cached
-        if ref() is definition:
-            _SUMMARY_MEMO.move_to_end(key)
-            return summary
-        del _SUMMARY_MEMO[key]
+    with _SUMMARY_MEMO_LOCK:
+        cached = _SUMMARY_MEMO.get(key)
+        if cached is not None:
+            ref, summary = cached
+            if ref() is definition:
+                _SUMMARY_MEMO.move_to_end(key)
+                return summary
+            del _SUMMARY_MEMO[key]
     summary = _build_summary(definition, schema)
-    _SUMMARY_MEMO[key] = (weakref.ref(definition), summary)
-    while len(_SUMMARY_MEMO) > _SUMMARY_MEMO_LIMIT:
-        _SUMMARY_MEMO.popitem(last=False)
+    with _SUMMARY_MEMO_LOCK:
+        _SUMMARY_MEMO[key] = (weakref.ref(definition), summary)
+        while len(_SUMMARY_MEMO) > _SUMMARY_MEMO_LIMIT:
+            _SUMMARY_MEMO.popitem(last=False)
     return summary
 
 
@@ -182,15 +200,43 @@ class QueryAnalysis:
     diagnostics: Tuple[Diagnostic, ...] = ()
     #: ``:name`` -> inferred type ("number" | "string" | "any").
     parameter_types: Mapping[str, str] = field(default_factory=dict)
+    #: Inferred result schema: ``(column name, type)`` per output column,
+    #: in projection order.  Types are the flat value lattice plus
+    #: ``"node id"`` / ``"edge id"`` for identifier outputs.
+    result_schema: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "warning")
 
     @property
     def ok(self) -> bool:
-        return not self.diagnostics
+        return not self.errors
 
-    def raise_if_failed(self) -> "QueryAnalysis":
-        if self.diagnostics:
-            raise AnalysisError(self.diagnostics)
+    def raise_if_failed(self, *, strict: bool = False) -> "QueryAnalysis":
+        """Raise on error diagnostics; under ``strict`` also promote
+        warning-severity findings to :class:`PGQAnalysisError`."""
+        errors = self.errors
+        if errors:
+            raise AnalysisError(errors)
+        if strict and self.diagnostics:
+            raise PGQAnalysisError(self.diagnostics)
         return self
+
+    def merged(self, extra: Tuple[Diagnostic, ...]) -> "QueryAnalysis":
+        """This analysis with ``extra`` diagnostics appended (plan-level
+        dataflow findings attach to the front-end verdict this way)."""
+        if not extra:
+            return self
+        return QueryAnalysis(
+            self.diagnostics + tuple(extra),
+            dict(self.parameter_types),
+            self.result_schema,
+        )
 
 
 def _known_hint(kind: str, known: FrozenSet[str], limit: int = 6) -> Optional[str]:
@@ -286,7 +332,29 @@ class _QueryAnalyzer:
         self._check_columns()
         self._check_select_list()
         self._check_satisfiability()
-        return QueryAnalysis(tuple(self.diagnostics), dict(self.parameter_types))
+        return QueryAnalysis(
+            tuple(self.diagnostics),
+            dict(self.parameter_types),
+            self._infer_result_schema(),
+        )
+
+    def _infer_result_schema(self) -> Tuple[Tuple[str, str], ...]:
+        """``(name, type)`` per output column, honoring the outer SELECT list."""
+        columns = list(self.query.columns)
+        if self.query.select_items and not self.query.select_star:
+            by_name = {column.name: column for column in columns}
+            columns = [by_name[item] for item in self.query.select_items if item in by_name]
+        schema: List[Tuple[str, str]] = []
+        for column in columns:
+            if column.key is None:
+                kind = self.kinds.get(column.variable)
+                inferred = f"{kind} id" if kind in ("node", "edge") else "id"
+            elif self.summary is not None:
+                inferred = _property_type(self.summary, column.key, self.database)
+            else:
+                inferred = ANY
+            schema.append((column.name, inferred))
+        return tuple(schema)
 
     # ------------------------------------------------------------------ #
     def _resolve_graph(self) -> None:
@@ -521,6 +589,7 @@ class _QueryAnalyzer:
 #: diagnostics always carry the positions of the statement actually parsed.
 _ANALYSIS_MEMO: "OrderedDict[Tuple[GraphTableQuery, int, int], Tuple[weakref.ref, Optional[weakref.ref], QueryAnalysis]]" = OrderedDict()
 _ANALYSIS_MEMO_LIMIT = 256
+_ANALYSIS_MEMO_LOCK = threading.Lock()
 
 
 def analyze_query(
@@ -537,29 +606,31 @@ def analyze_query(
     """
     key: Optional[Tuple[GraphTableQuery, int, int]]
     key = (query, id(catalog), id(database))
-    try:
-        cached = _ANALYSIS_MEMO.get(key)
-    except TypeError:  # hand-built AST holding an unhashable literal
-        key = None
-        cached = None
-    if cached is not None:
-        catalog_ref, database_ref, analysis = cached
-        live = catalog_ref() is catalog and (
-            database is None if database_ref is None else database_ref() is database
-        )
-        if live:
-            _ANALYSIS_MEMO.move_to_end(key)
-            return analysis
-        del _ANALYSIS_MEMO[key]
+    with _ANALYSIS_MEMO_LOCK:
+        try:
+            cached = _ANALYSIS_MEMO.get(key)
+        except TypeError:  # hand-built AST holding an unhashable literal
+            key = None
+            cached = None
+        if cached is not None:
+            catalog_ref, database_ref, analysis = cached
+            live = catalog_ref() is catalog and (
+                database is None if database_ref is None else database_ref() is database
+            )
+            if live:
+                _ANALYSIS_MEMO.move_to_end(key)
+                return analysis
+            del _ANALYSIS_MEMO[key]
     analysis = _QueryAnalyzer(query, catalog, database).run()
-    if key is not None and analysis.ok:
-        _ANALYSIS_MEMO[key] = (
-            weakref.ref(catalog),
-            None if database is None else weakref.ref(database),
-            analysis,
-        )
-        while len(_ANALYSIS_MEMO) > _ANALYSIS_MEMO_LIMIT:
-            _ANALYSIS_MEMO.popitem(last=False)
+    if key is not None and not analysis.diagnostics:
+        with _ANALYSIS_MEMO_LOCK:
+            _ANALYSIS_MEMO[key] = (
+                weakref.ref(catalog),
+                None if database is None else weakref.ref(database),
+                analysis,
+            )
+            while len(_ANALYSIS_MEMO) > _ANALYSIS_MEMO_LIMIT:
+                _ANALYSIS_MEMO.popitem(last=False)
     return analysis
 
 
@@ -657,4 +728,5 @@ __all__ = [
     "analyze_ddl",
     "analyze_query",
     "graph_schema_summary",
+    "strict_analysis_enabled",
 ]

@@ -36,6 +36,7 @@ from repro.patterns.conditions import HasLabel
 from repro.planner.logical import (
     BindEndpoint,
     EdgeScan,
+    EmptyPlan,
     FilterStep,
     FixpointStep,
     JoinStep,
@@ -196,6 +197,13 @@ def check_plan_sanity(
 # --------------------------------------------------------------------------- #
 # Rewrite verification
 # --------------------------------------------------------------------------- #
+def contains_empty(plan: LogicalPlan) -> bool:
+    """Whether a plan contains any :class:`EmptyPlan` leaf."""
+    if isinstance(plan, EmptyPlan):
+        return True
+    return any(contains_empty(child) for child in plan.children())
+
+
 def verify_rewrite(
     rule: str,
     before: LogicalPlan,
@@ -203,12 +211,17 @@ def verify_rewrite(
     needed: FrozenSet[str],
     *,
     may_prune: bool = False,
+    may_empty: bool = False,
 ) -> LogicalPlan:
     """Check one logical->logical rewrite; returns ``after`` on success.
 
     With ``may_prune`` the rewrite may drop variables nothing needs (the
     pruning pass); otherwise the bound variable set must be preserved
-    exactly.  Condition atoms must survive every pass.
+    exactly.  Condition atoms must survive every pass — except under
+    ``may_empty`` (the satisfiability-pruning pass), where atoms of a
+    subplan proved empty legitimately vanish with it; the relaxation only
+    applies when the rewritten plan actually carries an ``EmptyPlan``
+    leaf standing in for the eliminated subplan.
     """
     before_vars = before.variables()
     after_vars = after.variables()
@@ -231,7 +244,7 @@ def verify_rewrite(
             f"{sorted(after_vars)}",
         )
     missing = condition_atoms(before) - condition_atoms(after)
-    if missing:
+    if missing and not (may_empty and contains_empty(after)):
         raise PlanVerificationError(
             rule, f"rewrite dropped {len(missing)} filter atom(s): {sorted(map(repr, missing))}"
         )
@@ -285,6 +298,7 @@ def verify_physical_result(plan: LogicalPlan, columns, rows) -> None:
 __all__ = [
     "check_plan_sanity",
     "condition_atoms",
+    "contains_empty",
     "physical_variables",
     "verification_enabled",
     "verify_physical_result",

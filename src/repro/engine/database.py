@@ -420,6 +420,7 @@ class Database:
         metrics: Optional[MetricsRegistry] = None,
         slow_query_seconds: Optional[float] = None,
         verify_plans: Optional[bool] = None,
+        strict_analysis: Optional[bool] = None,
         default_budget: Optional[QueryBudget] = None,
         max_concurrent_queries: Optional[int] = None,
         max_admission_queue: Optional[int] = None,
@@ -444,6 +445,11 @@ class Database:
         :mod:`repro.analysis.verifier` on (``True``) or off (``False``)
         for every connection of this database; the default ``None``
         defers to the ``REPRO_VERIFY_PLANS`` environment variable.
+        ``strict_analysis`` mirrors that contract for the analyzer's
+        warning-severity findings (the A008+ dataflow codes): ``True``
+        promotes them to :class:`~repro.errors.PGQAnalysisError` at
+        prepare time on every connection, ``None`` defers to
+        ``REPRO_STRICT_ANALYSIS``.
 
         ``default_budget`` is a :class:`~repro.governance.QueryBudget`
         every query of every connection runs under; per-call ``budget=``
@@ -472,6 +478,7 @@ class Database:
         self._metrics = metrics if metrics is not None else default_registry()
         self.slow_query_seconds = slow_query_seconds
         self._verify_plans = verify_plans
+        self._strict_analysis = strict_analysis
         #: Database-wide default budget; ``Connection.execute`` overlays
         #: per-call budgets on top of it field-wise.
         self.default_budget = default_budget
@@ -678,13 +685,15 @@ class Database:
         The connection is pinned to ``snapshot`` (default: the current
         version) — later DDL on this database does not affect it.
         ``engine_options`` are forwarded to the backend factory verbatim;
-        a database-level ``verify_plans`` setting is injected unless the
-        caller passes their own.
+        database-level ``verify_plans`` and ``strict_analysis`` settings
+        are injected unless the caller passes their own.
         """
         from repro.engine.session import Connection
 
         if self._verify_plans is not None:
             engine_options.setdefault("verify_plans", self._verify_plans)
+        if self._strict_analysis is not None:
+            engine_options.setdefault("strict_analysis", self._strict_analysis)
         with self._lock:
             self._check_open()
             pinned = snapshot if snapshot is not None else self.snapshot()

@@ -123,6 +123,11 @@ class PlannedEngine(PGQEvaluator):
         #: path) and the sharded-fixpoint knobs, threaded to every
         #: executor this engine builds.
         self.compact = compact
+        # Columnar sessions materialize views straight into the compact
+        # encoding (base-class hook): the dense snapshot is built on the
+        # cold view path and shared through the snapshot cache instead of
+        # being encoded lazily at first execution.
+        self.materialize_compact = compact
         self.fixpoint_shards = fixpoint_shards
         self.parallel_threshold = parallel_threshold
         #: Plan-invariant verification (``Database(verify_plans=True)`` /

@@ -51,6 +51,7 @@ by :mod:`repro.engine`:
 
 from __future__ import annotations
 
+import threading
 import warnings
 from typing import Callable, Dict, Optional, Protocol, Tuple, runtime_checkable
 
@@ -122,6 +123,7 @@ class LegacyEngineAdapter:
 EngineFactory = Callable[..., Engine]
 
 _REGISTRY: Dict[str, EngineFactory] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def register_engine(name: str, factory: EngineFactory, *, replace: bool = False) -> None:
@@ -130,14 +132,16 @@ def register_engine(name: str, factory: EngineFactory, *, replace: bool = False)
     Re-registering an existing name requires ``replace=True`` so typos do
     not silently shadow a built-in backend.
     """
-    if not replace and name in _REGISTRY:
-        raise EngineError(f"engine {name!r} is already registered")
-    _REGISTRY[name] = factory
+    with _REGISTRY_LOCK:
+        if not replace and name in _REGISTRY:
+            raise EngineError(f"engine {name!r} is already registered")
+        _REGISTRY[name] = factory
 
 
 def unregister_engine(name: str) -> None:
     """Remove a registered engine (tests of the registry itself)."""
-    _REGISTRY.pop(name, None)
+    with _REGISTRY_LOCK:
+        _REGISTRY.pop(name, None)
 
 
 def available_engines() -> Tuple[str, ...]:

@@ -59,7 +59,12 @@ from typing import (
     Union,
 )
 
-from repro.analysis.semantic import QueryAnalysis, analyze_query
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.semantic import (
+    QueryAnalysis,
+    analyze_query,
+    strict_analysis_enabled,
+)
 from repro.errors import (
     ConnectionClosedError,
     EngineError,
@@ -90,7 +95,7 @@ from repro.observability.tracing import (
     deactivate,
     trace_span,
 )
-from repro.parameters import Bindings, merge_bindings
+from repro.parameters import Bindings, merge_bindings, require_bindings
 from repro.pgq.queries import Query
 from repro.relational.database import Database
 from repro.relational.relation import Relation
@@ -491,6 +496,15 @@ class Explain:
     #: Empty when the statement declares no parameters or the connection
     #: was opened with ``analyze=False``.
     diagnostics: Tuple[str, ...] = ()
+    #: Structured analysis diagnostics (code, severity, position): the
+    #: semantic analyzer's findings merged with the plan-level dataflow
+    #: warnings (A008+).  A statement that *prepares* can still carry
+    #: warning-severity entries here.
+    analysis: Tuple[Diagnostic, ...] = ()
+    #: Inferred result schema: ``(column name, type)`` per output column,
+    #: from the analyzer's type lattice plus ``node id`` / ``edge id``
+    #: for identifier outputs.  Empty with ``analyze=False``.
+    schema: Tuple[Tuple[str, str], ...] = ()
 
     def __str__(self) -> str:
         text = self.plan
@@ -525,8 +539,14 @@ class Explain:
                 f"views_built={self.shared.get('views_built', 0)} "
                 f"streamed={self.streamed}"
             )
+        if self.schema:
+            text += "\n-- schema: " + ", ".join(
+                f"{name} {kind}" for name, kind in self.schema
+            )
         if self.diagnostics:
             text += "\n-- analyzer: " + "; ".join(self.diagnostics)
+        for diagnostic in self.analysis:
+            text += "\n-- " + diagnostic.render()
         if self.analyze is not None:
             text += "\n-- EXPLAIN ANALYZE\n" + self.analyze.render()
         return text
@@ -558,6 +578,16 @@ class PreparedStatement:
         #: Inferred parameter types (``name -> "number" | "string" | "any"``)
         #: from the semantic analyzer; empty with ``analyze=False``.
         self.parameter_types: Dict[str, str] = {}
+        #: The dataflow pass proved the statement can yield no rows; set
+        #: at compile time and consumed by ``_run_governed`` to answer
+        #: without invoking the physical executor (any backend).
+        self.statically_empty = False
+        #: Diagnostics from the prepare-time analysis (semantic findings
+        #: merged with the dataflow warnings), for result surfaces.
+        self.analysis_diagnostics: Tuple[Diagnostic, ...] = ()
+        #: Inferred ``(column, type)`` result schema from the semantic
+        #: analyzer; empty with ``analyze=False``.
+        self.result_schema: Tuple[Tuple[str, str], ...] = ()
         #: Completed ``execute`` calls on this statement.
         self.executions = 0
         self._ensure_compiled()
@@ -580,6 +610,21 @@ class PreparedStatement:
         with trace_span("analyze", engine=session._engine_name):
             analysis = session._analyze_statement(self._statement, self.text)
         query = compile_query(self._statement, session.catalog)
+        # The plan-level abstract interpretation runs stats-free here (the
+        # session layer is backend-agnostic): range contradictions and
+        # structural emptiness are provable without graph data, and the
+        # verdict short-circuits execution on every backend.
+        with trace_span("dataflow", engine=session._engine_name):
+            flow = session._dataflow_query(query, self.text)
+        self.statically_empty = flow.statically_empty
+        if analysis is not None:
+            merged = analysis.merged(flow.diagnostics)
+            self.analysis_diagnostics = merged.diagnostics
+            self.result_schema = analysis.result_schema
+            merged.raise_if_failed(strict=session._strict_analysis)
+        else:
+            self.analysis_diagnostics = flow.diagnostics
+            self.result_schema = ()
         with trace_span("prepare", engine=session._engine_name):
             self._compiled = session._get_engine().prepare(query)
         self._generation = session._generation
@@ -685,6 +730,23 @@ class PreparedStatement:
         try:
             with session._lock, activate_governor(governor):
                 self._ensure_compiled()
+                if self.statically_empty:
+                    # The dataflow pass proved zero rows at compile time:
+                    # answer directly, never touching the engine.  Binding
+                    # checks still apply — a missing parameter is a caller
+                    # bug regardless of the proof.
+                    require_bindings(self.parameter_names, merged)
+                    with trace_span("execute") as span:
+                        span.tag(rows=0, statically_empty=True)
+                        if governor is not None:
+                            governor.count_output(0)
+                        result = session._result_for(
+                            self._statement,
+                            Relation(len(self._statement.columns), ()),
+                        )
+                        if governor is not None:
+                            result._cancel_token = governor.token
+                        return result
                 stream = getattr(self._compiled, "execute_stream", None)
                 with trace_span("execute") as span:
                     if stream is not None:
@@ -788,6 +850,7 @@ class Connection:
         max_repetitions: Optional[int] = None,
         tracer: Optional[Tracer] = None,
         analyze: bool = True,
+        strict_analysis: Optional[bool] = None,
         **engine_options,
     ) -> None:
         """``engine_options`` are forwarded to the backend factory verbatim
@@ -797,7 +860,10 @@ class Connection:
         ``tracer`` overrides the owning database's query-lifecycle tracer
         for this connection only.  ``analyze=False`` skips the semantic
         analyzer (statements go straight from parse to compile, restoring
-        the pre-analyzer error behavior).
+        the pre-analyzer error behavior).  ``strict_analysis`` promotes
+        analyzer *warnings* (the A008+ dataflow codes) to
+        :class:`~repro.errors.PGQAnalysisError` at prepare time; ``None``
+        defers to the ``REPRO_STRICT_ANALYSIS`` environment variable.
         """
         engine_factory(engine)  # fail fast on unknown backend names
         self._owner = database
@@ -806,6 +872,7 @@ class Connection:
         self._engine_name = engine
         self._max_repetitions = max_repetitions
         self._analyze = analyze
+        self._strict_analysis = strict_analysis_enabled(strict_analysis)
         self._engine: Optional[Engine] = None
         #: The query-lifecycle tracer checked at statement setup; the
         #: database default is the disabled NULL_TRACER singleton.
@@ -844,6 +911,10 @@ class Connection:
         #: generation can skip the analyzer walk entirely (string hashes
         #: are cached, so a hit is one dict lookup).
         self._analysis_memo: "OrderedDict[Tuple[str, int], QueryAnalysis]" = OrderedDict()
+        #: Dataflow verdicts keyed the same way: ``PlanDataflow`` is a
+        #: frozen value object, so one abstract interpretation per
+        #: ``(text, generation)`` serves every re-prepare of that text.
+        self._dataflow_memo: "OrderedDict[Tuple[str, int], Any]" = OrderedDict()
         self._prepared_executions = 0
         self._prepared_reuse = 0
         #: Explicit ``prepare()`` handles, closed with the connection so
@@ -940,6 +1011,34 @@ class Connection:
             while len(self._analysis_memo) > 128:
                 self._analysis_memo.popitem(last=False)
         return analysis
+
+    def _dataflow_query(self, query: Query, text: Optional[str] = None):
+        """Plan-level abstract interpretation of a compiled query.
+
+        Runs the stats-free dataflow pass over the direct lowering of the
+        MATCH pattern: one small plan build plus one walk, no relation
+        evaluated.  (The planned engine additionally runs the stats-backed
+        ``prune_unsatisfiable`` rewrite inside its optimizer.)  Verdicts
+        memoize per ``(text, generation)`` like the analyzer's — the pass
+        depends only on the statement and the snapshot-pinned schema, so
+        a re-prepare of the same text costs one dict hit.
+        """
+        key = None if text is None else (text, self._generation)
+        if key is not None:
+            cached = self._dataflow_memo.get(key)
+            if cached is not None:
+                self._dataflow_memo.move_to_end(key)
+                return cached
+        from repro.analysis.dataflow import analyze_plan
+        from repro.planner.logical import build_logical_plan
+
+        plan = build_logical_plan(query.output.pattern)
+        flow = analyze_plan(plan)
+        if key is not None:
+            self._dataflow_memo[key] = flow
+            while len(self._dataflow_memo) > 128:
+                self._dataflow_memo.popitem(last=False)
+        return flow
 
     def _retain_snapshot(self, snapshot: "Snapshot") -> None:
         """Register this connection as a live user of the snapshot's
@@ -1522,7 +1621,16 @@ class Connection:
                 f"parameter :{name} inferred {kind}"
                 for name, kind in sorted(analysis.parameter_types.items())
             )
-        plan_text = compile_to_plan(statement, self.catalog).describe()
+        compiled = compile_to_plan(statement, self.catalog)
+        from repro.analysis.dataflow import analyze_plan
+
+        flow = analyze_plan(compiled.logical)
+        analysis_diags: Tuple[Diagnostic, ...] = flow.diagnostics
+        schema: Tuple[Tuple[str, str], ...] = ()
+        if analysis is not None:
+            analysis_diags = analysis.merged(flow.diagnostics).diagnostics
+            schema = analysis.result_schema
+        plan_text = compiled.describe()
         counters: Dict[str, float] = {}
         cache: Dict[str, float] = {}
         engine = self._engine
@@ -1561,6 +1669,8 @@ class Connection:
             shared=snapshot.cache.stats(),
             streamed=self._streamed_results,
             diagnostics=notes,
+            analysis=analysis_diags,
+            schema=schema,
         )
 
     def evaluate(self, query: Query, bindings: Optional[Bindings] = None) -> Relation:

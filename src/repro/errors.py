@@ -85,6 +85,18 @@ class AnalysisError(QueryError):
         super().__init__("\n".join(d.render() for d in self.diagnostics))
 
 
+class PGQAnalysisError(AnalysisError):
+    """Analyzer *warnings* promoted to a hard failure by strict mode.
+
+    Raised instead of plain :class:`AnalysisError` when
+    ``Database(strict_analysis=True)`` (or ``REPRO_STRICT_ANALYSIS=1``)
+    promotes warning-severity dataflow diagnostics (codes A008–A014) to
+    errors.  Kept as a distinct subclass so callers can opt into strict
+    mode and still distinguish "your query is wrong" (plain
+    ``AnalysisError``) from "your query is suspicious" (this class).
+    """
+
+
 class AnalysisSchemaError(AnalysisError, SchemaError):
     """Analyzer rejection of DDL that violates the catalog schema.
 

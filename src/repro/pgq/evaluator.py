@@ -44,7 +44,7 @@ from repro.pgq.queries import (
     query_parameters,
 )
 from repro.graph.property_graph import PropertyGraph
-from repro.pgq.views import materialize_graph
+from repro.pgq.views import materialize_compact_graph, materialize_graph
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 
@@ -153,6 +153,14 @@ class PGQEvaluator:
     :class:`~repro.errors.PatternError` (``None`` = unbounded, the paper's
     semantics — unbounded repetition still terminates by saturation).
     """
+
+    #: Matcher-interface hook: engines whose matchers execute on the
+    #: compact columnar encoding set this so views materialize straight
+    #: into it (the encode happens on the cold view path, while the rows
+    #: are cache-hot, instead of lazily mid-query under the executor's
+    #: encode lock).  The boxed oracle leaves it off and never pays for
+    #: an encoding it would not read.
+    materialize_compact: bool = False
 
     def __init__(
         self,
@@ -394,7 +402,13 @@ class PGQEvaluator:
             view_relations = tuple(self._eval(source) for source in sources)
             if self.statistics is not None:
                 self.statistics.intermediate_rows += sum(len(r) for r in view_relations)
-            graph, identifier_arity = materialize_graph(view_relations, max_arity)
+            if self.materialize_compact:
+                graph, identifier_arity, encoded = materialize_compact_graph(
+                    view_relations, max_arity
+                )
+                span.tag(compact_encode_s=round(encoded.encode_seconds, 6))
+            else:
+                graph, identifier_arity = materialize_graph(view_relations, max_arity)
             span.tag(nodes=graph.node_count(), edges=graph.edge_count())
             if self.statistics is not None:
                 self.statistics.views_built += 1

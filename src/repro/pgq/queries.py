@@ -17,6 +17,7 @@ be pinned to ``PGQ_n`` (Section 6.2).
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -237,10 +238,11 @@ def query_parameters(query: Query) -> FrozenSet[str]:
     execution, so the tree walk runs once per statement, not per call.
     """
     key = id(query)
-    entry = _PARAMETERS_MEMO.get(key)
-    if entry is not None and entry[0]() is query:
-        _PARAMETERS_MEMO.move_to_end(key)
-        return entry[1]
+    with _PARAMETERS_MEMO_LOCK:
+        entry = _PARAMETERS_MEMO.get(key)
+        if entry is not None and entry[0]() is query:
+            _PARAMETERS_MEMO.move_to_end(key)
+            return entry[1]
     names: set = set()
     for node in iter_queries(query):
         if isinstance(node, Select):
@@ -258,9 +260,10 @@ def query_parameters(query: Query) -> FrozenSet[str]:
         elif isinstance(node, GraphPattern):
             names |= pattern_parameters(node.output.pattern)
     result = frozenset(names)
-    _PARAMETERS_MEMO[key] = (weakref.ref(query), result)
-    if len(_PARAMETERS_MEMO) > _PARAMETERS_MEMO_MAX:
-        _PARAMETERS_MEMO.popitem(last=False)
+    with _PARAMETERS_MEMO_LOCK:
+        _PARAMETERS_MEMO[key] = (weakref.ref(query), result)
+        if len(_PARAMETERS_MEMO) > _PARAMETERS_MEMO_MAX:
+            _PARAMETERS_MEMO.popitem(last=False)
     return result
 
 
@@ -270,6 +273,7 @@ def query_parameters(query: Query) -> FrozenSet[str]:
 #: recycled, the identity check above rejects the stale entry.
 _PARAMETERS_MEMO: "OrderedDict[int, Tuple[weakref.ref, FrozenSet[str]]]" = OrderedDict()
 _PARAMETERS_MEMO_MAX = 256
+_PARAMETERS_MEMO_LOCK = threading.Lock()
 
 
 def bind_query(query: Query, bindings: Bindings) -> Query:

@@ -311,6 +311,23 @@ def materialize_graph(
     return pg_view_exact(relations, arity), arity
 
 
+def materialize_compact_graph(
+    relations: Sequence[Relation], max_arity: Optional[int] = None
+):
+    """``materialize_graph`` straight into the compact encoding.
+
+    Returns ``(graph, identifier arity, compact)`` with the dense
+    integer-ID snapshot (:class:`~repro.graph.compact.CompactGraph`)
+    built eagerly, while the freshly assembled graph is still cache-hot
+    — instead of lazily at first columnar execution, mid-query and under
+    the executor's encode lock.  This is the cold view path of
+    planner-only sessions; boxed backends keep :func:`materialize_graph`
+    and never pay for the encoding.
+    """
+    graph, arity = materialize_graph(relations, max_arity)
+    return graph, arity, graph.compact()
+
+
 def graph_to_view(graph: PropertyGraph) -> ViewRelations:
     """Encode a property graph back into its canonical six relations.
 

@@ -42,6 +42,7 @@ from repro.patterns.conditions import (
 from repro.planner.logical import (
     BindEndpoint,
     EdgeScan,
+    EmptyPlan,
     FilterStep,
     FixpointStep,
     JoinStep,
@@ -116,6 +117,8 @@ def _scan_estimate(base: int, labeled_counts: List[int]) -> float:
 
 def estimate_cardinality(plan: LogicalPlan, stats: GraphStatistics) -> float:
     """Estimated number of binding-table rows ``plan`` produces."""
+    if isinstance(plan, EmptyPlan):
+        return 0.0
     if isinstance(plan, NodeScan):
         estimate = _scan_estimate(
             stats.node_count, [stats.labeled_node_count(label) for label in plan.labels]

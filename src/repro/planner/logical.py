@@ -159,6 +159,25 @@ class FilterStep(LogicalPlan):
 
 
 @dataclass(frozen=True)
+class EmptyPlan(LogicalPlan):
+    """A provably-empty relation with a fixed schema.
+
+    Produced only by the optimizer's ``prune_unsatisfiable`` rewrite
+    (never by lowering): when the dataflow pass proves a subplan can
+    yield no rows, the subplan is replaced by this leaf.  ``schema``
+    records the variables the replaced subplan would have bound, so the
+    variable-set invariant checked by the plan verifier still holds;
+    ``reason`` names the proof for EXPLAIN output.
+    """
+
+    schema: FrozenSet[str] = frozenset()
+    reason: str = "unsatisfiable"
+
+    def variables(self) -> FrozenSet[str]:
+        return self.schema
+
+
+@dataclass(frozen=True)
 class FixpointStep(LogicalPlan):
     """Repetition ``psi^{lower..upper}`` over the body's pair relation.
 
@@ -240,6 +259,8 @@ def bind_plan(plan: LogicalPlan, bindings) -> LogicalPlan:
     if isinstance(plan, FixpointStep):
         body = bind_plan(plan.body, bindings)
         return plan if body is plan.body else FixpointStep(body, plan.lower, plan.upper)
+    if isinstance(plan, EmptyPlan):
+        return plan
     raise PatternError(f"cannot bind unknown plan node {plan!r}")
 
 
@@ -276,6 +297,11 @@ def describe(plan: LogicalPlan, indent: int = 0) -> str:
     elif isinstance(plan, FixpointStep):
         upper = "inf" if plan.is_unbounded else int(plan.upper)
         lines = [f"{pad}SemiNaiveFixpoint [{plan.lower}..{upper}]"]
+    elif isinstance(plan, EmptyPlan):
+        parts = [plan.reason]
+        if plan.schema:
+            parts.append("schema=" + ",".join(sorted(plan.schema)))
+        return f"{pad}Empty [{'; '.join(parts)}]"
     else:
         raise PatternError(f"cannot describe unknown plan node {plan!r}")
     for child in plan.children():

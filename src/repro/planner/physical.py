@@ -80,6 +80,7 @@ from repro.patterns.ast import OutputPattern, Pattern, PropertyRef, pattern_para
 from repro.planner.logical import (
     BindEndpoint,
     EdgeScan,
+    EmptyPlan,
     FilterStep,
     FixpointStep,
     JoinStep,
@@ -765,7 +766,19 @@ class PlanExecutor:
             return self._execute_filter(plan)
         if isinstance(plan, FixpointStep):
             return self._execute_fixpoint(plan)
+        if isinstance(plan, EmptyPlan):
+            return self._empty_columns(plan), set()
         raise PatternError(f"unknown physical operator for {plan!r}")
+
+    @staticmethod
+    def _empty_columns(plan: EmptyPlan) -> ColumnMap:
+        # Zero rows, but the column map must still name exactly the
+        # schema the pruned subplan would have bound (the provenance
+        # check at the logical->physical boundary relies on it).
+        return {
+            variable: index + 2
+            for index, variable in enumerate(sorted(plan.schema))
+        }
 
     def _label_allowed(self, labels: FrozenSet[str]) -> Optional[FrozenSet[Identifier]]:
         """Elements carrying every label of the set, or None for no filter.
@@ -1147,6 +1160,9 @@ class PlanExecutor:
             return self._compact_filter(plan)
         if isinstance(plan, FixpointStep):
             return self._compact_fixpoint(plan)
+        if isinstance(plan, EmptyPlan):
+            columns = self._empty_columns(plan)
+            return CompactTable(columns, {v: "node" for v in columns}, set())
         raise PatternError(f"unknown physical operator for {plan!r}")
 
     def _unpacked(self, table: CompactTable) -> CompactTable:

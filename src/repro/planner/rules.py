@@ -82,6 +82,21 @@ def optimize(
     if check:
         verify_rewrite("push_down_filters", plan, pushed, needed)
     plan = pushed
+    # Satisfiability pruning runs right after pushdown so the scans
+    # already carry their label sets and folded conjuncts — that is what
+    # the abstract domains interpret.  Without statistics only the
+    # stats-free facts (range contradictions, structural emptiness) can
+    # prune; label-carrier emptiness needs ``stats``.  may_prune /
+    # may_empty: a pruned subplan's variables and filter atoms
+    # legitimately vanish with it, replaced by an EmptyPlan leaf.
+    from repro.analysis.dataflow import prune_unsatisfiable
+
+    unsat = prune_unsatisfiable(plan, stats)
+    if check:
+        verify_rewrite(
+            "prune_unsatisfiable", plan, unsat, needed, may_prune=True, may_empty=True
+        )
+    plan = unsat
     if stats is not None:
         from repro.planner.cost import order_joins
 

@@ -28,6 +28,7 @@ from repro.service.protocol import (
     CONTENT_TYPE_PROMETHEUS,
     ProtocolError,
     QueryRequest,
+    dry_run_response,
     encode,
     error_payload,
     parse_json,
@@ -50,7 +51,10 @@ class QueryService:
 
     * ``POST /query`` — execute one SQL/PGQ statement with optional
       ``params`` and per-request governance (``timeout_ms``,
-      ``max_output_rows``, ``max_intermediate``).
+      ``max_output_rows``, ``max_intermediate``); ``dry_run: true``
+      analyzes and compiles without executing, answering with the
+      inferred result schema, typed parameter signature and the
+      structured analysis diagnostics.
     * ``POST /ddl`` — apply ``CREATE PROPERTY GRAPH`` DDL and/or create
       a base table, then hand the pool off to the new snapshot.
     * ``GET /healthz`` — liveness plus catalog/pool state.
@@ -147,6 +151,8 @@ class QueryService:
                 "DDL goes through POST /ddl (pooled connections stay "
                 "pinned to their snapshot)"
             )
+        if request.dry_run:
+            return self._handle_dry_run(request)
         budget = request.budget(default_timeout_ms=self._default_timeout_ms)
         start = perf_counter()
         with self.pool.acquire() as connection:
@@ -163,6 +169,33 @@ class QueryService:
                 engine=connection.engine_name,
                 snapshot=connection.snapshot.fingerprint,
                 streamed=result.streamed,
+            )
+        return 200, CONTENT_TYPE_JSON, encode(payload)
+
+    def _handle_dry_run(self, request: QueryRequest) -> Response:
+        """``dry_run: true`` — analyze and compile, never execute.
+
+        The response carries the analyzer's inferred result schema and
+        typed parameter signature, the structured analysis diagnostics
+        (semantic + dataflow), and the ``statically_empty`` verdict.
+        Analysis *errors* surface as 400s like any bad statement, so a
+        dry run is a cheap validity probe before committing a budgeted
+        execution.
+        """
+        start = perf_counter()
+        with self.pool.acquire() as connection:
+            prepared = connection.prepare(request.statement)
+            payload = dry_run_response(
+                schema=list(prepared.result_schema),
+                diagnostics=[
+                    diagnostic.to_payload()
+                    for diagnostic in prepared.analysis_diagnostics
+                ],
+                parameters=dict(prepared.parameter_types),
+                statically_empty=prepared.statically_empty,
+                elapsed_ms=(perf_counter() - start) * 1000.0,
+                engine=connection.engine_name,
+                snapshot=connection.snapshot.fingerprint,
             )
         return 200, CONTENT_TYPE_JSON, encode(payload)
 

@@ -53,6 +53,7 @@ __all__ = [
     "CONTENT_TYPE_PROMETHEUS",
     "ProtocolError",
     "QueryRequest",
+    "dry_run_response",
     "encode",
     "error_payload",
     "parse_json",
@@ -175,9 +176,17 @@ class QueryRequest:
     timeout_ms: Optional[float]
     max_output_rows: Optional[int]
     max_intermediate: Optional[int]
+    dry_run: bool = False
 
     _KNOWN_FIELDS = frozenset(
-        {"statement", "params", "timeout_ms", "max_output_rows", "max_intermediate"}
+        {
+            "statement",
+            "params",
+            "timeout_ms",
+            "max_output_rows",
+            "max_intermediate",
+            "dry_run",
+        }
     )
 
     @classmethod
@@ -194,12 +203,18 @@ class QueryRequest:
                 f"'params' must be an object of named bindings, got "
                 f"{type(params).__name__}"
             )
+        dry_run = payload.get("dry_run", False)
+        if not isinstance(dry_run, bool):
+            raise ProtocolError(
+                f"'dry_run' must be a boolean, got {type(dry_run).__name__}"
+            )
         return cls(
             statement=statement,
             params=dict(params) if params else None,
             timeout_ms=_optional_number(payload, "timeout_ms"),
             max_output_rows=_optional_count(payload, "max_output_rows"),
             max_intermediate=_optional_count(payload, "max_intermediate"),
+            dry_run=dry_run,
         )
 
     def budget(self, *, default_timeout_ms: Optional[float] = None) -> Optional[QueryBudget]:
@@ -221,6 +236,38 @@ class QueryRequest:
             max_output_rows=self.max_output_rows,
             max_intermediate=self.max_intermediate,
         )
+
+
+def dry_run_response(
+    *,
+    schema: List[Tuple[str, str]],
+    diagnostics: List[Dict[str, Any]],
+    parameters: Dict[str, str],
+    statically_empty: bool,
+    elapsed_ms: float,
+    engine: str,
+    snapshot: str,
+) -> Dict[str, Any]:
+    """The ``POST /query`` 200 body for ``dry_run: true``.
+
+    No rows: the statement is analyzed and compiled but never executed.
+    ``schema`` is the analyzer's inferred ``[column, type]`` result
+    signature, ``diagnostics`` the structured analysis findings
+    (:meth:`~repro.analysis.diagnostics.Diagnostic.to_payload` dicts),
+    ``parameters`` the inferred ``:name -> type`` bindings signature, and
+    ``statically_empty`` the dataflow verdict — ``true`` means executing
+    the statement would short-circuit without touching the engine.
+    """
+    return {
+        "dry_run": True,
+        "schema": [list(entry) for entry in schema],
+        "diagnostics": diagnostics,
+        "parameters": parameters,
+        "statically_empty": statically_empty,
+        "elapsed_ms": round(elapsed_ms, 3),
+        "engine": engine,
+        "snapshot": snapshot,
+    }
 
 
 def query_response(

@@ -14,7 +14,12 @@ import os
 import pytest
 
 from repro.analysis import analyze_query, verification_enabled
-from repro.analysis.diagnostics import ERROR_CODES, Diagnostic
+from repro.analysis.diagnostics import (
+    ERROR_CODES,
+    WARNING_CODES,
+    Diagnostic,
+    default_severity,
+)
 from repro.engine.database import Database
 from repro.errors import (
     AnalysisError,
@@ -160,9 +165,22 @@ class TestAnalyzerRejections:
             assert "\n".join(lines) == handle.read()
 
     def test_diagnostic_codes_are_a_closed_set(self):
-        assert sorted(ERROR_CODES) == sorted(BAD_QUERIES)
+        # A001..A007 are error-severity rejections, exercised above one
+        # statement each; A008+ are the warning-severity dataflow codes
+        # (tests/test_dataflow.py covers one trigger per code).
+        errors = sorted(set(ERROR_CODES) - WARNING_CODES)
+        assert errors == sorted(BAD_QUERIES)
+        assert all(code in ERROR_CODES for code in WARNING_CODES)
         with pytest.raises(ValueError, match="unknown diagnostic code"):
             Diagnostic("A999", "nope")
+        with pytest.raises(ValueError, match="unknown diagnostic severity"):
+            Diagnostic("A001", "nope", severity="fatal")
+
+    def test_default_severities(self):
+        assert default_severity("A001") == "error"
+        assert default_severity("A008") == "warning"
+        assert Diagnostic("A008", "w").severity == "warning"
+        assert Diagnostic("A008", "w").render().startswith("warning A008")
 
 
 # --------------------------------------------------------------------------- #

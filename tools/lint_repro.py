@@ -34,6 +34,18 @@ Rules (each failure prints ``path:line: RULE message`` and exits 1):
   but the library underneath must stay servable without it (and the
   top-level ``repro`` package must not re-export it), so an inverted
   import can never make a query path depend on the HTTP stack.
+* **LOCK-DISCIPLINE** — inside ``src/repro``, (a) a module-level mutable
+  container (list/dict/set/OrderedDict/...) mutated from inside a
+  function outside a ``with <...lock...>:`` block, and (b) in
+  ``engine/database.py``, the snapshot-cache internals
+  (``self._entries`` / ``self._building`` / ``self._referents``)
+  touched outside the cache lock.  Module globals
+  are process-shared: connections run queries from arbitrary threads, so
+  an unguarded ``G[k] = v`` is a data race even when every current
+  caller happens to hold a lock upstream.  Functions whose name ends in
+  ``_locked`` are exempt (the suffix is the project's caller-holds-the-
+  lock convention), as is module top-level code (imports run once under
+  the import lock).
 
 Run as ``python tools/lint_repro.py`` (lints ``src/repro``) or with
 explicit file/directory arguments.
@@ -142,6 +154,214 @@ def _used_names(tree: ast.Module) -> set:
             # the Name node, already collected above.
             pass
     return used
+
+
+#: Attribute method calls that mutate their receiver in place.
+_MUTATING_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+#: Constructors whose result is a shared mutable container.
+_MUTABLE_FACTORIES = {
+    "OrderedDict",
+    "Counter",
+    "WeakKeyDictionary",
+    "WeakSet",
+    "WeakValueDictionary",
+    "defaultdict",
+    "deque",
+    "dict",
+    "list",
+    "set",
+}
+
+#: SnapshotCache internals: cross-connection shared state that must only
+#: be touched under the cache lock (``self._stats`` reads ride along with
+#: entry bookkeeping, so it is held to the same discipline).
+_CACHE_INTERNALS = {"_entries", "_building", "_referents"}
+
+
+def _module_mutable_globals(tree: ast.Module) -> set:
+    """Module-level names bound to a mutable container literal/factory."""
+    names = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        else:
+            continue
+        if not isinstance(target, ast.Name) or target.id.startswith("__"):
+            continue
+        if isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            names.add(target.id)
+        elif isinstance(value, ast.Call) and _terminal_name(value.func) in (
+            _MUTABLE_FACTORIES
+        ):
+            names.add(target.id)
+    return names
+
+
+def _lock_guarded_with(node: ast.With) -> bool:
+    """True when any context manager of the ``with`` looks like a lock."""
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        if "lock" in _terminal_name(expr).lower():
+            return True
+    return False
+
+
+def _local_bindings(function: ast.AST) -> set:
+    """Names the function binds locally (params, assignments, loops)."""
+    bound = set()
+    args = function.args
+    for arg in (
+        args.posonlyargs + args.args + args.kwonlyargs + [args.vararg, args.kwarg]
+    ):
+        if arg is not None:
+            bound.add(arg.arg)
+    for node in ast.walk(function):
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.For):
+            targets = [node.target]
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            targets = [node.optional_vars]
+        for target in targets:
+            bound.update(_binding_names(target))
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            bound.difference_update(node.names)
+    return bound
+
+
+def _binding_names(target: ast.expr) -> Iterator[str]:
+    """Plain names a target binds — ``x``, ``(x, y)``; NOT the receiver
+    of a subscript/attribute target (``G[k] = v`` binds nothing)."""
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _binding_names(element)
+
+
+def _mutated_receiver(node: ast.AST) -> Tuple[str, ast.expr]:
+    """``(verb, receiver expr)`` when ``node`` mutates a container in
+    place, else ``("", node)``: subscript assignment/deletion, augmented
+    subscript assignment, or a mutating method call."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, ast.AugAssign):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = node.targets
+    for target in targets:
+        if isinstance(target, ast.Subscript):
+            return "assigns into", target.value
+    if (
+        isinstance(node, ast.Expr)
+        and isinstance(node.value, ast.Call)
+        and isinstance(node.value.func, ast.Attribute)
+        and node.value.func.attr in _MUTATING_METHODS
+    ):
+        return f"calls .{node.value.func.attr}() on", node.value.func.value
+    return "", ast.Constant(value=None)
+
+
+def _check_lock_discipline(path: Path, tree: ast.Module) -> List[Finding]:
+    findings: List[Finding] = []
+    mutable_globals = _module_mutable_globals(tree)
+    # The snapshot cache lives in engine/database.py; ``_entries`` etc.
+    # elsewhere (e.g. per-run profile collectors) are private state.
+    cache_owner = path.resolve().as_posix().endswith("/engine/database.py")
+
+    def scan(body: List[ast.stmt], locals_: set, guarded: bool) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.endswith("_locked"):
+                    scan(node.body, locals_ | _local_bindings(node), guarded=False)
+                continue
+            if isinstance(node, ast.With):
+                scan(node.body, locals_, guarded or _lock_guarded_with(node))
+                continue
+            verb, receiver = _mutated_receiver(node)
+            if verb and not guarded:
+                if (
+                    isinstance(receiver, ast.Name)
+                    and receiver.id in mutable_globals
+                    and receiver.id not in locals_
+                ):
+                    findings.append(
+                        (
+                            path,
+                            node.lineno,
+                            "LOCK-DISCIPLINE",
+                            f"{verb} module-level mutable {receiver.id!r} "
+                            "outside a lock-guarded with block (module "
+                            "globals are process-shared across query "
+                            "threads)",
+                        )
+                    )
+                elif (
+                    cache_owner
+                    and isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                    and receiver.attr in _CACHE_INTERNALS
+                ):
+                    findings.append(
+                        (
+                            path,
+                            node.lineno,
+                            "LOCK-DISCIPLINE",
+                            f"{verb} snapshot-cache internal "
+                            f"self.{receiver.attr} outside the cache lock",
+                        )
+                    )
+            # Recurse into nested compound statements (if/for/try/...):
+            # the guard state carries through — a lock taken outside a
+            # loop still guards the loop body.
+            for field in ("body", "orelse", "finalbody"):
+                nested = getattr(node, field, None)
+                if nested:
+                    scan(nested, locals_, guarded)
+            for handler in getattr(node, "handlers", []) or []:
+                scan(handler.body, locals_, guarded)
+
+    # Only function bodies race: module top-level runs once, under the
+    # import lock.  Class bodies are walked to reach their methods.
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.endswith("_locked"):
+                scan(node.body, _local_bindings(node), guarded=False)
+        elif isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if not member.name.endswith("_locked"):
+                        scan(member.body, _local_bindings(member), guarded=False)
+    return findings
 
 
 def check_file(
@@ -313,6 +533,10 @@ def check_file(
                     "exception or re-raise after cleanup",
                 )
             )
+
+    # LOCK-DISCIPLINE: shared mutable state is mutated under a lock.
+    if in_src:
+        findings.extend(_check_lock_discipline(path, tree))
 
     # PRINT-CALL: no print() in library code.
     if in_src:
